@@ -1,0 +1,191 @@
+// Command olgapro runs the paper's motivating queries over a synthetic (or
+// CSV-loaded) SDSS-like catalog, evaluating astrophysics UDFs on uncertain
+// attributes with either the OLGAPRO GP engine or Monte-Carlo simulation.
+//
+// Query Q1 (paper §1):
+//
+//	SELECT G.objID, GalAge(G.redshift) FROM Galaxy G
+//
+// Query Q2-style (distance predicate with TEP filtering):
+//
+//	SELECT G1.objID, G2.objID, ComoveVol(G1.redshift, G2.redshift, AREA)
+//	FROM Galaxy G1, Galaxy G2
+//	WHERE Distance(G1.pos, G2.pos) ∈ [l, u]
+//
+// Usage:
+//
+//	olgapro -query q1|q2 [-engine gp|mc] [-n galaxies] [-eps e] [-catalog file.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"olgapro/internal/astro"
+	"olgapro/internal/core"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/query"
+	"olgapro/internal/sdss"
+)
+
+func main() {
+	queryName := flag.String("query", "q1", "query to run: q1 or q2")
+	engine := flag.String("engine", "gp", "evaluation engine: gp or mc")
+	n := flag.Int("n", 40, "catalog size when generating")
+	eps := flag.Float64("eps", 0.1, "accuracy requirement ε")
+	delta := flag.Float64("delta", 0.05, "confidence parameter δ")
+	seed := flag.Int64("seed", 1, "random seed")
+	catalogPath := flag.String("catalog", "", "load catalog CSV instead of generating")
+	limit := flag.Int("limit", 10, "print at most this many result tuples")
+	flag.Parse()
+
+	if err := run(*queryName, *engine, *n, *eps, *delta, *seed, *catalogPath, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(queryName, engine string, n int, eps, delta float64, seed int64, catalogPath string, limit int) error {
+	var cat *sdss.Catalog
+	if catalogPath != "" {
+		f, err := os.Open(catalogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if cat, err = sdss.ReadCSV(f); err != nil {
+			return err
+		}
+	} else {
+		cat = sdss.Generate(sdss.GenerateConfig{N: n, Seed: seed})
+	}
+	rel := make([]*query.Tuple, len(cat.Galaxies))
+	for i, g := range cat.Galaxies {
+		rel[i] = query.GalaxyTuple(g.ObjID, g.RA, g.Dec, g.RAErr, g.DecErr, g.Redshift, g.RedshiftErr)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cosmo := astro.Default()
+
+	mkEngine := func(f interface {
+		Dim() int
+		Eval([]float64) float64
+	}, kern kernel.Kernel, pred *mc.Predicate) (query.Engine, error) {
+		switch engine {
+		case "mc":
+			return query.MCEngine{F: f, Cfg: mc.Config{
+				Eps: eps, Delta: delta, Metric: mc.MetricDiscrepancy, Predicate: pred,
+			}}, nil
+		case "gp":
+			ev, err := core.NewEvaluator(f, core.Config{
+				Eps: eps, Delta: delta, Kernel: kern, Predicate: pred,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return query.EvaluatorEngine{E: ev}, nil
+		default:
+			return nil, fmt.Errorf("unknown engine %q (want gp or mc)", engine)
+		}
+	}
+
+	start := time.Now()
+	switch queryName {
+	case "q1":
+		eng, err := mkEngine(astro.GalAgeFunc(cosmo), kernel.NewSqExp(4, 0.3), nil)
+		if err != nil {
+			return err
+		}
+		apply := &query.ApplyUDF{
+			In:     query.NewScan(rel),
+			Inputs: []string{"redshift"},
+			Out:    "galAge",
+			Engine: eng,
+			Rng:    rng,
+		}
+		results, err := query.Drain(apply)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Q1: SELECT objID, GalAge(redshift) FROM Galaxy  [engine=%s ε=%g]\n", engine, eps)
+		printResults(results, []string{"objID", "galAge"}, limit)
+	case "q2":
+		// Self-join on distinct pairs; distance predicate with TEP filtering,
+		// then comoving volume between the pair's redshifts.
+		pairs, err := query.Drain(query.NewCrossJoin(rel[:min(len(rel), 12)], "g1.", rel[:min(len(rel), 12)], "g2.", true))
+		if err != nil {
+			return err
+		}
+		distUDF := astro.AngDistFunc4()
+		distEng, err := mkEngine(distUDF, kernel.NewSqExp(20, 15), &mc.Predicate{A: 0, B: 25, Theta: 0.2})
+		if err != nil {
+			return err
+		}
+		withDist := &query.ApplyUDF{
+			In:     query.NewScan(pairs),
+			Inputs: []string{"g1.ra", "g1.dec", "g2.ra", "g2.dec"},
+			Out:    "distance",
+			Engine: distEng,
+			Rng:    rng,
+		}
+		volEng, err := mkEngine(astro.ComoveVolFunc(cosmo, 100), kernel.NewSqExp(5e7, 0.3), nil)
+		if err != nil {
+			return err
+		}
+		withVol := &query.ApplyUDF{
+			In:     withDist,
+			Inputs: []string{"g1.redshift", "g2.redshift"},
+			Out:    "comoveVol",
+			Engine: volEng,
+			Rng:    rng,
+		}
+		results, err := query.Drain(withVol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Q2: SELECT g1.objID, g2.objID, ComoveVol(...) WHERE Distance(pos) ∈ [0,25]  [engine=%s ε=%g]\n", engine, eps)
+		fmt.Printf("pairs examined: %d, dropped by TEP filter: %d\n", len(pairs), withDist.Dropped)
+		printResults(results, []string{"g1.objID", "g2.objID", "distance", "comoveVol"}, limit)
+	default:
+		return fmt.Errorf("unknown query %q (want q1 or q2)", queryName)
+	}
+	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func printResults(results []*query.Tuple, cols []string, limit int) {
+	for i, t := range results {
+		if i >= limit {
+			fmt.Printf("... (%d more)\n", len(results)-limit)
+			break
+		}
+		for j, c := range cols {
+			if j > 0 {
+				fmt.Print("  ")
+			}
+			v, err := t.Get(c)
+			if err != nil {
+				fmt.Printf("%s=?", c)
+				continue
+			}
+			if v.Kind == query.KindResult && v.R != nil {
+				fmt.Printf("%s=[p05 %.4g, median %.4g, p95 %.4g]", c,
+					v.R.Quantile(0.05), v.R.Quantile(0.5), v.R.Quantile(0.95))
+			} else {
+				fmt.Printf("%s=%s", c, v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d result tuples\n", len(results))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

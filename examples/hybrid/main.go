@@ -1,0 +1,57 @@
+// Hybrid: the paper's §5.4 solution for black-box UDFs whose cost is
+// unknown upfront. The Hybrid evaluator runs a short calibration phase on
+// the GP path while measuring both the UDF's evaluation time and the GP's
+// per-input cost, then routes the rest of the stream to whichever engine is
+// projected cheaper: MC for fast UDFs (where m cheap calls beat GP algebra)
+// and GP for slow ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"olgapro"
+)
+
+func run(name string, evalTime time.Duration, f olgapro.UDF) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := olgapro.NewHybrid(f, olgapro.HybridConfig{
+		Config: olgapro.Config{
+			Eps: 0.1, Delta: 0.05,
+			Kernel: olgapro.SqExpKernel(1, 1.5),
+		},
+		CalibrationInputs: 5,
+		EvalTime:          evalTime, // nominal cost per UDF call
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engines := map[olgapro.Engine]int{}
+	for i := 0; i < 20; i++ {
+		mu := []float64{1 + 8*rng.Float64(), 1 + 8*rng.Float64()}
+		_, eng, err := h.Eval(olgapro.NormalInput(mu, 0.5), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[eng]++
+	}
+	choice, decided := h.Choice()
+	fmt.Printf("%-28s nominal T=%-8s → chose %s after calibration (GP path: %d, MC path: %d, decided: %v)\n",
+		name, evalTime, choice, engines[olgapro.EngineGP], engines[olgapro.EngineMC], decided)
+}
+
+func main() {
+	smooth := olgapro.Func(2, func(x []float64) float64 {
+		return math.Exp(-((x[0]-5)*(x[0]-5) + (x[1]-5)*(x[1]-5)) / 12)
+	})
+	fmt.Println("Hybrid engine choice by UDF evaluation time (same function):")
+	run("cheap UDF (sensor calc)", 2*time.Microsecond, smooth)
+	run("moderate UDF (numeric)", time.Millisecond, smooth)
+	run("expensive UDF (simulation)", 200*time.Millisecond, smooth)
+	fmt.Println()
+	fmt.Println("Rule of thumb from the paper (§6.3): MC below ≈0.1ms/call,")
+	fmt.Println("GP above ≈1ms for low-dimensional functions.")
+}

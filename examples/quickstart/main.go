@@ -1,0 +1,84 @@
+// Quickstart: characterize the output distribution of an expensive
+// black-box UDF evaluated on uncertain input, with an (ε,δ) accuracy
+// guarantee — and watch the GP engine stop calling the UDF once it has
+// learned the function, while Monte Carlo keeps paying full price.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"olgapro"
+)
+
+// expensiveUDF stands in for external code (a C program, a numerical
+// simulation...). It burns ~1ms of CPU per call so the cost difference
+// between the engines is visible in wall-clock time.
+func expensiveUDF(x []float64) float64 {
+	deadline := time.Now().Add(time.Millisecond)
+	acc := 0.0
+	for time.Now().Before(deadline) {
+		acc += 1e-9 // keep the optimizer honest
+	}
+	return math.Sin(x[0])*math.Exp(-x[0]/8) + acc*0
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	f := olgapro.Func(1, expensiveUDF)
+
+	ev, err := olgapro.NewEvaluator(f, olgapro.Config{
+		Eps:    0.1,  // total discrepancy budget ε
+		Delta:  0.05, // failure probability δ
+		Kernel: olgapro.SqExpKernel(1, 1.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("OLGAPRO: evaluating f over a stream of uncertain tuples")
+	fmt.Println("tuple   median   90% interval        bound   UDF-calls  time")
+	var gpTotal time.Duration
+	for i := 0; i < 10; i++ {
+		// Each tuple's attribute is uncertain: N(μ, 0.5²) with μ drifting.
+		input := olgapro.NormalInput([]float64{1 + 0.8*float64(i)}, 0.5)
+		start := time.Now()
+		out, err := ev.Eval(input, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		gpTotal += elapsed
+		fmt.Printf("%5d  %7.4f  [%7.4f, %7.4f]  %.4f  %9d  %s\n",
+			i,
+			out.Dist.Quantile(0.5),
+			out.Dist.Quantile(0.05), out.Dist.Quantile(0.95),
+			out.Bound,
+			out.UDFCalls,
+			elapsed.Round(time.Millisecond),
+		)
+	}
+	st := ev.Stats()
+	fmt.Printf("\nGP engine: %d UDF calls total, %d training points, %v wall time\n",
+		st.UDFCalls, st.TrainingPoints, gpTotal.Round(time.Millisecond))
+
+	// The same guarantee via Monte Carlo needs m UDF calls per tuple.
+	m := olgapro.MCSampleSize(0.1, 0.05, olgapro.MetricDiscrepancy)
+	fmt.Printf("Monte Carlo would need %d UDF calls per tuple (≈%v each at 1ms/call),\n",
+		m, (time.Duration(m) * time.Millisecond).Round(time.Millisecond))
+	fmt.Printf("i.e. ≈%v for the same 10 tuples.\n",
+		(time.Duration(10*m) * time.Millisecond).Round(time.Second))
+
+	// Demonstrate once, so the comparison is grounded:
+	start := time.Now()
+	res, err := olgapro.EvaluateMC(f, olgapro.NormalInput([]float64{5}, 0.5),
+		olgapro.MCConfig{Eps: 0.1, Delta: 0.05, Metric: olgapro.MetricDiscrepancy}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMC check on one tuple: median %.4f, %d UDF calls, %v\n",
+		res.Dist.Quantile(0.5), res.UDFCalls, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,268 @@
+package olgapro
+
+// End-to-end tests exercising the public API exactly as a downstream user
+// would: evaluate UDFs on uncertain inputs with both engines, compare to
+// analytic truth, run queries, and use the hybrid chooser.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// A "black-box" UDF: smooth nonlinear transform.
+	f := Func(1, func(x []float64) float64 { return math.Exp(-x[0] / 4) })
+	ev, err := NewEvaluator(f, Config{Eps: 0.1, Delta: 0.05, Kernel: SqExpKernel(0.5, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := NormalInput([]float64{4}, 0.5)
+	out, err := ev.Eval(input, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dist == nil {
+		t.Fatal("no distribution")
+	}
+	// exp(−N(4,0.25)/4) is lognormal: median exp(−1).
+	if got, want := out.Dist.Quantile(0.5), math.Exp(-1); math.Abs(got-want) > 0.02 {
+		t.Fatalf("median %g, want ≈ %g", got, want)
+	}
+	if out.Bound <= 0 || out.Bound > 1 {
+		t.Fatalf("bound %g out of range", out.Bound)
+	}
+}
+
+func TestPublicMCAgainstAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	identity := Func(1, func(x []float64) float64 { return x[0] })
+	input := Input(Normal{Mu: -2, Sigma: 1.5})
+	res, err := EvaluateMC(identity, input, MCConfig{Eps: 0.05, Delta: 0.05, Metric: MetricKS}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != MCSampleSize(0.05, 0.05, MetricKS) {
+		t.Fatalf("samples %d", res.Samples)
+	}
+	if got := res.Dist.Mean(); math.Abs(got-(-2)) > 0.1 {
+		t.Fatalf("mean %g, want −2", got)
+	}
+}
+
+// GP and MC engines must agree on the same input distribution.
+func TestEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := Func(2, func(x []float64) float64 { return x[0]*x[0] + x[1] })
+	input := NormalInput([]float64{3, 1}, 0.3)
+
+	ev, err := NewEvaluator(f, Config{Kernel: SqExpKernel(3, 1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the emulator, then compare distributions.
+	for i := 0; i < 5; i++ {
+		if _, err := ev.Eval(input, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gpOut, err := ev.Eval(input, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcOut, err := EvaluateMC(f, input, MCConfig{Eps: 0.05, Delta: 0.05, Metric: MetricDiscrepancy}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Discrepancy(gpOut.Dist, mcOut.Dist); d > 0.12 {
+		t.Fatalf("engines disagree: discrepancy %g", d)
+	}
+	if d := KS(gpOut.Dist, mcOut.Dist); d > 0.12 {
+		t.Fatalf("engines disagree: KS %g", d)
+	}
+}
+
+func TestPublicMetricsRelationship(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.3
+	}
+	ea, eb := NewECDF(a), NewECDF(b)
+	ks := KS(ea, eb)
+	d := Discrepancy(ea, eb)
+	dl := DiscrepancyLambda(ea, eb, 0.5)
+	if d < ks || d > 2*ks+1e-12 {
+		t.Fatalf("KS=%g D=%g violates KS ≤ D ≤ 2KS", ks, d)
+	}
+	if dl > d+1e-12 {
+		t.Fatalf("Dλ=%g exceeds D=%g", dl, d)
+	}
+}
+
+func TestPublicAstroUDFs(t *testing.T) {
+	c := DefaultCosmology()
+	age := GalAgeUDF(c)
+	if age.Dim() != 1 {
+		t.Fatal("GalAge dim")
+	}
+	if got := age.Eval([]float64{0}); math.Abs(got-13.47) > 0.05 {
+		t.Fatalf("age of universe %g", got)
+	}
+	vol := ComoveVolUDF(c, 100)
+	if vol.Dim() != 2 || vol.Eval([]float64{0.1, 0.3}) <= 0 {
+		t.Fatal("ComoveVol")
+	}
+	ad := AngDistUDF(180, 30)
+	if ad.Dim() != 2 || ad.Eval([]float64{180, 30}) != 0 {
+		t.Fatal("AngDist")
+	}
+}
+
+func TestPublicQueryQ1(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cat := GenerateCatalog(10, 7)
+	rel := make([]*Tuple, len(cat.Galaxies))
+	for i, g := range cat.Galaxies {
+		rel[i] = GalaxyTuple(g.ObjID, g.RA, g.Dec, g.RAErr, g.DecErr, g.Redshift, g.RedshiftErr)
+	}
+	ev, err := NewEvaluator(GalAgeUDF(DefaultCosmology()), Config{Kernel: SqExpKernel(4, 0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := &ApplyUDFOp{
+		In:     NewScan(rel),
+		Inputs: []string{"redshift"},
+		Out:    "age",
+		Engine: GPEngine(ev),
+		Rng:    rng,
+	}
+	results, err := Drain(apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, tp := range results {
+		v, err := tp.Get("age")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Galaxy ages must be between ~5 and ~13.5 Gyr for z ≤ 1.
+		if med := v.R.Quantile(0.5); med < 5 || med > 14 {
+			t.Fatalf("implausible age %g", med)
+		}
+	}
+}
+
+func TestPublicHybrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := Func(1, func(x []float64) float64 { return math.Sin(x[0]) })
+	h, err := NewHybrid(f, HybridConfig{
+		Config:            Config{Kernel: SqExpKernel(1, 1.5)},
+		CalibrationInputs: 3,
+		EvalTime:          50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		out, eng, err := h.Eval(NormalInput([]float64{float64(i)}, 0.4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			t.Fatalf("nil output from %s", eng)
+		}
+	}
+	if choice, decided := h.Choice(); !decided || choice != EngineGP {
+		t.Fatalf("expensive UDF should pick GP, got %v (decided %v)", choice, decided)
+	}
+}
+
+func TestPublicMultiOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := MultiFunc(1, 2, func(x []float64, out []float64) []float64 {
+		if cap(out) < 2 {
+			out = make([]float64, 2)
+		}
+		out = out[:2]
+		out[0] = math.Sin(x[0])
+		out[1] = math.Cos(x[0])
+		return out
+	})
+	m, err := NewMultiEvaluator(f, Config{Kernel: SqExpKernel(1, 1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Eval(NormalInput([]float64{1.0}, 0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outputs", len(outs))
+	}
+	if med := outs[0].Dist.Quantile(0.5); math.Abs(med-math.Sin(1)) > 0.1 {
+		t.Fatalf("sin median %g", med)
+	}
+	if med := outs[1].Dist.Quantile(0.5); math.Abs(med-math.Cos(1)) > 0.1 {
+		t.Fatalf("cos median %g", med)
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := Func(1, func(x []float64) float64 { return math.Sin(x[0]) })
+	ev, err := NewEvaluator(f, Config{Kernel: SqExpKernel(1, 1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ev.Eval(NormalInput([]float64{float64(2 * i)}, 0.4), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ev.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEvaluator(f, Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.GP().Len() != ev.GP().Len() {
+		t.Fatalf("restored %d points, want %d", restored.GP().Len(), ev.GP().Len())
+	}
+	out, err := restored.Eval(NormalInput([]float64{3}, 0.4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Dist.Quantile(0.5)-math.Sin(3)) > 0.1 {
+		t.Fatalf("restored median %g", out.Dist.Quantile(0.5))
+	}
+}
+
+func TestPublicARDKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Only dimension 0 matters; ARD should work out of the box.
+	f := Func(3, func(x []float64) float64 { return math.Sin(x[0]) })
+	ev, err := NewEvaluator(f, Config{
+		Kernel: SqExpARDKernel(1, []float64{1.5, 1.5, 1.5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ev.Eval(NormalInput([]float64{1, 5, 5}, 0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Dist.Quantile(0.5)-math.Sin(1)) > 0.15 {
+		t.Fatalf("ARD median %g, want ≈ %g", out.Dist.Quantile(0.5), math.Sin(1))
+	}
+}

@@ -1,0 +1,260 @@
+package astro
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultCosmologyValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.omegaK() != 0 {
+		t.Fatalf("default should be flat, Ωk = %g", c.omegaK())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Cosmology{H0: -1}).Validate(); err == nil {
+		t.Error("negative H0 should fail")
+	}
+	if err := (Cosmology{H0: 70, OmegaM: -0.1}).Validate(); err == nil {
+		t.Error("negative Ωm should fail")
+	}
+}
+
+func TestGalAgeKnownValues(t *testing.T) {
+	c := Default()
+	// Age of a flat 70/0.3/0.7 universe at z=0 is ≈ 13.47 Gyr.
+	if got := c.GalAge(0); math.Abs(got-13.47) > 0.05 {
+		t.Fatalf("GalAge(0) = %g Gyr, want ≈ 13.47", got)
+	}
+	// Analytic benchmark: for a flat ΛCDM universe,
+	// t(z) = (2/(3 H0 √ΩΛ)) asinh(√(ΩΛ/Ωm) (1+z)^{-3/2}).
+	analytic := func(z float64) float64 {
+		h := HubbleTimeGyrPerH0 / c.H0
+		return 2.0 / 3.0 * h / math.Sqrt(c.OmegaL) *
+			math.Asinh(math.Sqrt(c.OmegaL/c.OmegaM)*math.Pow(1+z, -1.5))
+	}
+	for _, z := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		got, want := c.GalAge(z), analytic(z)
+		if math.Abs(got-want) > 1e-3*want {
+			t.Errorf("GalAge(%g) = %g, analytic %g", z, got, want)
+		}
+	}
+}
+
+func TestGalAgeMonotoneDecreasing(t *testing.T) {
+	c := Default()
+	prev := math.Inf(1)
+	for _, z := range []float64{0, 0.2, 0.5, 1, 2, 4, 8} {
+		age := c.GalAge(z)
+		if age >= prev {
+			t.Fatalf("GalAge not decreasing at z=%g: %g ≥ %g", z, age, prev)
+		}
+		if age <= 0 {
+			t.Fatalf("GalAge(%g) = %g not positive", z, age)
+		}
+		prev = age
+	}
+	// Negative redshift clamps to z=0.
+	if c.GalAge(-1) != c.GalAge(0) {
+		t.Error("negative z should clamp")
+	}
+}
+
+func TestComovingDistance(t *testing.T) {
+	c := Default()
+	if c.ComovingDistance(0) != 0 {
+		t.Fatal("D_C(0) ≠ 0")
+	}
+	// Low-z limit: D_C ≈ (c/H0)·z.
+	z := 0.01
+	want := c.HubbleDistance() * z
+	if got := c.ComovingDistance(z); math.Abs(got-want) > 0.01*want {
+		t.Fatalf("low-z D_C = %g, want ≈ %g", got, want)
+	}
+	// Known value: D_C(1) ≈ 3303 Mpc for 70/0.3/0.7.
+	if got := c.ComovingDistance(1); math.Abs(got-3303) > 10 {
+		t.Fatalf("D_C(1) = %g, want ≈ 3303", got)
+	}
+	// Monotone increasing.
+	if c.ComovingDistance(2) <= c.ComovingDistance(1) {
+		t.Fatal("D_C not increasing")
+	}
+}
+
+func TestTransverseComovingDistanceCurvature(t *testing.T) {
+	flat := Default()
+	if flat.TransverseComovingDistance(1) != flat.ComovingDistance(1) {
+		t.Fatal("flat D_M should equal D_C")
+	}
+	open := Cosmology{H0: 70, OmegaM: 0.3, OmegaL: 0.5} // Ωk = 0.2
+	if open.TransverseComovingDistance(1) <= open.ComovingDistance(1) {
+		t.Fatal("open universe should have D_M > D_C")
+	}
+	closed := Cosmology{H0: 70, OmegaM: 0.5, OmegaL: 0.6} // Ωk = −0.1
+	if closed.TransverseComovingDistance(1) >= closed.ComovingDistance(1) {
+		t.Fatal("closed universe should have D_M < D_C")
+	}
+}
+
+func TestComovingVolume(t *testing.T) {
+	c := Default()
+	// Symmetric in redshift order and zero for equal redshifts.
+	v12 := c.ComovingVolume(0.1, 0.3, 100)
+	v21 := c.ComovingVolume(0.3, 0.1, 100)
+	if v12 != v21 {
+		t.Fatalf("not symmetric: %g vs %g", v12, v21)
+	}
+	if c.ComovingVolume(0.2, 0.2, 100) != 0 {
+		t.Fatal("equal redshifts should give 0 volume")
+	}
+	// Additive over contiguous shells.
+	a := c.ComovingVolume(0.1, 0.2, 50)
+	b := c.ComovingVolume(0.2, 0.3, 50)
+	ab := c.ComovingVolume(0.1, 0.3, 50)
+	if math.Abs(a+b-ab) > 1e-6*ab {
+		t.Fatalf("not additive: %g + %g ≠ %g", a, b, ab)
+	}
+	// Scales linearly with area: 200 deg² is 4× the 50 deg² shell.
+	if math.Abs(c.ComovingVolume(0.1, 0.3, 200)-4*ab) > 1e-6*ab {
+		t.Fatal("not linear in area")
+	}
+	// Full sky between z=0 and z=1 should be (4π/3)D_C(1)³.
+	full := c.ComovingVolume(0, 1, 360*360/math.Pi)
+	d := c.ComovingDistance(1)
+	want := 4 * math.Pi / 3 * d * d * d
+	if math.Abs(full-want) > 1e-6*want {
+		t.Fatalf("full-sky volume %g, want %g", full, want)
+	}
+}
+
+func TestAngDistIdentities(t *testing.T) {
+	if got := AngDist(10, 20, 10, 20); got != 0 {
+		t.Fatalf("self distance = %g", got)
+	}
+	// Pole to pole.
+	if got := AngDist(0, 90, 0, -90); math.Abs(got-180) > 1e-9 {
+		t.Fatalf("pole-to-pole = %g", got)
+	}
+	// Along the equator, separation equals ΔRA.
+	if got := AngDist(10, 0, 35, 0); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("equator separation = %g, want 25", got)
+	}
+	// Symmetric up to rounding.
+	if math.Abs(AngDist(1, 2, 3, 4)-AngDist(3, 4, 1, 2)) > 1e-12 {
+		t.Fatal("not symmetric")
+	}
+	// Small-angle stability: tiny separations do not collapse to zero.
+	tiny := AngDist(10, 20, 10, 20+1e-7)
+	if tiny <= 0 || math.Abs(tiny-1e-7) > 1e-12 {
+		t.Fatalf("small-angle distance = %g", tiny)
+	}
+	// Triangle inequality on a few hand-set points.
+	ab := AngDist(0, 0, 30, 20)
+	bc := AngDist(30, 20, 50, -10)
+	ac := AngDist(0, 0, 50, -10)
+	if ac > ab+bc+1e-9 {
+		t.Fatal("triangle inequality violated")
+	}
+}
+
+func TestUDFAdapters(t *testing.T) {
+	c := Default()
+	ga := GalAgeFunc(c)
+	if ga.Dim() != 1 {
+		t.Fatalf("GalAgeFunc dim = %d", ga.Dim())
+	}
+	if got, want := ga.Eval([]float64{0.5}), c.GalAge(0.5); got != want {
+		t.Fatalf("GalAgeFunc = %g, want %g", got, want)
+	}
+	cv := ComoveVolFunc(c, 100)
+	if cv.Dim() != 2 {
+		t.Fatalf("ComoveVolFunc dim = %d", cv.Dim())
+	}
+	if got, want := cv.Eval([]float64{0.1, 0.3}), c.ComovingVolume(0.1, 0.3, 100); got != want {
+		t.Fatalf("ComoveVolFunc = %g, want %g", got, want)
+	}
+	ad := AngDistFunc(180, 30)
+	if ad.Dim() != 2 {
+		t.Fatalf("AngDistFunc dim = %d", ad.Dim())
+	}
+	if got, want := ad.Eval([]float64{181, 31}), AngDist(180, 30, 181, 31); got != want {
+		t.Fatalf("AngDistFunc = %g, want %g", got, want)
+	}
+	ad4 := AngDistFunc4()
+	if ad4.Dim() != 4 {
+		t.Fatalf("AngDistFunc4 dim = %d", ad4.Dim())
+	}
+	if got := ad4.Eval([]float64{0, 0, 0, 90}); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("AngDistFunc4 = %g", got)
+	}
+}
+
+// The paper's eval-time ordering (§6.4 table): AngDist ≪ GalAge < ComoveVol.
+func TestRelativeEvaluationCost(t *testing.T) {
+	c := Default()
+	timeIt := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < 200; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+	tAng := timeIt(func() { AngDist(180, 30, 181, 31) })
+	tAge := timeIt(func() { c.GalAge(0.4) })
+	tVol := timeIt(func() { c.ComovingVolume(0.2, 0.5, 100) })
+	if tAng >= tAge {
+		t.Errorf("AngDist (%v) should be much cheaper than GalAge (%v)", tAng, tAge)
+	}
+	if tAge >= tVol {
+		t.Errorf("GalAge (%v) should be cheaper than ComoveVol (%v)", tAge, tVol)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	// ∫₀^π sin = 2.
+	got := adaptiveSimpson(math.Sin, 0, math.Pi, 1e-10)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("∫sin = %g", got)
+	}
+	// ∫₀¹ x² = 1/3.
+	got = adaptiveSimpson(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("∫x² = %g", got)
+	}
+	// Zero-width interval.
+	if adaptiveSimpson(math.Exp, 2, 2, 1e-9) != 0 {
+		t.Fatal("zero-width integral should be 0")
+	}
+	// Sharp peak requires adaptivity.
+	peak := func(x float64) float64 { return math.Exp(-x * x * 10000) }
+	got = adaptiveSimpson(peak, -1, 1, 1e-12)
+	want := math.Sqrt(math.Pi / 10000)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("peaked integral = %g, want %g", got, want)
+	}
+}
+
+func BenchmarkGalAge(b *testing.B) {
+	c := Default()
+	for i := 0; i < b.N; i++ {
+		c.GalAge(0.4)
+	}
+}
+
+func BenchmarkComoveVol(b *testing.B) {
+	c := Default()
+	for i := 0; i < b.N; i++ {
+		c.ComovingVolume(0.2, 0.5, 100)
+	}
+}
+
+func BenchmarkAngDist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AngDist(180, 30, 181, 31)
+	}
+}

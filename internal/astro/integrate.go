@@ -1,0 +1,36 @@
+package astro
+
+import "math"
+
+// adaptiveSimpson integrates f over [a, b] with the classic recursive
+// Simpson rule and Richardson error control. The astrophysics UDFs are
+// "slow-running due to complex numerical computation" (paper §6.4) exactly
+// because of quadratures like this one.
+func adaptiveSimpson(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptAux(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptAux(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptAux(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptAux(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"olgapro/internal/astro"
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/sdss"
+	"olgapro/internal/udf"
+)
+
+// caseUDF bundles one astrophysics UDF with its nominal (IDL-equivalent)
+// evaluation time from the paper's §6.4 table, which the virtual clock
+// charges per call. Our Go implementations are faster than the paper's IDL
+// routines in absolute terms; the nominal costs preserve the regime the
+// case study evaluates.
+type caseUDF struct {
+	name     string
+	f        udf.Func
+	dim      int
+	paperT   time.Duration
+	kern     kernel.Kernel
+	inputsOf func(cat *sdss.Catalog, n int) []dist.Vector
+}
+
+func caseSuite(sc Scale) []caseUDF {
+	cosmo := astro.Default()
+	return []caseUDF{
+		{
+			name:   "AngDist",
+			f:      astro.AngDistFunc(175, 20),
+			dim:    2,
+			paperT: 2980 * time.Nanosecond, // 0.00298 ms
+			kern:   kernel.NewSqExp(20, 15),
+			inputsOf: func(cat *sdss.Catalog, n int) []dist.Vector {
+				out := make([]dist.Vector, 0, n)
+				for _, g := range cat.Galaxies[:n] {
+					out = append(out, g.PosDist())
+				}
+				return out
+			},
+		},
+		{
+			name:   "GalAge",
+			f:      astro.GalAgeFunc(cosmo),
+			dim:    1,
+			paperT: 290720 * time.Nanosecond, // 0.29072 ms
+			kern:   kernel.NewSqExp(4, 0.3),
+			inputsOf: func(cat *sdss.Catalog, n int) []dist.Vector {
+				out := make([]dist.Vector, 0, n)
+				for _, g := range cat.Galaxies[:n] {
+					out = append(out, dist.NewIndependent(g.RedshiftDist()))
+				}
+				return out
+			},
+		},
+		{
+			name:   "ComoveVol",
+			f:      astro.ComoveVolFunc(cosmo, 100),
+			dim:    2,
+			paperT: 1820850 * time.Nanosecond, // 1.82085 ms
+			kern:   kernel.NewSqExp(5e7, 0.3),
+			inputsOf: func(cat *sdss.Catalog, n int) []dist.Vector {
+				out := make([]dist.Vector, 0, n)
+				for i, g := range cat.Galaxies {
+					if len(out) == n {
+						break
+					}
+					h := cat.Galaxies[(i+7)%len(cat.Galaxies)]
+					out = append(out, dist.NewIndependent(g.RedshiftDist(), h.RedshiftDist()))
+				}
+				return out
+			},
+		},
+	}
+}
+
+// TableCaseStudy reproduces the §6.4 function table: name, dimensionality,
+// the paper's measured IDL evaluation time, and our measured Go evaluation
+// time (the nominal paper cost is what the experiments charge).
+func TableCaseStudy(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:      "Table §6.4",
+		Title:   "Case study UDFs: dimension and evaluation time",
+		Columns: []string{"FunctName", "Dim", "paper EvalTime (ms)", "measured Go EvalTime (ms)"},
+		Notes: []string{
+			"paper shape: AngDist ≪ GalAge < ComoveVol; nominal paper costs are charged in Fig 6",
+		},
+	}
+	cat := sdss.Generate(sdss.GenerateConfig{N: 64, Seed: sc.Seed})
+	for _, cu := range caseSuite(sc) {
+		inputs := cu.inputsOf(cat, 16)
+		rng := rand.New(rand.NewSource(sc.Seed))
+		// Measure the real Go implementation on catalog-shaped points.
+		const reps = 200
+		buf := make([]float64, cu.dim)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			in := inputs[r%len(inputs)]
+			buf = in.SampleVec(rng, buf)
+			cu.f.Eval(buf)
+		}
+		measured := time.Since(start) / reps
+		t.AddRow(cu.name,
+			fmt.Sprintf("%d", cu.dim),
+			fmt.Sprintf("%.5f", float64(cu.paperT)/float64(time.Millisecond)),
+			fmt.Sprintf("%.5f", float64(measured)/float64(time.Millisecond)),
+		)
+	}
+	return t, nil
+}
+
+// Fig6a reproduces Fig. 6(a): the (non-Gaussian) output PDF of AngDist on
+// one uncertain catalog object, as a histogram.
+func Fig6a(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:      "Fig 6(a)",
+		Title:   "Example output PDF of AngDist (histogram over MC ground truth)",
+		Columns: []string{"y (deg)", "pdf(y)"},
+		Notes: []string{
+			"paper shape: skewed, clearly non-Gaussian density",
+		},
+	}
+	cat := sdss.Generate(sdss.GenerateConfig{N: 8, Seed: sc.Seed})
+	g := cat.Galaxies[0]
+	// A reference point close to the object makes the distance distribution
+	// visibly skewed (distance is non-negative), as in the paper's example.
+	f := astro.AngDistFunc(g.RA+0.001, g.Dec+0.0005)
+	in := g.PosDist()
+	rng := rand.New(rand.NewSource(sc.Seed))
+	truth := mc.GroundTruth(f, in, maxInt(sc.Truth, 20000), rng)
+	edges, dens := truth.Histogram(24)
+	for i := range edges {
+		t.AddRow(fmt.Sprintf("%.6f", edges[i]), fmt.Sprintf("%.2f", dens[i]))
+	}
+	return t, nil
+}
+
+// Fig6bcd reproduces Fig. 6(b), (c), (d): GP vs. MC time per input across
+// accuracy requirements for each astrophysics UDF on SDSS-like data, with
+// UDF calls charged at the paper's nominal evaluation times.
+func Fig6bcd(sc Scale) ([]*Table, error) {
+	cat := sdss.Generate(sdss.GenerateConfig{N: 512, Seed: sc.Seed})
+	var tables []*Table
+	ids := map[string]string{"AngDist": "Fig 6(b)", "GalAge": "Fig 6(c)", "ComoveVol": "Fig 6(d)"}
+	for _, cu := range caseSuite(sc) {
+		t := &Table{
+			ID:      ids[cu.name],
+			Title:   fmt.Sprintf("Case study: GP vs. MC ms/input vs. ε — %s (T=%.3fms nominal)", cu.name, float64(cu.paperT)/float64(time.Millisecond)),
+			Columns: []string{"eps", "GP", "MC", "GP points"},
+		}
+		switch cu.name {
+		case "AngDist":
+			t.Notes = append(t.Notes, "paper shape: fast UDF — OLGAPRO somewhat slower than MC")
+		default:
+			t.Notes = append(t.Notes, "paper shape: OLGAPRO 1–2 orders of magnitude faster than MC")
+		}
+		for _, eps := range []float64{0.02, 0.05, 0.1, 0.2} {
+			n := sc.Inputs
+			if eps <= 0.02 {
+				n = maxInt(sc.Inputs/4, 3) // tight ε is expensive; average fewer
+			}
+			inputs := cu.inputsOf(cat, n)
+			rng := rand.New(rand.NewSource(sc.Seed))
+			cfg := core.Config{Eps: eps, Kernel: cu.kern.Clone(), MaxAddPerInput: 10}
+			run, err := runGP(cu.f, cfg, inputs, cu.paperT, 0, rng)
+			if err != nil {
+				return nil, err
+			}
+			mrng := rand.New(rand.NewSource(sc.Seed))
+			mcr, err := runMC(cu.f, mc.Config{Eps: eps, Metric: mc.MetricDiscrepancy}, inputs, cu.paperT, mrng)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%.2f", eps), fdur(run.PerInput), fdur(mcr.PerInput),
+				fmt.Sprintf("%d", run.Points))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

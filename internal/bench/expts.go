@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/mc"
+	"olgapro/internal/udf"
+)
+
+// Fig5cd reproduces Expt 1 (Fig. 5(c) and 5(d)): local vs. global inference
+// accuracy and running time as the threshold Γ varies, at a fixed number of
+// training points (online tuning disabled).
+func Fig5cd(sc Scale) (*Table, *Table, error) {
+	acc := &Table{
+		ID:      "Fig 5(c)",
+		Title:   "Expt 1: local inference — accuracy vs. threshold Γ (Funct4, fixed n)",
+		Columns: []string{"Gamma/range", "local bound", "global bound", "local err", "global err"},
+		Notes: []string{
+			"paper shape: local ≈ global accuracy across most Γ",
+		},
+	}
+	tim := &Table{
+		ID:      "Fig 5(d)",
+		Title:   "Expt 1: local inference — time vs. threshold Γ (Funct4, fixed n)",
+		Columns: []string{"Gamma/range", "local ms/input", "global ms/input", "speedup", "avg local points"},
+		Notes: []string{
+			"paper shape: 2–4× speedup for mid-range Γ at n≈global size",
+		},
+	}
+	f := udf.Standard(udf.F4, sc.Seed)
+	const nTrain = 180
+	fMin, fMax := udf.RangeOnGrid(f, udf.DomainLo, udf.DomainHi, 40)
+	frange := fMax - fMin
+
+	// Global baseline once.
+	gRng := rand.New(rand.NewSource(sc.Seed))
+	gInputs := inputStream(gRng, sc.Inputs, 2, 0.5)
+	globalCfg := core.Config{
+		Kernel: defaultKernel(), GlobalInference: true, MaxAddPerInput: -1,
+	}
+	globalRun, err := runPretrained(f, globalCfg, nTrain, gInputs, sc, gRng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, gf := range []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.2} {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		inputs := inputStream(rng, sc.Inputs, 2, 0.5)
+		cfg := core.Config{
+			Kernel: defaultKernel(), Gamma: gf * frange, MaxAddPerInput: -1,
+		}
+		localRun, err := runPretrained(f, cfg, nTrain, inputs, sc, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		label := fmt.Sprintf("%.3f", gf)
+		acc.AddRow(label,
+			ffloat(localRun.AvgBound), ffloat(globalRun.AvgBound),
+			ffloat(localRun.AvgErr), ffloat(globalRun.AvgErr))
+		speedup := float64(globalRun.PerInput) / float64(localRun.PerInput)
+		tim.AddRow(label,
+			fdur(localRun.PerInput), fdur(globalRun.PerInput),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.0f", localRun.AvgLocal))
+	}
+	return acc, tim, nil
+}
+
+// runPretrained seeds nTrain uniform training points, trains the
+// hyperparameters once, then streams the inputs with the given config.
+func runPretrained(f udf.Func, cfg core.Config, nTrain int, inputs []dist.Vector, sc Scale, rng *rand.Rand) (gpRun, error) {
+	// Seed via a throwaway evaluator is not possible (runGP builds its own),
+	// so replicate runGP with a pre-seeded evaluator here.
+	return runGPSeeded(f, cfg, nTrain, inputs, msOne, sc.Truth, rng)
+}
+
+// Fig5e reproduces Expt 2 (Fig. 5(e)): cumulative training points added over
+// time for the three online-tuning policies, starting from 25 points with at
+// most 10 additions per input and 400 cached samples per input.
+func Fig5e(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:      "Fig 5(e)",
+		Title:   "Expt 2: online tuning — cumulative points added vs. number of calls (Funct4)",
+		Columns: []string{"calls", "random", "largest-variance", "optimal-greedy"},
+		Notes: []string{
+			"paper shape: largest-variance ≲ optimal-greedy ≪ random",
+		},
+	}
+	f := udf.Standard(udf.F4, sc.Seed)
+	nCalls := maxInt(sc.Inputs*4, 24)
+	checkEvery := maxInt(nCalls/8, 1)
+	curves := make(map[core.TuningPolicy][]int)
+	policies := []core.TuningPolicy{core.TuneRandom, core.TuneMaxVariance, core.TuneOptimalGreedy}
+	for _, pol := range policies {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		cfg := core.Config{
+			Kernel: defaultKernel(), Tuning: pol,
+			MaxAddPerInput: 10, SampleOverride: 400,
+		}
+		ev, err := core.NewEvaluator(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := pretrain(ev, 25, 2, rng); err != nil {
+			return nil, err
+		}
+		base := ev.Stats().PointsAdded
+		// A handful of recurring input regions, as in a query stream.
+		regions := inputStream(rng, 8, 2, 0.5)
+		var curve []int
+		for call := 1; call <= nCalls; call++ {
+			in := regions[(call-1)%len(regions)]
+			if _, err := ev.Eval(in, rng); err != nil {
+				return nil, err
+			}
+			if call%checkEvery == 0 {
+				curve = append(curve, ev.Stats().PointsAdded-base)
+			}
+		}
+		curves[pol] = curve
+	}
+	for i := 0; i < len(curves[core.TuneRandom]); i++ {
+		t.AddRow(
+			fmt.Sprintf("%d", (i+1)*checkEvery),
+			fmt.Sprintf("%d", curves[core.TuneRandom][i]),
+			fmt.Sprintf("%d", curves[core.TuneMaxVariance][i]),
+			fmt.Sprintf("%d", curves[core.TuneOptimalGreedy][i]),
+		)
+	}
+	return t, nil
+}
+
+// Fig5fg reproduces Expt 3 (Fig. 5(f) and 5(g)): accuracy and time of the
+// retraining strategies — threshold sweep on Δθ against eager and none.
+func Fig5fg(sc Scale) (*Table, *Table, error) {
+	acc := &Table{
+		ID:      "Fig 5(f)",
+		Title:   "Expt 3: retraining — actual error vs. strategy (Funct4)",
+		Columns: []string{"strategy", "actual error", "error bound", "retrainings"},
+		Notes: []string{
+			"paper shape: no-retraining worst accuracy; Δθ ≤ 0.5 ≈ eager accuracy",
+		},
+	}
+	tim := &Table{
+		ID:      "Fig 5(g)",
+		Title:   "Expt 3: retraining — time vs. strategy (Funct4)",
+		Columns: []string{"strategy", "ms/input", "retrainings"},
+		Notes: []string{
+			"paper shape: eager slowest; thresholding cheap; none cheapest",
+		},
+	}
+	f := udf.Standard(udf.F4, sc.Seed)
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	variants := []variant{
+		{"eager", core.Config{Retrain: core.RetrainEager}},
+		{"none", core.Config{Retrain: core.RetrainNever}},
+	}
+	for _, dt := range []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1} {
+		variants = append(variants, variant{
+			fmt.Sprintf("Δθ=%.3g", dt),
+			core.Config{Retrain: core.RetrainThreshold, DeltaTheta: dt},
+		})
+	}
+	for _, v := range variants {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		inputs := inputStream(rng, sc.Inputs, 2, 0.5)
+		cfg := v.cfg
+		// Deliberately mis-specified prior so retraining matters.
+		cfg.Kernel = kernelForRetraining()
+		cfg.MaxAddPerInput = 10
+		run, err := runGP(f, cfg, inputs, msOne, sc.Truth, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		acc.AddRow(v.name, ffloat(run.AvgErr), ffloat(run.AvgBound), fmt.Sprintf("%d", run.Retrains))
+		tim.AddRow(v.name, fdur(run.PerInput), fmt.Sprintf("%d", run.Retrains))
+	}
+	return acc, tim, nil
+}
+
+// Fig5jk reproduces Expt 6 (Fig. 5(j) and 5(k)): online filtering time and
+// false-positive rates for MC and GP, with and without online filtering, as
+// the predicate's filtering percentage varies.
+func Fig5jk(sc Scale) (*Table, *Table, error) {
+	tim := &Table{
+		ID:      "Fig 5(j)",
+		Title:   "Expt 6: online filtering — ms/input (Funct3, T=1ms, θ=0.1)",
+		Columns: []string{"filter %", "MC", "MC+OF", "GP", "GP+OF"},
+		Notes: []string{
+			"paper shape: OF speedup ≈5× for MC and ≈30× for GP at high filtering rates",
+		},
+	}
+	accT := &Table{
+		ID:      "Fig 5(k)",
+		Title:   "Expt 6: online filtering — false positive rate",
+		Columns: []string{"filter %", "MC+OF FP", "GP+OF FP", "GP+OF FN"},
+		Notes: []string{
+			"paper shape: false positives < 10%, false negatives ≈ 0",
+		},
+	}
+	f := udf.Standard(udf.F3, sc.Seed)
+	// Sweep the predicate's lower cut to hit increasing filtering rates:
+	// [c, ∞) over the output range.
+	fMin, fMax := udf.RangeOnGrid(f, udf.DomainLo, udf.DomainHi, 40)
+	theta := 0.1
+	for _, cut := range []float64{0.15, 0.45, 0.6, 0.8} {
+		c := fMin + cut*(fMax-fMin)
+		pred := &mc.Predicate{A: c, B: fMax + 10*(fMax-fMin), Theta: theta}
+		rng := rand.New(rand.NewSource(sc.Seed))
+		inputs := inputStream(rng, sc.Inputs, 2, 0.5)
+
+		// Truth: which tuples should be filtered (TEP < θ)?
+		shouldFilter := make([]bool, len(inputs))
+		filtered := 0
+		for i, in := range inputs {
+			truth := mc.GroundTruth(f, in, 4000, rand.New(rand.NewSource(sc.Seed+int64(i))))
+			tep := truth.CDF(pred.B) - truth.CDF(pred.A)
+			shouldFilter[i] = tep < theta
+			if shouldFilter[i] {
+				filtered++
+			}
+		}
+		rate := float64(filtered) / float64(len(inputs))
+
+		// MC without online filtering: full sample budget always.
+		mcPlain, err := runMC(f, mc.Config{Metric: mc.MetricDiscrepancy}, inputs, msOne, rand.New(rand.NewSource(sc.Seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		// MC with online filtering.
+		mcOF, err := runMC(f, mc.Config{Metric: mc.MetricDiscrepancy, Predicate: pred}, inputs, msOne, rand.New(rand.NewSource(sc.Seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		// GP without online filtering.
+		gpPlain, err := runGP(f, core.Config{Kernel: defaultKernel()}, inputs, msOne, 0, rand.New(rand.NewSource(sc.Seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		// GP with online filtering.
+		gpOF, err := runGP(f, core.Config{Kernel: defaultKernel(), Predicate: pred}, inputs, msOne, 0, rand.New(rand.NewSource(sc.Seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Error rates for the filtering runs.
+		mcFP := filterErrorRates(shouldFilter, mcOFDecisions(f, pred, inputs, sc.Seed))
+		gpDec := make([]bool, len(gpOF.Outputs))
+		for i, o := range gpOF.Outputs {
+			gpDec[i] = o.Filtered
+		}
+		gpFP, gpFN := filterRates(shouldFilter, gpDec)
+
+		label := fmt.Sprintf("%.2f", rate)
+		tim.AddRow(label, fdur(mcPlain.PerInput), fdur(mcOF.PerInput),
+			fdur(gpPlain.PerInput), fdur(gpOF.PerInput))
+		accT.AddRow(label, fmt.Sprintf("%.3f", mcFP), fmt.Sprintf("%.3f", gpFP), fmt.Sprintf("%.3f", gpFN))
+	}
+	return tim, accT, nil
+}
+
+// mcOFDecisions re-runs the MC filter to capture per-tuple decisions.
+func mcOFDecisions(f udf.Func, pred *mc.Predicate, inputs []dist.Vector, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, len(inputs))
+	for i, in := range inputs {
+		res, err := mc.Evaluate(f, in, mc.Config{Metric: mc.MetricDiscrepancy, Predicate: pred}, rng)
+		if err == nil {
+			out[i] = res.Filtered
+		}
+	}
+	return out
+}
+
+// filterErrorRates returns the false-positive rate: tuples kept that should
+// have been filtered, over all tuples that should have been filtered.
+func filterErrorRates(shouldFilter, decided []bool) float64 {
+	fp, _ := filterRates(shouldFilter, decided)
+	return fp
+}
+
+// filterRates returns (falsePositiveRate, falseNegativeRate): FP = should be
+// filtered but kept; FN = should be kept but filtered.
+func filterRates(shouldFilter, decided []bool) (fp, fn float64) {
+	var fpc, fnc, shouldC, keptC int
+	for i := range shouldFilter {
+		if shouldFilter[i] {
+			shouldC++
+			if !decided[i] {
+				fpc++
+			}
+		} else {
+			keptC++
+			if decided[i] {
+				fnc++
+			}
+		}
+	}
+	if shouldC > 0 {
+		fp = float64(fpc) / float64(shouldC)
+	}
+	if keptC > 0 {
+		fn = float64(fnc) / float64(keptC)
+	}
+	return fp, fn
+}

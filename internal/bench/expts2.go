@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"olgapro/internal/core"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/udf"
+)
+
+// Fig5h reproduces Expt 4 (Fig. 5(h)): OLGAPRO running time per input as the
+// accuracy requirement ε varies, for the four standard functions, at the
+// default T = 1 ms.
+func Fig5h(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:      "Fig 5(h)",
+		Title:   "Expt 4: OLGAPRO ms/input vs. accuracy requirement ε (T=1ms)",
+		Columns: []string{"eps", "Funct1", "Funct2", "Funct3", "Funct4", "violations"},
+		Notes: []string{
+			"paper shape: time grows as ε shrinks; F4 ≈ 2 orders of magnitude above F1",
+		},
+	}
+	suite := udf.StandardSuite(sc.Seed)
+	for _, eps := range []float64{0.02, 0.05, 0.1, 0.15, 0.2} {
+		row := []string{fmt.Sprintf("%.2f", eps)}
+		viol := 0
+		for _, f := range suite {
+			rng := rand.New(rand.NewSource(sc.Seed))
+			n := sc.Inputs
+			if eps < 0.05 {
+				// Tight ε multiplies the sample count ∝ 1/ε²; average over
+				// fewer inputs to keep the sweep tractable on one core.
+				n = maxInt(sc.Inputs/4, 3)
+			}
+			inputs := inputStream(rng, n, 2, 0.5)
+			cfg := core.Config{Eps: eps, Kernel: defaultKernel(), MaxAddPerInput: 15}
+			truth := 0
+			if eps >= 0.1 {
+				truth = sc.Truth // accuracy spot-checks on the cheaper settings
+			}
+			run, err := runGP(f, cfg, inputs, msOne, truth, rng)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fdur(run.PerInput))
+			viol += run.Violations
+		}
+		row = append(row, fmt.Sprintf("%d", viol))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig5i reproduces Expt 5 (Fig. 5(i)): GP vs. MC total time per input as the
+// UDF evaluation time T sweeps 1µs – 1s. The GP lines stay nearly flat (UDF
+// calls stop after convergence) while MC grows linearly in T.
+func Fig5i(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:      "Fig 5(i)",
+		Title:   "Expt 5: ms/input vs. UDF evaluation time T (ε=0.1)",
+		Columns: []string{"T", "GP:Funct1", "GP:Funct2", "GP:Funct3", "GP:Funct4", "MC"},
+		Notes: []string{
+			"paper shape: GP flat in T; MC linear; crossover at T≈0.1ms (F1) to ≈10ms (F4)",
+		},
+	}
+	suite := udf.StandardSuite(sc.Seed)
+	ts := []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	}
+	for _, T := range ts {
+		row := []string{T.String()}
+		for _, f := range suite {
+			rng := rand.New(rand.NewSource(sc.Seed))
+			inputs := inputStream(rng, sc.Inputs, 2, 0.5)
+			cfg := core.Config{Kernel: defaultKernel(), MaxAddPerInput: 15}
+			run, err := runGP(f, cfg, inputs, T, 0, rng)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fdur(run.PerInput))
+		}
+		// MC cost is function-independent: m UDF calls plus sampling noise.
+		rng := rand.New(rand.NewSource(sc.Seed))
+		inputs := inputStream(rng, sc.Inputs, 2, 0.5)
+		mcr, err := runMC(suite[0], mc.Config{Metric: mc.MetricDiscrepancy}, inputs, T, rng)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fdur(mcr.PerInput))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig5l reproduces Expt 7 (Fig. 5(l)): running time vs. the function
+// dimensionality d for GP (at T = 1s, where the GP line is insensitive to T)
+// and MC at several T values.
+func Fig5l(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:    "Fig 5(l)",
+		Title: "Expt 7: ms/input vs. function dimensionality (ε=0.1)",
+		Columns: []string{"d", "GP (T=1s)", "MC (T=1ms)", "MC (T=10ms)",
+			"MC (T=100ms)", "MC (T=1s)"},
+		Notes: []string{
+			"paper shape: GP cost grows with d but still beats MC at T=0.1–1s for d=10",
+		},
+	}
+	dims := []int{1, 2, 3, 5, 7, 10}
+	for _, d := range dims {
+		f := udf.DimMixture(d, sc.Seed)
+		rng := rand.New(rand.NewSource(sc.Seed))
+		// Fewer inputs for high dimensions: each is much more expensive, and
+		// the paper's series is an average anyway.
+		n := sc.Inputs
+		if d >= 5 {
+			n = maxInt(sc.Inputs/4, 3)
+		}
+		inputs := inputStream(rng, n, d, 0.5)
+		// Lengthscale grows with √d to keep prior correlation comparable.
+		k := kernel.NewSqExp(0.5, 1.5*math.Sqrt(float64(d)/2))
+		cfg := core.Config{Kernel: k, MaxAddPerInput: 10}
+		run, err := runGP(f, cfg, inputs, time.Second, 0, rng)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", d), fdur(run.PerInput)}
+		// MC cost: m calls × T plus sampling overhead; measure once at 1ms
+		// and scale the UDF component for the other T values.
+		mrng := rand.New(rand.NewSource(sc.Seed))
+		minputs := inputStream(mrng, maxInt(n/2, 2), d, 0.5)
+		base, err := runMC(f, mc.Config{Metric: mc.MetricDiscrepancy}, minputs, time.Millisecond, mrng)
+		if err != nil {
+			return nil, err
+		}
+		callsPerInput := float64(base.UDFCalls) / float64(len(minputs))
+		overhead := base.PerInput - time.Duration(callsPerInput*float64(time.Millisecond))
+		if overhead < 0 {
+			overhead = 0
+		}
+		for _, T := range []time.Duration{time.Millisecond, 10 * time.Millisecond,
+			100 * time.Millisecond, time.Second} {
+			per := overhead + time.Duration(callsPerInput*float64(T))
+			row = append(row, fdur(per))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"olgapro/internal/kernel"
+	"olgapro/internal/mat"
+	"olgapro/internal/rtree"
+)
+
+// localCtx is the per-input local inference context (paper §5.1): the
+// subset of training-point indices selected around the sample bounding box,
+// and the Cholesky factorization of their (noise-jittered) Gram matrix used
+// for predictive variances. Posterior means use the *global* weight vector α
+// restricted to the subset, exactly the f̂_L(x) = K(x, X*_L) α_L of §5.1,
+// whose deviation from global inference is what the γ bound controls.
+type localCtx struct {
+	ids  []int
+	xs   [][]float64
+	chol mat.Cholesky
+	// gamma is the bound on |f̂(x) − f̂_L(x)| achieved by the selection.
+	gamma float64
+}
+
+// buildLocal factorizes the Gram matrix of the selected points.
+func (e *Evaluator) buildLocal(ids []int, gamma float64) (*localCtx, error) {
+	lc := &localCtx{ids: ids, gamma: gamma}
+	lc.xs = make([][]float64, len(ids))
+	for i, id := range ids {
+		lc.xs[i] = e.g.X(id)
+	}
+	gram := kernel.Gram(e.cfg.Kernel, lc.xs)
+	for i := range ids {
+		gram.Add(i, i, e.g.Noise())
+	}
+	if _, err := lc.chol.FactorizeJittered(gram, e.g.Noise()*10, 8); err != nil {
+		return nil, fmt.Errorf("core: local gram: %w", err)
+	}
+	return lc, nil
+}
+
+// extend adds the training point with the given global index (which must
+// already be in the evaluator's GP) to the local subset in O(l²).
+func (lc *localCtx) extend(e *Evaluator, id int) error {
+	x := e.g.X(id)
+	k := make([]float64, len(lc.xs))
+	for i, xi := range lc.xs {
+		k[i] = e.cfg.Kernel.Eval(xi, x)
+	}
+	if err := lc.chol.Extend(k, e.cfg.Kernel.Eval(x, x)+e.g.Noise()); err != nil {
+		return fmt.Errorf("core: local extend: %w", err)
+	}
+	lc.ids = append(lc.ids, id)
+	lc.xs = append(lc.xs, x)
+	return nil
+}
+
+// predict returns the local posterior mean and variance at x. The local
+// variance conditions on fewer points than the global one, so it is an
+// overestimate — conservative for the error bound.
+func (lc *localCtx) predict(e *Evaluator, x []float64, kbuf []float64) (mean, variance float64, _ []float64) {
+	prior := e.cfg.Kernel.Eval(x, x)
+	if len(lc.xs) == 0 {
+		return 0, prior, kbuf
+	}
+	kbuf = kernel.CrossVec(e.cfg.Kernel, lc.xs, x, kbuf)
+	alpha := e.g.Alpha()
+	for i, id := range lc.ids {
+		mean += kbuf[i] * alpha[id]
+	}
+	v := lc.chol.ForwardSolve(kbuf)
+	variance = prior - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, kbuf
+}
+
+// predictInto fills means[i], vars[i] for samples[lo:hi], fanning the work
+// out across Config.Parallelism goroutines when the range is large enough
+// to amortize their cost. Inference is read-only on the local model, which
+// is what makes this parallelization safe — the paper lists parallel
+// processing as future work (§8), and the per-sample O(l²) variance
+// computation is the dominant cost it targets.
+func (lc *localCtx) predictInto(e *Evaluator, samples [][]float64, means, vars []float64, lo, hi int) {
+	p := e.cfg.Parallelism
+	const minPerWorker = 128
+	if p <= 1 || hi-lo < 2*minPerWorker {
+		lc.predictRange(e, samples, means, vars, lo, hi)
+		return
+	}
+	if max := (hi - lo) / minPerWorker; p > max {
+		p = max
+	}
+	var wg sync.WaitGroup
+	chunk := (hi - lo + p - 1) / p
+	for w := 0; w < p; w++ {
+		s := lo + w*chunk
+		t := s + chunk
+		if t > hi {
+			t = hi
+		}
+		if s >= t {
+			break
+		}
+		wg.Add(1)
+		go func(s, t int) {
+			defer wg.Done()
+			lc.predictRange(e, samples, means, vars, s, t)
+		}(s, t)
+	}
+	wg.Wait()
+}
+
+// predictRange is the sequential kernel of predictInto.
+func (lc *localCtx) predictRange(e *Evaluator, samples [][]float64, means, vars []float64, lo, hi int) {
+	var kbuf []float64
+	for i := lo; i < hi; i++ {
+		means[i], vars[i], kbuf = lc.predict(e, samples[i], kbuf)
+	}
+}
+
+// selectLocal chooses the training subset for the given samples: points
+// within an adaptively grown radius of the sample bounding box, grown until
+// the dropped-point error bound γ is at most Γ (§5.1). It returns all points
+// under global inference, for non-isotropic kernels, or for tiny models.
+func (e *Evaluator) selectLocal(samples [][]float64, gammaThresh float64) (ids []int, gamma float64) {
+	n := e.g.Len()
+	all := func() []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	iso, isIso := e.cfg.Kernel.(kernel.Isotropic)
+	if e.cfg.GlobalInference || !isIso || n <= 8 {
+		return all(), 0
+	}
+	box := rtree.BoundingBox(samples)
+	boxes := subBoxes(samples)
+	// Initial radius: optimistic — as if only the single largest-weight
+	// excluded point mattered, κ(r)·max|α| ≤ Γ. The γ bound below is the
+	// actual guarantee; starting small and growing keeps the selected
+	// subset tight, which is where local inference's speedup comes from
+	// (each growth step costs one O(n) γ evaluation).
+	var maxAbsAlpha float64
+	for _, a := range e.g.Alpha() {
+		if ab := math.Abs(a); ab > maxAbsAlpha {
+			maxAbsAlpha = ab
+		}
+	}
+	if maxAbsAlpha <= 0 {
+		maxAbsAlpha = 1
+	}
+	maxR := e.domainDiameter()
+	r := kernel.RadiusFor(iso, gammaThresh/maxAbsAlpha, maxR)
+	for {
+		idList := e.tree.IDsNear(box, r)
+		if len(idList) >= n {
+			return all(), 0
+		}
+		selected := make(map[int]bool, len(idList))
+		for _, id := range idList {
+			selected[id] = true
+		}
+		gamma = e.gammaBound(iso, selected, boxes)
+		if gamma <= gammaThresh {
+			return idList, gamma
+		}
+		r = r*1.5 + 1e-9
+		if r > maxR {
+			return all(), 0
+		}
+	}
+}
+
+// gammaBound computes the paper's γ bound: for every sub-box of samples and
+// every excluded training point x_l, the covariance k(x_j, x_l) for any
+// sample x_j in the box lies in [κ(maxdist), κ(mindist)], so the omitted
+// mean contribution Σ_l k(x_j, x_l)·α_l lies in a computable interval; γ is
+// the worst absolute endpoint over boxes.
+func (e *Evaluator) gammaBound(iso kernel.Isotropic, selected map[int]bool, boxes []rtree.Rect) float64 {
+	alpha := e.g.Alpha()
+	var worst float64
+	for _, b := range boxes {
+		var up, lo float64
+		for id := 0; id < e.g.Len(); id++ {
+			if selected[id] {
+				continue
+			}
+			x := e.g.X(id)
+			kNear := iso.EvalDist(b.MinDist(x))
+			kFar := iso.EvalDist(b.MaxDist(x))
+			a := alpha[id]
+			if a >= 0 {
+				up += kNear * a
+				lo += kFar * a
+			} else {
+				up += kFar * a
+				lo += kNear * a
+			}
+		}
+		if g := math.Max(math.Abs(up), math.Abs(lo)); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// subBoxes partitions samples into up-to-2^d sub-boxes split at the overall
+// box center and returns the tight bounding box of each non-empty cell —
+// the refinement the paper notes makes γ tighter. For d > 3 (2^d cells stop
+// paying off) a single box is used.
+func subBoxes(samples [][]float64) []rtree.Rect {
+	d := len(samples[0])
+	if d > 3 || len(samples) < 16 {
+		return []rtree.Rect{rtree.BoundingBox(samples)}
+	}
+	box := rtree.BoundingBox(samples)
+	cells := make(map[int][][]float64)
+	for _, s := range samples {
+		key := 0
+		for j := 0; j < d; j++ {
+			if s[j] > (box.Lo[j]+box.Hi[j])/2 {
+				key |= 1 << j
+			}
+		}
+		cells[key] = append(cells[key], s)
+	}
+	out := make([]rtree.Rect, 0, len(cells))
+	for _, pts := range cells {
+		out = append(out, rtree.BoundingBox(pts))
+	}
+	return out
+}
+
+// domainDiameter estimates the largest distance in the training domain so
+// radius growth terminates.
+func (e *Evaluator) domainDiameter() float64 {
+	if e.g.Len() == 0 {
+		return 1
+	}
+	first := e.g.X(0)
+	lo := mat.CloneVec(first)
+	hi := mat.CloneVec(first)
+	for i := 1; i < e.g.Len(); i++ {
+		for j, v := range e.g.X(i) {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	var s float64
+	for j := range lo {
+		d := hi[j] - lo[j]
+		s += d * d
+	}
+	return math.Sqrt(s) + 1
+}
+
+// TreeIDsNear exposes the R-tree distance query for benchmarks and
+// diagnostics: ids of training points within delta of rect.
+func (e *Evaluator) TreeIDsNear(rect rtree.Rect, delta float64) []int {
+	return e.tree.IDsNear(rect, delta)
+}
+
+// GammaBoundForBoxes exposes the local-inference γ bound for a given
+// selected subset and sample boxes (used by the sub-box ablation). It
+// returns 0 when the kernel is not isotropic.
+func (e *Evaluator) GammaBoundForBoxes(selected map[int]bool, boxes []rtree.Rect) float64 {
+	iso, ok := e.cfg.Kernel.(kernel.Isotropic)
+	if !ok {
+		return 0
+	}
+	return e.gammaBound(iso, selected, boxes)
+}
+
+// SubBoxes exposes the sample-partitioning refinement of §5.1.
+func SubBoxes(samples [][]float64) []rtree.Rect { return subBoxes(samples) }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"olgapro/internal/dist"
+	"olgapro/internal/udf"
+)
+
+// MultiFunc is a black-box vector-valued UDF f: ℝᵈ → ℝᵏ. Supporting
+// multivariate output is listed as future work in the paper (§8); this
+// implementation models each output component with its own independent
+// Gaussian process while sharing the underlying UDF evaluations.
+type MultiFunc interface {
+	// Dim returns the input dimensionality d.
+	Dim() int
+	// OutDim returns the output dimensionality k.
+	OutDim() int
+	// EvalVec evaluates the function, filling and returning out (which may
+	// be nil).
+	EvalVec(x []float64, out []float64) []float64
+}
+
+// MultiFuncOf adapts a plain Go function into a MultiFunc.
+type MultiFuncOf struct {
+	D, K int
+	F    func(x []float64, out []float64) []float64
+}
+
+// Dim returns the declared input dimensionality.
+func (m MultiFuncOf) Dim() int { return m.D }
+
+// OutDim returns the declared output dimensionality.
+func (m MultiFuncOf) OutDim() int { return m.K }
+
+// EvalVec calls the wrapped function.
+func (m MultiFuncOf) EvalVec(x []float64, out []float64) []float64 { return m.F(x, out) }
+
+// vecCache memoizes vector UDF evaluations so that the k per-component
+// evaluators pay for one UDF call per distinct point, not k. Entries are
+// keyed by the exact float bits of the input point; the cache resets once
+// it exceeds a bound (training-point sets are small, so resets are rare).
+type vecCache struct {
+	mu    sync.Mutex
+	f     MultiFunc
+	cache map[string][]float64
+	calls int
+	limit int
+}
+
+func newVecCache(f MultiFunc) *vecCache {
+	return &vecCache{f: f, cache: make(map[string][]float64), limit: 1 << 16}
+}
+
+func pointKey(x []float64) string {
+	b := make([]byte, 0, len(x)*8)
+	for _, v := range x {
+		u := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>s))
+		}
+	}
+	return string(b)
+}
+
+// eval returns the full output vector at x, calling the UDF at most once.
+func (c *vecCache) eval(x []float64) []float64 {
+	key := pointKey(x)
+	c.mu.Lock()
+	if v, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := c.f.EvalVec(x, nil)
+	cp := make([]float64, len(v))
+	copy(cp, v)
+	c.mu.Lock()
+	if len(c.cache) >= c.limit {
+		c.cache = make(map[string][]float64)
+	}
+	c.cache[key] = cp
+	c.calls++
+	c.mu.Unlock()
+	return cp
+}
+
+// Calls returns the number of distinct UDF evaluations so far.
+func (c *vecCache) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// component adapts one output component of the cached vector UDF to the
+// scalar udf.Func interface the per-component evaluators consume.
+type component struct {
+	cache *vecCache
+	idx   int
+}
+
+func (c component) Dim() int { return c.cache.f.Dim() }
+
+func (c component) Eval(x []float64) float64 { return c.cache.eval(x)[c.idx] }
+
+// MultiEvaluator runs OLGAPRO independently per output component of a
+// vector-valued UDF, sharing UDF evaluations across components.
+type MultiEvaluator struct {
+	f     MultiFunc
+	cache *vecCache
+	evals []*Evaluator
+}
+
+// NewMultiEvaluator builds one evaluator per output component. The kernel in
+// cfg is cloned per component so each learns its own hyperparameters.
+func NewMultiEvaluator(f MultiFunc, cfg Config) (*MultiEvaluator, error) {
+	if f == nil || f.Dim() <= 0 || f.OutDim() <= 0 {
+		return nil, fmt.Errorf("core: multi evaluator needs positive in/out dims")
+	}
+	cache := newVecCache(f)
+	m := &MultiEvaluator{f: f, cache: cache}
+	for i := 0; i < f.OutDim(); i++ {
+		ccfg := cfg
+		if cfg.Kernel != nil {
+			ccfg.Kernel = cfg.Kernel.Clone()
+		}
+		ev, err := NewEvaluator(component{cache: cache, idx: i}, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d: %w", i, err)
+		}
+		m.evals = append(m.evals, ev)
+	}
+	return m, nil
+}
+
+// Component returns the per-component evaluator (for inspection).
+func (m *MultiEvaluator) Component(i int) *Evaluator { return m.evals[i] }
+
+// UDFCalls returns the number of distinct vector UDF evaluations performed.
+func (m *MultiEvaluator) UDFCalls() int { return m.cache.Calls() }
+
+// Eval evaluates all output components on one uncertain input, returning
+// one Output per component. The Monte-Carlo samples are drawn once and
+// shared across components, so bootstrap points (and most tuning picks)
+// coincide and the vector-UDF cache pays for each distinct point once.
+// Components are processed sequentially because each may add training
+// points.
+func (m *MultiEvaluator) Eval(input dist.Vector, rng *rand.Rand) ([]*Output, error) {
+	if input.Dim() != m.f.Dim() {
+		return nil, fmt.Errorf("core: input dim %d ≠ UDF dim %d", input.Dim(), m.f.Dim())
+	}
+	budget := 0
+	for _, ev := range m.evals {
+		if ev.SampleBudget() > budget {
+			budget = ev.SampleBudget()
+		}
+	}
+	samples := make([][]float64, budget)
+	for i := range samples {
+		samples[i] = input.SampleVec(rng, nil)
+	}
+	outs := make([]*Output, len(m.evals))
+	for i, ev := range m.evals {
+		out, err := ev.EvalSamples(samples[:ev.SampleBudget()], rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d: %w", i, err)
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// interface guard: component must satisfy udf.Func.
+var _ udf.Func = component{}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"olgapro/internal/ecdf"
+)
+
+// Output is the result of evaluating one uncertain input tuple.
+type Output struct {
+	// Dist is the returned approximate output distribution Ŷ′ (nil when the
+	// tuple was filtered).
+	Dist *ecdf.ECDF
+	// Envelope carries the three CDFs (mean, lower, upper) behind the error
+	// bound; nil when filtered.
+	Envelope *ecdf.Envelope
+
+	// BoundGP is the final λ-discrepancy bound ε̂_GP from Algorithm 3.
+	BoundGP float64
+	// BoundMC is the Monte-Carlo sampling error budget ε_MC.
+	BoundMC float64
+	// Bound is the total error bound ε̂_GP + ε_MC of Theorem 4.1, valid with
+	// probability (1−δ_MC)(1−δ_GP) ≥ 1−δ.
+	Bound float64
+	// MetBudget reports whether BoundGP converged under the ε_GP budget
+	// within the per-input training cap.
+	MetBudget bool
+
+	// Lambda is the absolute minimum interval length used for the bound.
+	Lambda float64
+	// ZAlpha is the simultaneous confidence band multiplier used.
+	ZAlpha float64
+
+	// Filtered reports that the tuple was dropped by the predicate filter,
+	// with TEPUpper its existence-probability upper bound at that moment.
+	Filtered bool
+	// TEPLower and TEPUpper bound the tuple existence probability
+	// Pr[f(X) ∈ [A,B]] when a predicate is configured.
+	TEPLower, TEPUpper float64
+
+	// Samples is the number of Monte-Carlo input samples drawn.
+	Samples int
+	// SamplesInferred is how many of them went through GP inference (fewer
+	// than Samples when online filtering stops early).
+	SamplesInferred int
+	// UDFCalls is the number of true UDF evaluations this input caused.
+	UDFCalls int
+	// PointsAdded is the number of training points online tuning added.
+	PointsAdded int
+	// LocalPoints is the size of the local-inference subset used (equals
+	// the full training set under global inference).
+	LocalPoints int
+	// Retrained reports whether hyperparameter retraining ran.
+	Retrained bool
+}
+
+// Stats aggregates evaluator activity across Eval calls.
+type Stats struct {
+	Inputs         int // Eval calls
+	TrainingPoints int // current training-set size
+	UDFCalls       int // total UDF evaluations
+	PointsAdded    int // total training points added by tuning
+	Retrainings    int // total retraining runs
+	Filtered       int // tuples dropped by the predicate filter
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"olgapro/internal/kernel"
+)
+
+// Snapshot is the serializable state of a trained evaluator: the training
+// set and the learned hyperparameters. Together with the (non-serializable)
+// black-box UDF and a Config, it reconstructs an Evaluator that picks up
+// where the saved one left off — letting a long-running service persist an
+// emulator it paid UDF calls to learn.
+type Snapshot struct {
+	// KernelName identifies the kernel family ("sqexp", "matern32",
+	// "matern52", "sqexp-ard").
+	KernelName string
+	// KernelParams are the log-space hyperparameters.
+	KernelParams []float64
+	// ARDDim is the input dimensionality for "sqexp-ard" (0 otherwise).
+	ARDDim int
+	// X and Y are the training pairs.
+	X [][]float64
+	Y []float64
+}
+
+// kernelName maps a kernel to its registry name.
+func kernelName(k kernel.Kernel) (string, int, error) {
+	switch kk := k.(type) {
+	case *kernel.SqExp:
+		return "sqexp", 0, nil
+	case *kernel.Matern32:
+		return "matern32", 0, nil
+	case *kernel.Matern52:
+		return "matern52", 0, nil
+	case *kernel.SqExpARD:
+		return "sqexp-ard", kk.Dim(), nil
+	default:
+		return "", 0, fmt.Errorf("core: cannot snapshot kernel type %T", k)
+	}
+}
+
+// kernelFromName reconstructs a kernel and applies the saved parameters.
+func kernelFromName(name string, ardDim int, params []float64) (kernel.Kernel, error) {
+	var k kernel.Kernel
+	switch name {
+	case "sqexp":
+		k = kernel.NewSqExp(1, 1)
+	case "matern32":
+		k = kernel.NewMatern32(1, 1)
+	case "matern52":
+		k = kernel.NewMatern52(1, 1)
+	case "sqexp-ard":
+		if ardDim <= 0 {
+			return nil, fmt.Errorf("core: snapshot ard kernel needs positive dim, got %d", ardDim)
+		}
+		lens := make([]float64, ardDim)
+		for i := range lens {
+			lens[i] = 1
+		}
+		k = kernel.NewSqExpARD(1, lens)
+	default:
+		return nil, fmt.Errorf("core: unknown snapshot kernel %q", name)
+	}
+	if len(params) != k.NumParams() {
+		return nil, fmt.Errorf("core: snapshot has %d kernel params, %s wants %d",
+			len(params), name, k.NumParams())
+	}
+	k.SetParams(params)
+	return k, nil
+}
+
+// Snapshot captures the evaluator's model state.
+func (e *Evaluator) Snapshot() (*Snapshot, error) {
+	name, ardDim, err := kernelName(e.cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		KernelName:   name,
+		KernelParams: e.cfg.Kernel.Params(nil),
+		ARDDim:       ardDim,
+	}
+	for i := 0; i < e.g.Len(); i++ {
+		x := e.g.X(i)
+		cp := make([]float64, len(x))
+		copy(cp, x)
+		s.X = append(s.X, cp)
+		s.Y = append(s.Y, e.g.Y(i))
+	}
+	return s, nil
+}
+
+// Save writes the evaluator's model state to w (gob encoding).
+func (e *Evaluator) Save(w io.Writer) error {
+	s, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Restore builds an evaluator for the UDF from a snapshot: the saved kernel
+// (with its learned hyperparameters) replaces cfg.Kernel, and the saved
+// training pairs are installed without calling the UDF.
+func Restore(f interface {
+	Dim() int
+	Eval(x []float64) float64
+}, cfg Config, s *Snapshot) (*Evaluator, error) {
+	k, err := kernelFromName(s.KernelName, s.ARDDim, s.KernelParams)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Kernel = k
+	ev, err := NewEvaluator(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.X) != len(s.Y) {
+		return nil, fmt.Errorf("core: snapshot has %d inputs but %d outputs", len(s.X), len(s.Y))
+	}
+	for i, x := range s.X {
+		if len(x) != f.Dim() {
+			return nil, fmt.Errorf("core: snapshot point %d has dim %d, UDF wants %d", i, len(x), f.Dim())
+		}
+		if err := ev.g.Add(x, s.Y[i]); err != nil {
+			return nil, fmt.Errorf("core: snapshot point %d: %w", i, err)
+		}
+		if err := ev.tree.Insert(ev.g.X(ev.g.Len()-1), ev.g.Len()-1); err != nil {
+			return nil, fmt.Errorf("core: snapshot index %d: %w", i, err)
+		}
+		if !ev.haveY || s.Y[i] < ev.yMin {
+			ev.yMin = s.Y[i]
+		}
+		if !ev.haveY || s.Y[i] > ev.yMax {
+			ev.yMax = s.Y[i]
+		}
+		ev.haveY = true
+	}
+	return ev, nil
+}
+
+// Load reads a snapshot from r and restores an evaluator for the UDF.
+func Load(f interface {
+	Dim() int
+	Eval(x []float64) float64
+}, cfg Config, r io.Reader) (*Evaluator, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	return Restore(f, cfg, &s)
+}

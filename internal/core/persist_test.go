@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"olgapro/internal/kernel"
+	"olgapro/internal/udf"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := udf.Standard(udf.F3, 31)
+	ev, err := NewEvaluator(f, Config{Kernel: kernel.NewSqExp(0.5, 1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on a stream, including a hyperparameter retraining.
+	for i := 0; i < 6; i++ {
+		if _, err := ev.Eval(gaussianInput(randomCenter(rng, 2), 0.5), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantPoints := ev.GP().Len()
+	wantParams := ev.Config().Kernel.Params(nil)
+
+	var buf bytes.Buffer
+	if err := ev.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(f, Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.GP().Len() != wantPoints {
+		t.Fatalf("restored %d points, want %d", restored.GP().Len(), wantPoints)
+	}
+	gotParams := restored.Config().Kernel.Params(nil)
+	for i := range wantParams {
+		if math.Abs(gotParams[i]-wantParams[i]) > 1e-12 {
+			t.Fatalf("kernel params differ: %v vs %v", gotParams, wantParams)
+		}
+	}
+	// Predictions must match exactly: same training data, same kernel.
+	for trial := 0; trial < 20; trial++ {
+		x := randomCenter(rng, 2)
+		m1, v1 := ev.GP().Predict(x)
+		m2, v2 := restored.GP().Predict(x)
+		if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+			t.Fatalf("restored prediction differs at %v: (%g,%g) vs (%g,%g)", x, m1, v1, m2, v2)
+		}
+	}
+	// The restored evaluator keeps working online without re-paying for the
+	// learned region.
+	counter := udf.NewCounter(f, 0, nil)
+	warm, err := Load(counter, Config{}, mustSave(t, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Eval(gaussianInput([]float64{5, 5}, 0.5), rng); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Calls() > 10 {
+		t.Fatalf("restored evaluator re-paid %d UDF calls", counter.Calls())
+	}
+}
+
+func mustSave(t *testing.T, ev *Evaluator) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ev.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestSnapshotKernelFamilies(t *testing.T) {
+	kernels := []kernel.Kernel{
+		kernel.NewSqExp(1.5, 0.7),
+		kernel.NewMatern32(1.2, 0.9),
+		kernel.NewMatern52(0.8, 1.1),
+		kernel.NewSqExpARD(1.1, []float64{0.5, 2}),
+	}
+	f := udf.FuncOf{D: 2, F: func(x []float64) float64 { return x[0] + x[1] }}
+	for _, k := range kernels {
+		ev, err := NewEvaluator(f, Config{Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.AddTrainingAt([]float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ev.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		restored, err := Load(f, Config{}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		got := restored.Config().Kernel.String()
+		if !strings.HasPrefix(got, strings.SplitN(k.String(), "(", 2)[0]) {
+			t.Fatalf("restored kernel %q for saved %q", got, k.String())
+		}
+	}
+}
+
+func TestLoadRejectsCorruptData(t *testing.T) {
+	f := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
+	if _, err := Load(f, Config{}, strings.NewReader("not gob")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	// Mismatched dimensions.
+	s := &Snapshot{KernelName: "sqexp", KernelParams: []float64{0, 0},
+		X: [][]float64{{1, 2}}, Y: []float64{3}}
+	if _, err := Restore(f, Config{}, s); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+	// Unknown kernel.
+	s2 := &Snapshot{KernelName: "mystery", KernelParams: []float64{0}}
+	if _, err := Restore(f, Config{}, s2); err == nil {
+		t.Fatal("unknown kernel should fail")
+	}
+	// Wrong parameter count.
+	s3 := &Snapshot{KernelName: "sqexp", KernelParams: []float64{0}}
+	if _, err := Restore(f, Config{}, s3); err == nil {
+		t.Fatal("wrong param count should fail")
+	}
+	// Mismatched X/Y lengths.
+	s4 := &Snapshot{KernelName: "sqexp", KernelParams: []float64{0, 0},
+		X: [][]float64{{1}}, Y: nil}
+	if _, err := Restore(f, Config{}, s4); err == nil {
+		t.Fatal("X/Y mismatch should fail")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"olgapro/internal/kernel"
+	"olgapro/internal/mat"
+)
+
+// pickSample chooses which cached Monte-Carlo sample becomes the next
+// training point (online tuning, §5.2), honoring the configured policy.
+// It returns -1 when no admissible sample remains.
+func (e *Evaluator) pickSample(samples [][]float64, means, vars []float64,
+	lc *localCtx, lambda, zAlpha float64, skip map[int]bool, rng *rand.Rand) int {
+	switch e.cfg.Tuning {
+	case TuneRandom:
+		return pickRandom(len(samples), skip, rng)
+	case TuneOptimalGreedy:
+		return e.pickOptimalGreedy(samples, means, vars, lc, lambda, zAlpha, skip, rng)
+	default:
+		return pickMaxVariance(vars, skip)
+	}
+}
+
+// pickMaxVariance returns the sample with the largest predictive variance —
+// the paper's heuristic: train where the emulator is least certain.
+func pickMaxVariance(vars []float64, skip map[int]bool) int {
+	best, bestVar := -1, -1.0
+	for i, v := range vars {
+		if skip[i] {
+			continue
+		}
+		if v > bestVar {
+			best, bestVar = i, v
+		}
+	}
+	return best
+}
+
+// pickRandom returns a uniformly random non-skipped sample.
+func pickRandom(n int, skip map[int]bool, rng *rand.Rand) int {
+	if len(skip) >= n {
+		return -1
+	}
+	for tries := 0; tries < 4*n; tries++ {
+		i := rng.Intn(n)
+		if !skip[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// greedy search bounds, keeping the hypothetical policy tractable: the paper
+// itself caps inputs at 400 samples "for 'optimal greedy' to be feasible".
+const (
+	greedyMaxCandidates = 64
+	greedyMaxEval       = 400
+)
+
+// pickOptimalGreedy simulates adding each candidate sample — using the
+// current posterior mean as its hypothetical observation, which leaves means
+// nearly unchanged while shrinking variances exactly — recomputes the error
+// bound, and picks the candidate with the largest bound reduction.
+func (e *Evaluator) pickOptimalGreedy(samples [][]float64, means, vars []float64,
+	lc *localCtx, lambda, zAlpha float64, skip map[int]bool, rng *rand.Rand) int {
+	// Candidate pool: the highest-variance samples (evaluating every sample
+	// is prohibitive even for the reference policy).
+	type cand struct {
+		idx int
+		v   float64
+	}
+	cands := make([]cand, 0, len(samples))
+	for i, v := range vars {
+		if !skip[i] {
+			cands = append(cands, cand{i, v})
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].v > cands[j].v })
+	if len(cands) > greedyMaxCandidates {
+		cands = cands[:greedyMaxCandidates]
+	}
+	// Evaluation subset for the bound.
+	evalIdx := subsampleIndices(len(samples), greedyMaxEval, rng)
+
+	// Local observations for the simulated α′.
+	yLocal := make([]float64, len(lc.ids))
+	for i, id := range lc.ids {
+		yLocal[i] = e.g.Y(id)
+	}
+
+	best, bestBound := -1, math.Inf(1)
+	kbuf := make([]float64, 0, len(lc.xs)+1)
+	for _, c := range cands {
+		xc := samples[c.idx]
+		// Extend a copy of the local factorization with the candidate.
+		trial := lc.chol.Clone()
+		kvec := kernel.CrossVec(e.cfg.Kernel, lc.xs, xc, nil)
+		if err := trial.Extend(kvec, e.cfg.Kernel.Eval(xc, xc)+e.g.Noise()); err != nil {
+			continue
+		}
+		ys := append(append([]float64(nil), yLocal...), means[c.idx])
+		alphaTrial := trial.SolveVec(ys)
+		xsTrial := append(append([][]float64(nil), lc.xs...), xc)
+		// Recompute means/vars on the evaluation subset.
+		m2 := make([]float64, len(evalIdx))
+		v2 := make([]float64, len(evalIdx))
+		for j, si := range evalIdx {
+			x := samples[si]
+			kbuf = kernel.CrossVec(e.cfg.Kernel, xsTrial, x, kbuf)
+			m2[j] = mat.Dot(kbuf, alphaTrial)
+			fs := trial.ForwardSolve(kbuf)
+			vv := e.cfg.Kernel.Eval(x, x) - mat.Dot(fs, fs)
+			if vv < 0 {
+				vv = 0
+			}
+			v2[j] = vv
+		}
+		envTrial := envelopeOf(m2, v2, zAlpha, len(evalIdx))
+		b := envTrial.DiscrepancyBound(lambda)
+		if b < bestBound {
+			best, bestBound = c.idx, b
+		}
+	}
+	if best < 0 {
+		// All simulations failed numerically; fall back to max variance.
+		return pickMaxVariance(vars, skip)
+	}
+	return best
+}
+
+// subsampleIndices returns up to max distinct indices in [0, n).
+func subsampleIndices(n, max int, rng *rand.Rand) []int {
+	if n <= max {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(n)
+	out := make([]int, max)
+	copy(out, perm[:max])
+	return out
+}

@@ -1,0 +1,200 @@
+// Package ecdf implements empirical cumulative distribution functions and
+// the accuracy metrics of the paper (§2.1): the Kolmogorov–Smirnov distance,
+// the discrepancy measure over two-sided intervals, the λ-discrepancy
+// restricted to intervals of length ≥ λ, and the envelope error bound of
+// Algorithm 3 (§4.2) computed in O(m log m).
+//
+// Interval probabilities follow the paper's convention
+// Pr[Y ∈ [a,b]] = Pr[Y ≤ b] − Pr[Y ≤ a]; for the continuous distributions in
+// scope the boundary-atom distinction is immaterial.
+package ecdf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sorted sample.
+type ECDF struct {
+	xs []float64 // ascending
+}
+
+// New builds an ECDF from samples. The input slice is copied and sorted.
+func New(samples []float64) *ECDF {
+	xs := make([]float64, len(samples))
+	copy(xs, samples)
+	sort.Float64s(xs)
+	return &ECDF{xs: xs}
+}
+
+// FromSorted builds an ECDF from an already-ascending slice without copying.
+// It panics if the slice is not sorted, since a mis-sorted ECDF silently
+// corrupts every downstream metric.
+func FromSorted(xs []float64) *ECDF {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			panic(fmt.Sprintf("ecdf: FromSorted input not sorted at %d", i))
+		}
+	}
+	return &ECDF{xs: xs}
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.xs) }
+
+// Values returns the sorted sample values (not a copy).
+func (e *ECDF) Values() []float64 { return e.xs }
+
+// CDF returns the fraction of samples ≤ y.
+func (e *ECDF) CDF(y float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	n := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > y })
+	return float64(n) / float64(len(e.xs))
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) using the inverse-CDF
+// (type-1) definition.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.xs) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return e.xs[0]
+	}
+	if p >= 1 {
+		return e.xs[len(e.xs)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(e.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.xs[idx]
+}
+
+// Mean returns the sample mean.
+func (e *ECDF) Mean() float64 {
+	if len(e.xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range e.xs {
+		s += x
+	}
+	return s / float64(len(e.xs))
+}
+
+// Variance returns the (biased, 1/n) sample variance.
+func (e *ECDF) Variance() float64 {
+	if len(e.xs) == 0 {
+		return math.NaN()
+	}
+	m := e.Mean()
+	var s float64
+	for _, x := range e.xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(e.xs))
+}
+
+// Min returns the smallest sample.
+func (e *ECDF) Min() float64 {
+	if len(e.xs) == 0 {
+		return math.NaN()
+	}
+	return e.xs[0]
+}
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 {
+	if len(e.xs) == 0 {
+		return math.NaN()
+	}
+	return e.xs[len(e.xs)-1]
+}
+
+// Range returns Max − Min.
+func (e *ECDF) Range() float64 { return e.Max() - e.Min() }
+
+// IntervalProb returns Pr[a < Y ≤ b] = CDF(b) − CDF(a).
+func (e *ECDF) IntervalProb(a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	return e.CDF(b) - e.CDF(a)
+}
+
+// Histogram bins the sample into n equal-width bins over [Min, Max] and
+// returns the bin left edges and normalized densities (integrating to 1).
+// It is used to render output PDFs such as Fig. 6(a).
+func (e *ECDF) Histogram(n int) (edges, density []float64) {
+	if n <= 0 || len(e.xs) == 0 {
+		return nil, nil
+	}
+	lo, hi := e.Min(), e.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(n)
+	edges = make([]float64, n)
+	density = make([]float64, n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	for _, x := range e.xs {
+		idx := int((x - lo) / w)
+		if idx >= n {
+			idx = n - 1
+		}
+		density[idx]++
+	}
+	norm := 1 / (float64(len(e.xs)) * w)
+	for i := range density {
+		density[i] *= norm
+	}
+	return edges, density
+}
+
+// mergedValues returns the ascending union of the support points of the
+// given ECDFs, with exact duplicates collapsed.
+func mergedValues(es ...*ECDF) []float64 {
+	var total int
+	for _, e := range es {
+		total += len(e.xs)
+	}
+	all := make([]float64, 0, total)
+	for _, e := range es {
+		all = append(all, e.xs...)
+	}
+	sort.Float64s(all)
+	out := all[:0]
+	for i, v := range all {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Truncate returns the conditional distribution of Y given Y ∈ [a, b]: the
+// paper's query Q2 notes that a selection predicate "truncates the
+// distribution ... to the region [l, u], and hence yields a tuple existence
+// probability". The second return value is that existence probability (the
+// fraction of mass in [a, b]); when it is zero the returned ECDF is empty.
+func (e *ECDF) Truncate(a, b float64) (*ECDF, float64) {
+	if b < a {
+		return FromSorted(nil), 0
+	}
+	lo := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] >= a })
+	hi := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > b })
+	if hi <= lo {
+		return FromSorted(nil), 0
+	}
+	kept := make([]float64, hi-lo)
+	copy(kept, e.xs[lo:hi])
+	tep := float64(hi-lo) / float64(len(e.xs))
+	return FromSorted(kept), tep
+}

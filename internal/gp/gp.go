@@ -1,0 +1,370 @@
+// Package gp implements Gaussian process regression, the statistical
+// emulator the paper builds for black-box UDFs (§3).
+//
+// A GP is maintained as a set of training pairs (x*, f(x*)), a Cholesky
+// factorization of the kernel Gram matrix K(X*, X*) + σ_n² I, and the weight
+// vector α = (K + σ_n² I)⁻¹ y. Inference for a test point (Eq. 2) is then
+//
+//	mean     f̂(x) = k(x, X*) · α                         — O(n)
+//	variance σ²(x) = k(x,x) − ‖L⁻¹ k(x, X*)‖²             — O(n²)
+//
+// Training points can be added incrementally in O(n²) via the bordered
+// Cholesky update, which is what makes the paper's online tuning (§5.2)
+// affordable, and hyperparameters are learned by maximum likelihood with
+// analytic gradients (§3.4). The first-Newton-step estimate driving the
+// online retraining heuristic (§5.3) is exposed as NewtonStep.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"olgapro/internal/kernel"
+	"olgapro/internal/mat"
+)
+
+// DefaultNoise is the default observation-noise variance. The paper's UDFs
+// are deterministic, so this acts purely as numerical jitter keeping the
+// Gram matrix positive definite.
+const DefaultNoise = 1e-8
+
+// ErrDuplicatePoint is returned by Add when a new training point is so close
+// to an existing one that the Gram matrix would become singular.
+var ErrDuplicatePoint = errors.New("gp: training point (numerically) duplicates an existing one")
+
+// GP is a Gaussian process regression model. Create one with New.
+type GP struct {
+	kern  kernel.Kernel
+	noise float64
+
+	xs    [][]float64
+	ys    []float64
+	chol  mat.Cholesky
+	alpha []float64
+}
+
+// New returns an empty GP with the given kernel and observation-noise
+// variance; noise ≤ 0 selects DefaultNoise.
+func New(k kernel.Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = DefaultNoise
+	}
+	return &GP{kern: k, noise: noise}
+}
+
+// Kernel returns the GP's kernel (shared, not a copy).
+func (g *GP) Kernel() kernel.Kernel { return g.kern }
+
+// Noise returns the observation-noise variance.
+func (g *GP) Noise() float64 { return g.noise }
+
+// Len returns the number of training points.
+func (g *GP) Len() int { return len(g.xs) }
+
+// X returns training input i (not a copy).
+func (g *GP) X(i int) []float64 { return g.xs[i] }
+
+// Y returns training output i.
+func (g *GP) Y(i int) float64 { return g.ys[i] }
+
+// Inputs returns the slice of training inputs (shared storage).
+func (g *GP) Inputs() [][]float64 { return g.xs }
+
+// Outputs returns the slice of training outputs (shared storage).
+func (g *GP) Outputs() []float64 { return g.ys }
+
+// Alpha returns the weight vector α = (K + σ_n²I)⁻¹ y (shared storage).
+// Alpha[i] is the weight of training point i in every posterior mean, which
+// local inference (§5.1) uses to bound the error of dropping far points.
+func (g *GP) Alpha() []float64 { return g.alpha }
+
+// Add appends one training pair and updates the factorization incrementally
+// in O(n²) (paper §5.2). The input slice is copied.
+func (g *GP) Add(x []float64, y float64) error {
+	if len(g.xs) > 0 && len(x) != len(g.xs[0]) {
+		return fmt.Errorf("gp: point dim %d ≠ %d", len(x), len(g.xs[0]))
+	}
+	k := make([]float64, len(g.xs))
+	for i, xi := range g.xs {
+		k[i] = g.kern.Eval(xi, x)
+	}
+	kappa := g.kern.Eval(x, x) + g.noise
+	if err := g.chol.Extend(k, kappa); err != nil {
+		return fmt.Errorf("%w: %v", ErrDuplicatePoint, err)
+	}
+	cp := make([]float64, len(x))
+	copy(cp, x)
+	g.xs = append(g.xs, cp)
+	g.ys = append(g.ys, y)
+	g.alpha = g.chol.SolveVec(g.ys)
+	return nil
+}
+
+// AddBatch adds several training pairs, refitting once at the end, which is
+// cheaper than repeated Add for large batches.
+func (g *GP) AddBatch(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: batch lengths %d ≠ %d", len(xs), len(ys))
+	}
+	for i, x := range xs {
+		if len(g.xs) > 0 && len(x) != len(g.xs[0]) {
+			return fmt.Errorf("gp: point dim %d ≠ %d", len(x), len(g.xs[0]))
+		}
+		cp := make([]float64, len(x))
+		copy(cp, x)
+		g.xs = append(g.xs, cp)
+		g.ys = append(g.ys, ys[i])
+	}
+	return g.Fit()
+}
+
+// Fit refactorizes the Gram matrix from scratch in O(n³). Call it after
+// changing hyperparameters; Add keeps the factorization current otherwise.
+func (g *GP) Fit() error {
+	if len(g.xs) == 0 {
+		g.chol = mat.Cholesky{}
+		g.alpha = nil
+		return nil
+	}
+	gram := kernel.Gram(g.kern, g.xs)
+	for i := 0; i < len(g.xs); i++ {
+		gram.Add(i, i, g.noise)
+	}
+	if _, err := g.chol.FactorizeJittered(gram, g.noise*10, 8); err != nil {
+		return fmt.Errorf("gp: fit: %w", err)
+	}
+	g.alpha = g.chol.SolveVec(g.ys)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x (Eq. 2).
+// With no training data it returns the prior (0, k(x,x)).
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	prior := g.kern.Eval(x, x)
+	if len(g.xs) == 0 {
+		return 0, prior
+	}
+	k := kernel.CrossVec(g.kern, g.xs, x, nil)
+	mean = mat.Dot(k, g.alpha)
+	v := g.chol.ForwardSolve(k)
+	variance = prior - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// PredictMean returns only the posterior mean at x, in O(n).
+func (g *GP) PredictMean(x []float64) float64 {
+	if len(g.xs) == 0 {
+		return 0
+	}
+	var s float64
+	for i, xi := range g.xs {
+		s += g.kern.Eval(xi, x) * g.alpha[i]
+	}
+	return s
+}
+
+// PredictBatch fills means[i], vars[i] for each test point. Slices may be
+// nil; they are allocated as needed and returned.
+func (g *GP) PredictBatch(xs [][]float64, means, vars []float64) ([]float64, []float64) {
+	if cap(means) < len(xs) {
+		means = make([]float64, len(xs))
+	}
+	if cap(vars) < len(xs) {
+		vars = make([]float64, len(xs))
+	}
+	means, vars = means[:len(xs)], vars[:len(xs)]
+	var k []float64
+	for i, x := range xs {
+		if len(g.xs) == 0 {
+			means[i], vars[i] = 0, g.kern.Eval(x, x)
+			continue
+		}
+		k = kernel.CrossVec(g.kern, g.xs, x, k)
+		means[i] = mat.Dot(k, g.alpha)
+		v := g.chol.ForwardSolve(k)
+		variance := g.kern.Eval(x, x) - mat.Dot(v, v)
+		if variance < 0 {
+			variance = 0
+		}
+		vars[i] = variance
+	}
+	return means, vars
+}
+
+// LogLikelihood returns the log marginal likelihood
+// L(θ) = −½ yᵀα − ½ log|K+σ_n²I| − (n/2) log 2π (§3.4).
+func (g *GP) LogLikelihood() float64 {
+	n := len(g.xs)
+	if n == 0 {
+		return 0
+	}
+	return -0.5*mat.Dot(g.ys, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
+// gradHess computes the gradient of the log marginal likelihood with respect
+// to the kernel's log-hyperparameters and, when wantHess is true, the
+// diagonal of its Hessian:
+//
+//	∂L/∂θⱼ  = ½ αᵀKⱼα − ½ tr(K⁻¹Kⱼ)
+//	∂²L/∂θⱼ² = −αᵀKⱼK⁻¹Kⱼα + ½ αᵀKⱼⱼα + ½ tr(K⁻¹KⱼK⁻¹Kⱼ) − ½ tr(K⁻¹Kⱼⱼ)
+//
+// with Kⱼ = ∂K/∂θⱼ and Kⱼⱼ = ∂²K/∂θⱼ² (the second-derivative machinery of
+// §5.3). Cost is O(p·n³).
+func (g *GP) gradHess(wantHess bool) (grad, hess []float64) {
+	n := len(g.xs)
+	p := g.kern.NumParams()
+	grad = make([]float64, p)
+	if wantHess {
+		hess = make([]float64, p)
+	}
+	if n == 0 {
+		return grad, hess
+	}
+	kinv := g.chol.Inverse()
+	// Per-parameter derivative Gram matrices.
+	kj := make([]*mat.Matrix, p)
+	kjj := make([]*mat.Matrix, p)
+	for j := 0; j < p; j++ {
+		kj[j] = mat.New(n, n)
+		if wantHess {
+			kjj[j] = mat.New(n, n)
+		}
+	}
+	gbuf := make([]float64, p)
+	hbuf := make([]float64, p)
+	for i := 0; i < n; i++ {
+		for l := 0; l <= i; l++ {
+			if wantHess {
+				g.kern.ParamGrad(g.xs[i], g.xs[l], gbuf, hbuf)
+			} else {
+				g.kern.ParamGrad(g.xs[i], g.xs[l], gbuf, nil)
+			}
+			for j := 0; j < p; j++ {
+				kj[j].Set(i, l, gbuf[j])
+				kj[j].Set(l, i, gbuf[j])
+				if wantHess {
+					kjj[j].Set(i, l, hbuf[j])
+					kjj[j].Set(l, i, hbuf[j])
+				}
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		kja := kj[j].MulVec(g.alpha)
+		quad := mat.Dot(g.alpha, kja)
+		trKinvKj := traceProduct(kinv, kj[j])
+		grad[j] = 0.5*quad - 0.5*trKinvKj
+		if wantHess {
+			kinvKja := g.chol.SolveVec(kja)
+			kjjA := kjj[j].MulVec(g.alpha)
+			trKK := traceProductSym(kinv, kj[j])
+			trKinvKjj := traceProduct(kinv, kjj[j])
+			hess[j] = -mat.Dot(kja, kinvKja) + 0.5*mat.Dot(g.alpha, kjjA) +
+				0.5*trKK - 0.5*trKinvKjj
+		}
+	}
+	return grad, hess
+}
+
+// Grad returns ∂L/∂θ for the current hyperparameters.
+func (g *GP) Grad() []float64 {
+	grad, _ := g.gradHess(false)
+	return grad
+}
+
+// GradHess returns the gradient and diagonal Hessian of the log marginal
+// likelihood.
+func (g *GP) GradHess() (grad, hess []float64) {
+	return g.gradHess(true)
+}
+
+// traceProduct returns tr(A·B) for square matrices.
+func traceProduct(a, b *mat.Matrix) float64 {
+	n := a.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		arow := a.Row(i)
+		for k := 0; k < n; k++ {
+			s += arow[k] * b.At(k, i)
+		}
+	}
+	return s
+}
+
+// traceProductSym returns tr(A·B·A·B) for symmetric A, B, computed as
+// tr(M·M) with M = A·B.
+func traceProductSym(a, b *mat.Matrix) float64 {
+	m := mat.Mul(a, b)
+	n := m.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for k := 0; k < n; k++ {
+			s += row[k] * m.At(k, i)
+		}
+	}
+	return s
+}
+
+// SamplePosterior draws one joint sample of the posterior function values at
+// the given points (used to visualize posteriors like Fig. 1(b) and to
+// validate confidence-band coverage). dst may be nil.
+func (g *GP) SamplePosterior(rng *rand.Rand, points [][]float64, dst []float64) ([]float64, error) {
+	m := len(points)
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
+	// Posterior mean and covariance at the points.
+	mean := make([]float64, m)
+	cov := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kern.Eval(points[i], points[j])
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	if len(g.xs) > 0 {
+		cross := kernel.Cross(g.kern, g.xs, points) // n×m
+		for j := 0; j < m; j++ {
+			col := cross.Col(j)
+			mean[j] = mat.Dot(col, g.alpha)
+		}
+		// Σ −= crossᵀ K⁻¹ cross, via forward solves.
+		half := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			half[j] = g.chol.ForwardSolve(cross.Col(j))
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j <= i; j++ {
+				v := cov.At(i, j) - mat.Dot(half[i], half[j])
+				cov.Set(i, j, v)
+				cov.Set(j, i, v)
+			}
+		}
+	}
+	var c mat.Cholesky
+	if _, err := c.FactorizeJittered(cov, 1e-10, 10); err != nil {
+		return nil, fmt.Errorf("gp: posterior covariance: %w", err)
+	}
+	z := make([]float64, m)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	l := c.L()
+	for i := 0; i < m; i++ {
+		row := l.Row(i)
+		s := mean[i]
+		for j := 0; j <= i; j++ {
+			s += row[j] * z[j]
+		}
+		dst[i] = s
+	}
+	return dst, nil
+}

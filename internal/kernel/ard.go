@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"olgapro/internal/mat"
+)
+
+// SqExpARD is the squared-exponential kernel with Automatic Relevance
+// Determination: one lengthscale per input dimension,
+//
+//	k(x, x′) = σ_f² exp(−½ Σ_j (x_j − x′_j)²/ℓ_j²).
+//
+// The paper's future work calls out "a wider range of functions such as
+// high-dimensional input" (§8); ARD lets maximum-likelihood training learn
+// which of many input dimensions actually matter — irrelevant dimensions
+// get long lengthscales and stop inflating the training-point requirement.
+//
+// SqExpARD is not isotropic, so OLGAPRO falls back to global inference for
+// it unless the lengthscales happen to be equal; see NormalizedIsotropic.
+type SqExpARD struct {
+	SigmaF float64
+	Lens   []float64 // per-dimension lengthscales ℓ_j
+}
+
+// NewSqExpARD returns an ARD kernel with the given per-dimension
+// lengthscales.
+func NewSqExpARD(sigmaF float64, lens []float64) *SqExpARD {
+	if sigmaF <= 0 {
+		panic(fmt.Sprintf("kernel: non-positive ARD σf=%g", sigmaF))
+	}
+	if len(lens) == 0 {
+		panic("kernel: ARD needs at least one lengthscale")
+	}
+	cp := make([]float64, len(lens))
+	for i, l := range lens {
+		if l <= 0 {
+			panic(fmt.Sprintf("kernel: non-positive ARD ℓ[%d]=%g", i, l))
+		}
+		cp[i] = l
+	}
+	return &SqExpARD{SigmaF: sigmaF, Lens: cp}
+}
+
+// Dim returns the number of input dimensions.
+func (k *SqExpARD) Dim() int { return len(k.Lens) }
+
+// Eval returns k(x, y).
+func (k *SqExpARD) Eval(x, y []float64) float64 {
+	if len(x) != len(k.Lens) || len(y) != len(k.Lens) {
+		panic(fmt.Sprintf("kernel: ARD dims %d/%d ≠ %d", len(x), len(y), len(k.Lens)))
+	}
+	var s float64
+	for j, l := range k.Lens {
+		d := (x[j] - y[j]) / l
+		s += d * d
+	}
+	return k.SigmaF * k.SigmaF * math.Exp(-0.5*s)
+}
+
+// NumParams returns 1 + d: (log σ_f, log ℓ_1, …, log ℓ_d).
+func (k *SqExpARD) NumParams() int { return 1 + len(k.Lens) }
+
+// Params appends the log-space hyperparameters.
+func (k *SqExpARD) Params(dst []float64) []float64 {
+	dst = append(dst, math.Log(k.SigmaF))
+	for _, l := range k.Lens {
+		dst = append(dst, math.Log(l))
+	}
+	return dst
+}
+
+// SetParams sets the log-space hyperparameters.
+func (k *SqExpARD) SetParams(p []float64) {
+	if len(p) != k.NumParams() {
+		panic(fmt.Sprintf("kernel: ARD wants %d params, got %d", k.NumParams(), len(p)))
+	}
+	k.SigmaF = math.Exp(p[0])
+	for j := range k.Lens {
+		k.Lens[j] = math.Exp(p[j+1])
+	}
+}
+
+// ParamGrad fills log-space derivatives. With s_j = (x_j−y_j)²/ℓ_j²:
+//
+//	∂k/∂logσ_f = 2k             ∂²k/∂logσ_f² = 4k
+//	∂k/∂logℓ_j = k·s_j          ∂²k/∂logℓ_j² = k·(s_j² − 2 s_j)
+func (k *SqExpARD) ParamGrad(x, y []float64, grad, hess []float64) {
+	var total float64
+	sj := make([]float64, len(k.Lens))
+	for j, l := range k.Lens {
+		d := (x[j] - y[j]) / l
+		sj[j] = d * d
+		total += d * d
+	}
+	kv := k.SigmaF * k.SigmaF * math.Exp(-0.5*total)
+	grad[0] = 2 * kv
+	if hess != nil {
+		hess[0] = 4 * kv
+	}
+	for j := range k.Lens {
+		grad[j+1] = kv * sj[j]
+		if hess != nil {
+			hess[j+1] = kv * (sj[j]*sj[j] - 2*sj[j])
+		}
+	}
+}
+
+// SecondSpectralMoment returns the most conservative (largest) per-dimension
+// moment 1/min(ℓ)² — confidence bands built from it are valid (wider) for
+// every axis.
+func (k *SqExpARD) SecondSpectralMoment() float64 {
+	min := k.Lens[0]
+	for _, l := range k.Lens[1:] {
+		if l < min {
+			min = l
+		}
+	}
+	return 1 / (min * min)
+}
+
+// Clone returns a deep copy.
+func (k *SqExpARD) Clone() Kernel {
+	return NewSqExpARD(k.SigmaF, k.Lens)
+}
+
+// String describes the kernel.
+func (k *SqExpARD) String() string {
+	return fmt.Sprintf("SqExpARD(σf=%.4g, ℓ=%v)", k.SigmaF, k.Lens)
+}
+
+// Relevances returns 1/ℓ_j² per dimension, normalized to sum to 1 — a
+// standard reading of which inputs the learned function actually depends on.
+func (k *SqExpARD) Relevances() []float64 {
+	out := make([]float64, len(k.Lens))
+	var total float64
+	for j, l := range k.Lens {
+		out[j] = 1 / (l * l)
+		total += out[j]
+	}
+	if total > 0 {
+		mat.ScaleVec(1/total, out)
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a matrix cannot be Cholesky-factorized because
+// it is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+
+// Cholesky holds a lower-triangular factor L with A = L Lᵀ.
+// The zero value is empty; use Factorize to populate it.
+//
+// Cholesky supports Extend, the incremental bordered update used by the
+// online tuning step of OLGAPRO (paper §5.2): appending one training point
+// grows the factor in O(n²) instead of refactorizing in O(n³).
+type Cholesky struct {
+	l *Matrix // lower triangular, n×n
+	n int
+}
+
+// Factorize computes the Cholesky factorization of the symmetric positive
+// definite matrix a. Only the lower triangle of a is read.
+// It returns ErrNotSPD if a pivot is non-positive.
+func (c *Cholesky) Factorize(a *Matrix) error {
+	r, co := a.Dims()
+	if r != co {
+		panic(fmt.Sprintf("mat: cholesky of non-square %d×%d matrix", r, co))
+	}
+	l := New(r, r)
+	for i := 0; i < r; i++ {
+		li := l.Row(i)
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			lj := l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return fmt.Errorf("%w: pivot %d is %g", ErrNotSPD, i, sum)
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	c.l = l
+	c.n = r
+	return nil
+}
+
+// FactorizeJittered behaves like Factorize but, on failure, retries with an
+// increasing diagonal jitter (starting at jitter0, multiplied by 10 each of
+// maxTries attempts). This is the standard numerical remedy for ill-
+// conditioned kernel Gram matrices. It returns the jitter actually used.
+func (c *Cholesky) FactorizeJittered(a *Matrix, jitter0 float64, maxTries int) (float64, error) {
+	if err := c.Factorize(a); err == nil {
+		return 0, nil
+	}
+	n := a.Rows()
+	work := a.Clone()
+	jit := jitter0
+	for t := 0; t < maxTries; t++ {
+		for i := 0; i < n; i++ {
+			work.Set(i, i, a.At(i, i)+jit)
+		}
+		if err := c.Factorize(work); err == nil {
+			return jit, nil
+		}
+		jit *= 10
+	}
+	return 0, fmt.Errorf("%w after %d jitter attempts (max jitter %g)", ErrNotSPD, maxTries, jit/10)
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns the lower-triangular factor (not a copy).
+func (c *Cholesky) L() *Matrix { return c.l }
+
+// SolveVec solves A x = b and returns x, where A = L Lᵀ.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve length %d ≠ %d", len(b), c.n))
+	}
+	y := c.forward(b)
+	return c.backward(y)
+}
+
+// forward solves L y = b.
+func (c *Cholesky) forward(b []float64) []float64 {
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		row := c.l.Row(i)
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= row[k] * y[k]
+		}
+		y[i] = sum / row[i]
+	}
+	return y
+}
+
+// backward solves Lᵀ x = y.
+func (c *Cholesky) backward(y []float64) []float64 {
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l.At(k, i) * x[k]
+		}
+		x[i] = sum / c.l.At(i, i)
+	}
+	return x
+}
+
+// ForwardSolve solves L y = b, exposing the half-solve needed to compute
+// posterior variances kᵀ K⁻¹ k = ‖L⁻¹k‖².
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: cholesky forward length %d ≠ %d", len(b), c.n))
+	}
+	return c.forward(b)
+}
+
+// Solve solves A X = B column-by-column and returns X.
+func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	if b.Rows() != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve rows %d ≠ %d", b.Rows(), c.n))
+	}
+	out := New(c.n, b.Cols())
+	col := make([]float64, c.n)
+	for j := 0; j < b.Cols(); j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < c.n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (c *Cholesky) Inverse() *Matrix {
+	return c.Solve(Identity(c.n))
+}
+
+// LogDet returns log det A = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Quadratic returns bᵀ A⁻¹ b using one forward solve.
+func (c *Cholesky) Quadratic(b []float64) float64 {
+	y := c.ForwardSolve(b)
+	return Dot(y, y)
+}
+
+// Extend grows the factorization of A to that of the bordered matrix
+//
+//	A' = [ A  k ]
+//	     [ kᵀ κ ]
+//
+// in O(n²): the new row of L is l = L⁻¹k with diagonal √(κ − lᵀl).
+// It returns ErrNotSPD if the Schur complement κ − lᵀl is non-positive.
+func (c *Cholesky) Extend(k []float64, kappa float64) error {
+	if len(k) != c.n {
+		panic(fmt.Sprintf("mat: cholesky extend length %d ≠ %d", len(k), c.n))
+	}
+	var l []float64
+	if c.n > 0 {
+		l = c.forward(k)
+	}
+	schur := kappa - Dot(l, l)
+	if schur <= 0 || math.IsNaN(schur) {
+		return fmt.Errorf("%w: extend Schur complement %g", ErrNotSPD, schur)
+	}
+	nn := c.n + 1
+	nl := New(nn, nn)
+	for i := 0; i < c.n; i++ {
+		copy(nl.Row(i)[:c.n], c.l.Row(i))
+	}
+	last := nl.Row(c.n)
+	copy(last[:c.n], l)
+	last[c.n] = math.Sqrt(schur)
+	c.l = nl
+	c.n = nn
+	return nil
+}
+
+// BorderedInverse computes the inverse of the bordered matrix
+//
+//	A' = [ A  k ]
+//	     [ kᵀ κ ]
+//
+// from inv = A⁻¹ using the block-matrix inversion formula (paper §5.2):
+// with u = A⁻¹k and s = κ − kᵀu,
+//
+//	A'⁻¹ = [ A⁻¹ + uuᵀ/s   −u/s ]
+//	       [ −uᵀ/s          1/s ]
+//
+// It returns ErrNotSPD when the Schur complement s is non-positive.
+func BorderedInverse(inv *Matrix, k []float64, kappa float64) (*Matrix, error) {
+	n := inv.Rows()
+	if inv.Cols() != n {
+		panic(fmt.Sprintf("mat: bordered inverse of non-square %d×%d", inv.Rows(), inv.Cols()))
+	}
+	if len(k) != n {
+		panic(fmt.Sprintf("mat: bordered inverse border length %d ≠ %d", len(k), n))
+	}
+	u := inv.MulVec(k)
+	s := kappa - Dot(k, u)
+	if s <= 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("%w: bordered Schur complement %g", ErrNotSPD, s)
+	}
+	out := New(n+1, n+1)
+	invS := 1 / s
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		irow := inv.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = irow[j] + u[i]*u[j]*invS
+		}
+		row[n] = -u[i] * invS
+	}
+	last := out.Row(n)
+	for j := 0; j < n; j++ {
+		last[j] = -u[j] * invS
+	}
+	last[n] = invS
+	return out, nil
+}
+
+// SolveSPD factorizes a and solves a x = b in one call.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	var c Cholesky
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c.SolveVec(b), nil
+}
+
+// Clone returns an independent copy of the factorization, so that
+// speculative Extend calls do not disturb the original.
+func (c *Cholesky) Clone() Cholesky {
+	out := Cholesky{n: c.n}
+	if c.l != nil {
+		out.l = c.l.Clone()
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims() = (%d,%d), want (2,3)", r, c)
+	}
+	m.Set(1, 2, 4.5)
+	if got := m.At(1, 2); got != 4.5 {
+		t.Fatalf("At(1,2) = %g, want 4.5", got)
+	}
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("after Add, At(1,2) = %g, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero element = %g, want 0", got)
+	}
+}
+
+func TestNewFromData(t *testing.T) {
+	m := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected layout: %v", m)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"At out of range", func() { New(2, 2).At(2, 0) }},
+		{"Set out of range", func() { New(2, 2).Set(0, -1, 1) }},
+		{"Row out of range", func() { New(2, 2).Row(5) }},
+		{"Col out of range", func() { New(2, 2).Col(2) }},
+		{"NewFromData bad len", func() { NewFromData(2, 2, []float64{1}) }},
+		{"Mul bad dims", func() { Mul(New(2, 3), New(2, 3)) }},
+		{"MulVec bad dims", func() { New(2, 3).MulVec([]float64{1}) }},
+		{"Trace non-square", func() { New(2, 3).Trace() }},
+		{"Dot bad len", func() { Dot([]float64{1}, []float64{1, 2}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3).At(%d,%d) = %g, want %g", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewFromData(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 0) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	if got := Mul(a, Identity(4)); !Equal(got, a, 1e-15) {
+		t.Fatalf("A*I ≠ A")
+	}
+	if got := Mul(Identity(4), a); !Equal(got, a, 1e-15) {
+		t.Fatalf("I*A ≠ A")
+	}
+}
+
+func TestMulVecAndT(t *testing.T) {
+	a := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	got := a.MulVec(x)
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+	y := []float64{1, 1}
+	gotT := a.MulVecT(y)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if gotT[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", gotT, want)
+		}
+	}
+	// MulVecT must equal T().MulVec.
+	tr := a.T().MulVec(y)
+	for i := range tr {
+		if !almostEqual(tr[i], gotT[i], 1e-15) {
+			t.Fatalf("MulVecT disagrees with T().MulVec: %v vs %v", gotT, tr)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 3, 5)
+	if !Equal(a.T().T(), a, 0) {
+		t.Fatalf("(Aᵀ)ᵀ ≠ A")
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	a.Scale(2)
+	want := NewFromData(2, 2, []float64{2, 4, 6, 8})
+	if !Equal(a, want, 0) {
+		t.Fatalf("Scale(2) = %v, want %v", a, want)
+	}
+	a.SubMat(b)
+	if !Equal(a, b, 0) {
+		t.Fatalf("2A - A ≠ A: %v", a)
+	}
+	a.AddMat(b)
+	if !Equal(a, want, 0) {
+		t.Fatalf("A + A ≠ 2A: %v", a)
+	}
+}
+
+func TestTraceSymmetrize(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 5, 3, 4})
+	if got := a.Trace(); got != 5 {
+		t.Fatalf("Trace = %g, want 5", got)
+	}
+	a.Symmetrize()
+	if a.At(0, 1) != 4 || a.At(1, 0) != 4 {
+		t.Fatalf("Symmetrize = %v", a)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewFromData(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	a := New(2, 2)
+	a.Row(1)[0] = 7
+	if a.At(1, 0) != 7 {
+		t.Fatalf("Row should alias storage")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := NewFromData(1, 3, []float64{-5, 2, 3})
+	if got := a.MaxAbs(); got != 5 {
+		t.Fatalf("MaxAbs = %g, want 5", got)
+	}
+	if got := New(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs of empty = %g, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	if got := a.String(); got != "2×2[1 2; 3 4]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestQuickMulDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		p := 1 + r.Intn(6)
+		a := randomMatrix(r, n, m)
+		b := randomMatrix(r, m, p)
+		c := randomMatrix(r, m, p)
+		left := Mul(a, b.Clone().AddMat(c))
+		right := Mul(a, b).AddMat(Mul(a, c))
+		return Equal(left, right, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := 1 + r.Intn(5)
+		p := 1 + r.Intn(5)
+		a := randomMatrix(r, n, m)
+		b := randomMatrix(r, m, p)
+		return Equal(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 64, 64)
+	c := randomMatrix(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+}
+
+func BenchmarkMulVec256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 256, 256)
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}

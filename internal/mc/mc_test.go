@@ -1,0 +1,214 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"olgapro/internal/dist"
+	"olgapro/internal/ecdf"
+	"olgapro/internal/udf"
+)
+
+func identity1D() udf.Func {
+	return udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
+}
+
+func TestSampleSizeFormula(t *testing.T) {
+	// Paper §2.2: discrepancy ε=0.02, δ=0.05 needs more than 18000 samples.
+	m := SampleSize(0.02, 0.05, MetricDiscrepancy)
+	if m <= 18000 {
+		t.Fatalf("SampleSize(0.02, 0.05, D) = %d, want > 18000", m)
+	}
+	// KS metric needs a quarter of that.
+	mks := SampleSize(0.02, 0.05, MetricKS)
+	if mks != int(math.Ceil(math.Log(2/0.05)/(2*0.02*0.02))) {
+		t.Fatalf("KS sample size = %d", mks)
+	}
+	if m < 4*mks-4 || m > 4*mks+4 {
+		t.Fatalf("discrepancy size %d should be ≈ 4× KS size %d", m, mks)
+	}
+	// Monotone: tighter ε needs more samples.
+	if SampleSize(0.01, 0.05, MetricKS) <= SampleSize(0.1, 0.05, MetricKS) {
+		t.Fatal("sample size not monotone in ε")
+	}
+}
+
+func TestHoeffdingRadius(t *testing.T) {
+	if r := HoeffdingRadius(0, 0.05); r != 1 {
+		t.Fatalf("radius at m=0 should be 1, got %g", r)
+	}
+	r100 := HoeffdingRadius(100, 0.05)
+	r400 := HoeffdingRadius(400, 0.05)
+	if math.Abs(r100/r400-2) > 1e-12 {
+		t.Fatalf("radius should halve when m quadruples: %g vs %g", r100, r400)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricKS.String() != "KS" || MetricDiscrepancy.String() != "discrepancy" {
+		t.Fatal("metric names wrong")
+	}
+}
+
+// The ECDF of the identity UDF on a known input must satisfy the KS
+// guarantee against the analytic CDF.
+func TestEvaluateMeetsKSGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	input := dist.NewIndependent(dist.Normal{Mu: 5, Sigma: 0.5})
+	const eps, delta = 0.05, 0.05
+	failures := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		res, err := Evaluate(identity1D(), input, Config{Eps: eps, Delta: delta, Metric: MetricKS}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := ecdf.KSAgainst(res.Dist, dist.Normal{Mu: 5, Sigma: 0.5}.CDF)
+		if ks > eps {
+			failures++
+		}
+	}
+	// With δ=0.05 per trial, 20 trials should rarely see >3 failures.
+	if failures > 3 {
+		t.Fatalf("KS guarantee violated in %d/%d trials", failures, trials)
+	}
+}
+
+func TestEvaluateDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1}, dist.Normal{Mu: 0, Sigma: 1})
+	if _, err := Evaluate(identity1D(), input, Config{}, rng); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestEvaluateCountsUDFCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counter := udf.NewCounter(identity1D(), 0, nil)
+	input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1})
+	cfg := Config{Eps: 0.1, Delta: 0.05, Metric: MetricKS}
+	res, err := Evaluate(counter, input, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SampleSize(0.1, 0.05, MetricKS)
+	if res.Samples != want || res.UDFCalls != want || counter.Calls() != want {
+		t.Fatalf("samples=%d calls=%d counter=%d, want %d", res.Samples, res.UDFCalls, counter.Calls(), want)
+	}
+	if res.Filtered {
+		t.Fatal("unexpected filtering without predicate")
+	}
+}
+
+func TestOnlineFilterDropsLowTEP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Output ~ N(0, 1); predicate on [10, 11] has essentially zero mass.
+	input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1})
+	counter := udf.NewCounter(identity1D(), 0, nil)
+	cfg := Config{
+		Eps: 0.02, Delta: 0.05, Metric: MetricKS,
+		Predicate: &Predicate{A: 10, B: 11, Theta: 0.1},
+	}
+	res, err := Evaluate(counter, input, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Filtered {
+		t.Fatal("tuple with TEP≈0 not filtered")
+	}
+	full := SampleSize(cfg.Eps, cfg.Delta, cfg.Metric)
+	if res.UDFCalls >= full/2 {
+		t.Fatalf("filter saved too little: %d of %d calls", res.UDFCalls, full)
+	}
+	if res.Dist != nil {
+		t.Fatal("filtered tuple should not return a distribution")
+	}
+}
+
+func TestOnlineFilterKeepsHighTEP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1})
+	cfg := Config{
+		Eps: 0.05, Delta: 0.05, Metric: MetricKS,
+		Predicate: &Predicate{A: -1, B: 1, Theta: 0.1}, // TEP ≈ 0.68
+	}
+	res, err := Evaluate(identity1D(), input, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Filtered {
+		t.Fatal("tuple with TEP≈0.68 was filtered")
+	}
+	if math.Abs(res.TEP-0.6827) > 0.03 {
+		t.Fatalf("TEP = %g, want ≈ 0.68", res.TEP)
+	}
+	if res.Dist == nil {
+		t.Fatal("missing distribution")
+	}
+}
+
+// False negatives (dropping tuples that should pass) must be essentially
+// zero; false positives (keeping tuples that should drop) are the cheap
+// direction. Paper reports <0.5% false negatives (§6.3 Expt 6).
+func TestFilterFalseNegativeRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	falseNeg := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		// TEP ≈ 0.32 (above θ=0.1): Pr[|N(0,1)| > 1].
+		cfg := Config{
+			Eps: 0.05, Delta: 0.05, Metric: MetricKS,
+			Predicate: &Predicate{A: 1, B: 100, Theta: 0.1},
+		}
+		input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1})
+		res, err := Evaluate(identity1D(), input, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Filtered {
+			falseNeg++
+		}
+	}
+	if falseNeg > 0 {
+		t.Fatalf("false negatives: %d/%d", falseNeg, trials)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	input := dist.NewIndependent(dist.Uniform{A: 0, B: 1})
+	g := GroundTruth(identity1D(), input, 50000, rng)
+	if g.Len() != 50000 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if ks := ecdf.KSAgainst(g, dist.Uniform{A: 0, B: 1}.CDF); ks > 0.02 {
+		t.Fatalf("ground truth KS = %g", ks)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	input := dist.NewIndependent(dist.Normal{Mu: 0, Sigma: 1})
+	res, err := Evaluate(identity1D(), input, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SampleSize(0.1, 0.05, MetricKS) // zero Metric is MetricKS
+	if res.Samples != want {
+		t.Fatalf("default samples = %d, want %d", res.Samples, want)
+	}
+}
+
+func BenchmarkEvaluateEps01(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	input := dist.NewIndependent(dist.Normal{Mu: 5, Sigma: 0.5}, dist.Normal{Mu: 5, Sigma: 0.5})
+	f := udf.Standard(udf.F4, 1)
+	cfg := Config{Eps: 0.1, Delta: 0.05, Metric: MetricDiscrepancy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(f, input, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/mc"
+	"olgapro/internal/udf"
+)
+
+// Iterator is the Volcano-model pull interface. Next returns io.EOF after
+// the last tuple.
+type Iterator interface {
+	Next() (*Tuple, error)
+}
+
+// Drain pulls every tuple from it.
+func Drain(it Iterator) ([]*Tuple, error) {
+	var out []*Tuple
+	for {
+		t, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// --- Scan ---
+
+// Scan iterates over an in-memory relation.
+type Scan struct {
+	tuples []*Tuple
+	pos    int
+}
+
+// NewScan returns a scan over tuples.
+func NewScan(tuples []*Tuple) *Scan { return &Scan{tuples: tuples} }
+
+// Next returns the next tuple or io.EOF.
+func (s *Scan) Next() (*Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// --- Select ---
+
+// Select filters tuples by a predicate on certain attributes.
+type Select struct {
+	In   Iterator
+	Pred func(*Tuple) (bool, error)
+}
+
+// Next returns the next passing tuple.
+func (s *Select) Next() (*Tuple, error) {
+	for {
+		t, err := s.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := s.Pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+}
+
+// --- Project ---
+
+// Project keeps only the named attributes, in order.
+type Project struct {
+	In    Iterator
+	Names []string
+}
+
+// Next returns the projected next tuple.
+func (p *Project) Next() (*Tuple, error) {
+	t, err := p.In.Next()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]Value, len(p.Names))
+	for i, n := range p.Names {
+		v, err := t.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return NewTuple(p.Names, vals)
+}
+
+// --- CrossJoin ---
+
+// CrossJoin produces the cross product of two in-memory relations with
+// prefixed attribute names, as needed by the self-join of query Q2.
+type CrossJoin struct {
+	left, right           []*Tuple
+	leftPrefix, rightPref string
+	i, j                  int
+	skipSelfPairs         bool
+}
+
+// NewCrossJoin builds a cross join; when skipSelfPairs is true, pairs (i, j)
+// with j ≤ i are omitted, giving unordered distinct pairs — the usual form
+// of the Q2 self-join.
+func NewCrossJoin(left []*Tuple, leftPrefix string, right []*Tuple, rightPrefix string, skipSelfPairs bool) *CrossJoin {
+	return &CrossJoin{
+		left: left, right: right,
+		leftPrefix: leftPrefix, rightPref: rightPrefix,
+		skipSelfPairs: skipSelfPairs,
+	}
+}
+
+// Next returns the next joined tuple.
+func (c *CrossJoin) Next() (*Tuple, error) {
+	for {
+		if c.i >= len(c.left) {
+			return nil, io.EOF
+		}
+		if c.j >= len(c.right) {
+			c.i++
+			c.j = 0
+			continue
+		}
+		i, j := c.i, c.j
+		c.j++
+		if c.skipSelfPairs && j <= i {
+			continue
+		}
+		return Concat(c.left[i], c.leftPrefix, c.right[j], c.rightPref)
+	}
+}
+
+// --- UDF application ---
+
+// Engine evaluates a UDF on one uncertain input vector; implemented by
+// *core.Evaluator, MCEngine, and HybridEngine.
+type Engine interface {
+	EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error)
+}
+
+// EvaluatorEngine adapts *core.Evaluator to the Engine interface.
+type EvaluatorEngine struct{ E *core.Evaluator }
+
+// EvalInput runs OLGAPRO on the input.
+func (e EvaluatorEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
+	return e.E.Eval(input, rng)
+}
+
+// MCEngine evaluates UDFs with direct Monte-Carlo simulation.
+type MCEngine struct {
+	F   udf.Func
+	Cfg mc.Config
+}
+
+// EvalInput runs Algorithm 1 on the input.
+func (e MCEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
+	res, err := mc.Evaluate(e.F, input, e.Cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Output{
+		Dist:      res.Dist,
+		Bound:     e.Cfg.Eps,
+		BoundMC:   e.Cfg.Eps,
+		Samples:   res.Samples,
+		UDFCalls:  res.UDFCalls,
+		Filtered:  res.Filtered,
+		TEPLower:  res.TEP,
+		TEPUpper:  res.TEP,
+		MetBudget: true,
+	}, nil
+}
+
+// HybridEngine adapts *core.Hybrid to the Engine interface.
+type HybridEngine struct{ H *core.Hybrid }
+
+// EvalInput routes the input through the hybrid chooser.
+func (e HybridEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
+	out, _, err := e.H.Eval(input, rng)
+	return out, err
+}
+
+// ApplyUDF evaluates a UDF over the named input attributes of each tuple and
+// appends the output distribution as a new attribute. Tuples the engine
+// filters (predicate TEP below threshold) are dropped from the stream —
+// this is the WHERE clause of query Q2. For surviving tuples under a
+// predicate, the appended distribution is *truncated* to the predicate
+// interval with the tuple existence probability attached, matching the
+// paper's semantics ("truncates the distribution ... to the region [l, u],
+// and hence yields a tuple existence probability").
+type ApplyUDF struct {
+	In Iterator
+	// Inputs names the attributes forming the UDF input vector, in order.
+	// Uncertain attributes contribute their distribution; certain numeric
+	// attributes contribute a Constant.
+	Inputs []string
+	// Out is the name of the appended result attribute.
+	Out string
+	// Engine evaluates the UDF.
+	Engine Engine
+	// Rng drives sampling.
+	Rng *rand.Rand
+	// Predicate, when non-nil, truncates surviving result distributions to
+	// [A, B]. It should match the predicate configured on the engine (the
+	// engine's own predicate drives the drop decision; this one drives the
+	// truncation of kept tuples).
+	Predicate *mc.Predicate
+
+	// Dropped counts tuples removed by filtering.
+	Dropped int
+}
+
+// Next returns the next surviving tuple with the UDF result attached.
+func (a *ApplyUDF) Next() (*Tuple, error) {
+	for {
+		t, err := a.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		input, err := a.inputVector(t)
+		if err != nil {
+			return nil, err
+		}
+		out, err := a.Engine.EvalInput(input, a.Rng)
+		if err != nil {
+			return nil, fmt.Errorf("query: UDF %q: %w", a.Out, err)
+		}
+		if out.Filtered {
+			a.Dropped++
+			continue
+		}
+		d := out.Dist
+		tep := out.TEPUpper
+		if a.Predicate != nil && d != nil {
+			truncated, mass := d.Truncate(a.Predicate.A, a.Predicate.B)
+			if mass < a.Predicate.Theta {
+				// The engine kept it but the realized mass is below θ —
+				// drop for consistency with the predicate semantics.
+				a.Dropped++
+				continue
+			}
+			d, tep = truncated, mass
+		}
+		return t.With(a.Out, Result(d, tep)), nil
+	}
+}
+
+// inputVector assembles the joint input distribution from tuple attributes.
+func (a *ApplyUDF) inputVector(t *Tuple) (dist.Vector, error) {
+	comps := make([]dist.Dist, len(a.Inputs))
+	for i, name := range a.Inputs {
+		v, err := t.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case KindUncertain:
+			comps[i] = v.D
+		case KindFloat:
+			comps[i] = dist.Constant{V: v.F}
+		case KindInt:
+			comps[i] = dist.Constant{V: float64(v.I)}
+		default:
+			return nil, fmt.Errorf("query: attribute %q has kind %s, want numeric or uncertain", name, v.Kind)
+		}
+	}
+	return dist.NewIndependent(comps...), nil
+}
+
+// --- Catalog helpers ---
+
+// GalaxyTuple converts an SDSS-style galaxy into a tuple with uncertain
+// position and redshift attributes, the representation of §1:
+// (objID, pos_p, redshift_p, ...).
+func GalaxyTuple(objID int64, ra, dec, raErr, decErr, z, zErr float64) *Tuple {
+	return MustTuple(
+		[]string{"objID", "ra", "dec", "redshift"},
+		[]Value{
+			Int(objID),
+			Uncertain(dist.Normal{Mu: ra, Sigma: raErr}),
+			Uncertain(dist.Normal{Mu: dec, Sigma: decErr}),
+			Uncertain(dist.Normal{Mu: z, Sigma: zErr}),
+		},
+	)
+}

@@ -1,0 +1,387 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r, err := NewRect([]float64{0, 0}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains([]float64{1, 1}) || r.Contains([]float64{3, 1}) {
+		t.Error("Contains wrong")
+	}
+	if got := r.Area(); got != 8 {
+		t.Errorf("Area = %g, want 8", got)
+	}
+	if got := r.Margin(); got != 6 {
+		t.Errorf("Margin = %g, want 6", got)
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+}
+
+func TestNewRectErrors(t *testing.T) {
+	if _, err := NewRect([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Error("lo > hi should error")
+	}
+}
+
+func TestRectUnionIntersects(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	b, _ := NewRect([]float64{2, 2}, []float64{3, 3})
+	if a.Intersects(b) {
+		t.Error("disjoint rects intersect")
+	}
+	u := a.Union(b)
+	if u.Lo[0] != 0 || u.Hi[1] != 3 {
+		t.Errorf("Union = %+v", u)
+	}
+	c, _ := NewRect([]float64{0.5, 0.5}, []float64{2.5, 2.5})
+	if !a.Intersects(c) || !b.Intersects(c) {
+		t.Error("overlapping rects do not intersect")
+	}
+	// Touching boundaries count as intersecting.
+	d, _ := NewRect([]float64{1, 0}, []float64{2, 1})
+	if !a.Intersects(d) {
+		t.Error("touching rects should intersect")
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	cases := []struct {
+		p        []float64
+		min, max float64
+	}{
+		{[]float64{1, 1}, 0, math.Sqrt2},                // inside, farthest corner √2
+		{[]float64{3, 1}, 1, math.Sqrt(9 + 1)},          // right of box
+		{[]float64{-1, -1}, math.Sqrt2, 3 * math.Sqrt2}, // below-left corner
+		{[]float64{1, 5}, 3, math.Sqrt(1 + 25)},         // above
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); math.Abs(got-c.min) > 1e-12 {
+			t.Errorf("MinDist(%v) = %g, want %g", c.p, got, c.min)
+		}
+		if got := r.MaxDist(c.p); math.Abs(got-c.max) > 1e-12 {
+			t.Errorf("MaxDist(%v) = %g, want %g", c.p, got, c.max)
+		}
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	b, _ := NewRect([]float64{4, 5}, []float64{6, 7})
+	want := math.Sqrt(9 + 16)
+	if got := RectDist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RectDist = %g, want %g", got, want)
+	}
+	if got := RectDist(a, a); got != 0 {
+		t.Errorf("RectDist(self) = %g", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	e := r.Expand(0.5)
+	if e.Lo[0] != -0.5 || e.Hi[1] != 1.5 {
+		t.Errorf("Expand = %+v", e)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := [][]float64{{1, 5}, {-2, 3}, {4, 0}}
+	b := BoundingBox(pts)
+	if b.Lo[0] != -2 || b.Lo[1] != 0 || b.Hi[0] != 4 || b.Hi[1] != 5 {
+		t.Errorf("BoundingBox = %+v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingBox(nil) should panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	var tr Tree
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {10, 10}}
+	for i, p := range pts {
+		if err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	q, _ := NewRect([]float64{0.5, 0.5}, []float64{3.5, 3.5})
+	var got []int
+	tr.Search(q, func(id int, _ []float64) bool {
+		got = append(got, id)
+		return true
+	})
+	sort.Ints(got)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Search = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Search = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	var tr Tree
+	if err := tr.Insert([]float64{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]float64{1}, 1); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestInsertCopiesPoint(t *testing.T) {
+	var tr Tree
+	p := []float64{1, 2}
+	if err := tr.Insert(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	q, _ := NewRect([]float64{0, 0}, []float64{3, 3})
+	found := false
+	tr.Search(q, func(_ int, pt []float64) bool {
+		found = pt[0] == 1
+		return true
+	})
+	if !found {
+		t.Fatal("Insert did not copy the point")
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert([]float64{float64(i)}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _ := NewRect([]float64{0}, []float64{100})
+	count := 0
+	tr.Search(q, func(_ int, _ []float64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDepthGrows(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert([]float64{rng.Float64() * 100, rng.Float64() * 100}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tr.Depth(); d < 2 {
+		t.Fatalf("Depth = %d after 500 inserts", d)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// All must visit every point exactly once.
+	seen := make(map[int]bool)
+	tr.All(func(id int, _ []float64) bool {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		return true
+	})
+	if len(seen) != 500 {
+		t.Fatalf("All visited %d points", len(seen))
+	}
+}
+
+// Property: rect Search matches brute-force filtering.
+func TestQuickSearchMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(200)
+		pts := make([][]float64, n)
+		var tr Tree
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.Float64() * 10
+			}
+			if err := tr.Insert(pts[i], i); err != nil {
+				return false
+			}
+		}
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, b := rng.Float64()*10, rng.Float64()*10
+			lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+		}
+		q := Rect{Lo: lo, Hi: hi}
+		var got []int
+		tr.Search(q, func(id int, _ []float64) bool {
+			got = append(got, id)
+			return true
+		})
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SearchNear matches brute-force distance filtering.
+func TestQuickSearchNearMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(150)
+		pts := make([][]float64, n)
+		var tr Tree
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.Float64() * 10
+			}
+			if err := tr.Insert(pts[i], i); err != nil {
+				return false
+			}
+		}
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, b := rng.Float64()*10, rng.Float64()*10
+			lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+		}
+		q := Rect{Lo: lo, Hi: hi}
+		delta := rng.Float64() * 3
+		got := tr.IDsNear(q, delta)
+		var want []int
+		for i, p := range pts {
+			if q.MinDist(p) <= delta {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinDist ≤ dist(p, x) ≤ MaxDist for every x in the rect.
+func TestQuickMinMaxDistEnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, b := rng.NormFloat64()*5, rng.NormFloat64()*5
+			lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+		}
+		r := Rect{Lo: lo, Hi: hi}
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 8
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			var dist float64
+			for j := range x {
+				dd := x[j] - p[j]
+				dist += dd * dd
+			}
+			dist = math.Sqrt(dist)
+			if dist < r.MinDist(p)-1e-9 || dist > r.MaxDist(p)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 10000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr Tree
+		for j, p := range pts {
+			if err := tr.Insert(p, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSearchNear(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var tr Tree
+	for i := 0; i < 10000; i++ {
+		if err := tr.Insert([]float64{rng.Float64() * 100, rng.Float64() * 100}, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, _ := NewRect([]float64{40, 40}, []float64{45, 45})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.IDsNear(q, 5)
+	}
+}

@@ -1,0 +1,305 @@
+// Package olgapro is a Go implementation of "Supporting User-Defined
+// Functions on Uncertain Data" (Tran, Diao, Sutton, Liu — PVLDB 6(6), 2013).
+//
+// Given a black-box scalar UDF f and an uncertain input tuple modeled as a
+// random vector X, the library characterizes the distribution of Y = f(X)
+// with a user-specified (ε, δ) accuracy guarantee in the discrepancy or
+// Kolmogorov–Smirnov metric. Two engines are provided:
+//
+//   - Monte Carlo (EvaluateMC): sample X, evaluate f on every sample, return
+//     the empirical CDF — simple, but each input costs
+//     m = ln(2/δ)/(2ε²) UDF calls.
+//   - OLGAPRO (NewEvaluator): model f online with a Gaussian process and
+//     sample the emulator instead, with simultaneous confidence bands
+//     bounding the combined modeling + sampling error. After convergence an
+//     input costs (almost) no UDF calls, which wins by orders of magnitude
+//     for expensive UDFs.
+//
+// NewHybrid measures the UDF's cost on the fly and routes inputs to
+// whichever engine is cheaper.
+//
+// Quick start:
+//
+//	f := olgapro.Func(1, func(x []float64) float64 { return slowPhysics(x[0]) })
+//	ev, err := olgapro.NewEvaluator(f, olgapro.Config{Eps: 0.1, Delta: 0.05})
+//	...
+//	out, err := ev.Eval(olgapro.NormalInput([]float64{5.0}, 0.5), rng)
+//	fmt.Println(out.Dist.Quantile(0.5), out.Bound)
+//
+// The subpackages under internal implement every substrate from scratch
+// (dense linear algebra, GP regression, empirical-CDF metrics, an R-tree,
+// confidence bands, the astrophysics case-study UDFs); this package is the
+// stable public surface.
+package olgapro
+
+import (
+	"io"
+	"math/rand"
+
+	"olgapro/internal/astro"
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/ecdf"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/query"
+	"olgapro/internal/sdss"
+	"olgapro/internal/udf"
+)
+
+// Core engine types.
+type (
+	// UDF is a black-box scalar user-defined function on ℝᵈ.
+	UDF = udf.Func
+	// Evaluator is the OLGAPRO online GP engine (paper Algorithm 5).
+	Evaluator = core.Evaluator
+	// Config parameterizes an Evaluator; the zero value uses the paper's
+	// defaults (ε = 0.1, δ = 0.05, ε_MC = 0.7ε, λ = 1 %, Γ = 5 %, Δθ = 0.05).
+	Config = core.Config
+	// Output is the per-input result: the distribution, its error bound,
+	// filtering state, and cost counters.
+	Output = core.Output
+	// Stats aggregates evaluator activity.
+	Stats = core.Stats
+	// Hybrid measures UDF cost online and picks the cheaper engine (§5.4).
+	Hybrid = core.Hybrid
+	// HybridConfig parameterizes a Hybrid.
+	HybridConfig = core.HybridConfig
+	// Engine identifies which engine (GP or MC) handled an input.
+	Engine = core.Engine
+	// TuningPolicy selects where online tuning places training points.
+	TuningPolicy = core.TuningPolicy
+	// RetrainPolicy selects when hyperparameters are relearned.
+	RetrainPolicy = core.RetrainPolicy
+)
+
+// Re-exported policy and engine constants.
+const (
+	EngineGP          = core.EngineGP
+	EngineMC          = core.EngineMC
+	TuneMaxVariance   = core.TuneMaxVariance
+	TuneRandom        = core.TuneRandom
+	TuneOptimalGreedy = core.TuneOptimalGreedy
+	RetrainThreshold  = core.RetrainThreshold
+	RetrainEager      = core.RetrainEager
+	RetrainNever      = core.RetrainNever
+)
+
+// Monte-Carlo engine types (§2.2).
+type (
+	// MCConfig parameterizes Monte-Carlo evaluation.
+	MCConfig = mc.Config
+	// MCResult is the Monte-Carlo per-input result.
+	MCResult = mc.Result
+	// MCMetric selects the metric of the (ε,δ) guarantee.
+	MCMetric = mc.Metric
+	// Predicate is a selection predicate f(X) ∈ [A,B] with TEP threshold θ.
+	Predicate = mc.Predicate
+)
+
+// Re-exported metric constants.
+const (
+	MetricKS          = mc.MetricKS
+	MetricDiscrepancy = mc.MetricDiscrepancy
+)
+
+// Distribution types for uncertain attributes.
+type (
+	// Dist is a univariate distribution (uncertain scalar attribute).
+	Dist = dist.Dist
+	// InputVector is the joint distribution of a UDF's input tuple.
+	InputVector = dist.Vector
+	// Normal, Uniform, Exponential, Gamma, Constant model attribute noise.
+	Normal      = dist.Normal
+	Uniform     = dist.Uniform
+	Exponential = dist.Exponential
+	Gamma       = dist.Gamma
+	Constant    = dist.Constant
+	// ECDF is an empirical CDF (the engines' output representation).
+	ECDF = ecdf.ECDF
+	// Envelope carries the mean/lower/upper CDFs behind a GP error bound.
+	Envelope = ecdf.Envelope
+	// Kernel is a GP covariance function.
+	Kernel = kernel.Kernel
+	// Cosmology is the ΛCDM model behind the astrophysics UDFs.
+	Cosmology = astro.Cosmology
+	// Galaxy and Catalog model SDSS-style uncertain objects.
+	Galaxy  = sdss.Galaxy
+	Catalog = sdss.Catalog
+)
+
+// NewEvaluator returns an OLGAPRO evaluator for the UDF.
+func NewEvaluator(f UDF, cfg Config) (*Evaluator, error) {
+	return core.NewEvaluator(f, cfg)
+}
+
+// NewHybrid returns a hybrid MC/GP evaluator for the UDF.
+func NewHybrid(f UDF, cfg HybridConfig) (*Hybrid, error) {
+	return core.NewHybrid(f, cfg)
+}
+
+// EvaluateMC runs the Monte-Carlo baseline (Algorithm 1) on one input.
+func EvaluateMC(f UDF, input InputVector, cfg MCConfig, rng *rand.Rand) (MCResult, error) {
+	return mc.Evaluate(f, input, cfg, rng)
+}
+
+// MCSampleSize returns the Monte-Carlo sample count required for an (ε,δ)
+// guarantee under the given metric.
+func MCSampleSize(eps, delta float64, metric MCMetric) int {
+	return mc.SampleSize(eps, delta, metric)
+}
+
+// Func wraps a plain Go function as a d-input UDF.
+func Func(d int, f func(x []float64) float64) UDF {
+	return udf.FuncOf{D: d, F: f}
+}
+
+// NormalInput returns an independent Gaussian input vector N(mu, σ²I), the
+// paper's default uncertain-tuple model.
+func NormalInput(mu []float64, sigma float64) InputVector {
+	v, err := dist.IsoGaussianVec(mu, sigma)
+	if err != nil {
+		panic(err) // only fails for σ ≤ 0
+	}
+	return v
+}
+
+// Input builds a joint input vector from per-attribute distributions.
+func Input(components ...Dist) InputVector {
+	return dist.NewIndependent(components...)
+}
+
+// SqExpKernel returns the squared-exponential covariance function, the
+// paper's default.
+func SqExpKernel(sigmaF, lengthscale float64) Kernel {
+	return kernel.NewSqExp(sigmaF, lengthscale)
+}
+
+// Matern32Kernel returns the Matérn ν=3/2 covariance function.
+func Matern32Kernel(sigmaF, lengthscale float64) Kernel {
+	return kernel.NewMatern32(sigmaF, lengthscale)
+}
+
+// Matern52Kernel returns the Matérn ν=5/2 covariance function.
+func Matern52Kernel(sigmaF, lengthscale float64) Kernel {
+	return kernel.NewMatern52(sigmaF, lengthscale)
+}
+
+// KS returns the Kolmogorov–Smirnov distance between two empirical CDFs.
+func KS(a, b *ECDF) float64 { return ecdf.KS(a, b) }
+
+// Discrepancy returns the two-sided discrepancy measure between two
+// empirical CDFs (paper Definition 1).
+func Discrepancy(a, b *ECDF) float64 { return ecdf.Discrepancy(a, b) }
+
+// DiscrepancyLambda returns the λ-discrepancy restricted to intervals of
+// length at least lambda (paper Definition 3).
+func DiscrepancyLambda(a, b *ECDF, lambda float64) float64 {
+	return ecdf.DiscrepancyLambda(a, b, lambda)
+}
+
+// DefaultCosmology returns the concordance ΛCDM model (H0=70, Ωm=0.3,
+// ΩΛ=0.7) used by the astrophysics case study.
+func DefaultCosmology() Cosmology { return astro.Default() }
+
+// GalAgeUDF returns the 1-D galaxy-age UDF of query Q1.
+func GalAgeUDF(c Cosmology) UDF { return astro.GalAgeFunc(c) }
+
+// ComoveVolUDF returns the 2-D comoving-volume UDF of query Q2 with a fixed
+// survey area in square degrees.
+func ComoveVolUDF(c Cosmology, areaSqDeg float64) UDF {
+	return astro.ComoveVolFunc(c, areaSqDeg)
+}
+
+// AngDistUDF returns the 2-D angular-distance UDF measuring separation from
+// a fixed reference position (degrees).
+func AngDistUDF(refRA, refDec float64) UDF { return astro.AngDistFunc(refRA, refDec) }
+
+// GenerateCatalog returns a synthetic SDSS-like galaxy catalog with n
+// objects (see internal/sdss for knobs).
+func GenerateCatalog(n int, seed int64) *Catalog {
+	return sdss.Generate(sdss.GenerateConfig{N: n, Seed: seed})
+}
+
+// Relational layer re-exports: tuples with uncertain attributes and the
+// operators needed for Q1/Q2-style queries.
+type (
+	Tuple        = query.Tuple
+	Value        = query.Value
+	Iterator     = query.Iterator
+	ScanOp       = query.Scan
+	SelectOp     = query.Select
+	ProjectOp    = query.Project
+	CrossJoinOp  = query.CrossJoin
+	ApplyUDFOp   = query.ApplyUDF
+	QueryEngine  = query.Engine
+	MCEngine     = query.MCEngine
+	HybridEngine = query.HybridEngine
+)
+
+// NewScan returns a scan over an in-memory relation.
+func NewScan(tuples []*Tuple) *ScanOp { return query.NewScan(tuples) }
+
+// Drain pulls all tuples from an iterator.
+func Drain(it Iterator) ([]*Tuple, error) { return query.Drain(it) }
+
+// GalaxyTuple converts catalog attributes into an uncertain tuple.
+func GalaxyTuple(objID int64, ra, dec, raErr, decErr, z, zErr float64) *Tuple {
+	return query.GalaxyTuple(objID, ra, dec, raErr, decErr, z, zErr)
+}
+
+// GPEngine adapts an Evaluator for use in query plans.
+func GPEngine(e *Evaluator) QueryEngine { return query.EvaluatorEngine{E: e} }
+
+// NewECDF builds an empirical CDF from samples (copied and sorted).
+func NewECDF(samples []float64) *ECDF { return ecdf.New(samples) }
+
+// NewCrossJoin returns the cross product of two relations with prefixed
+// attribute names; skipSelfPairs keeps only unordered distinct pairs, the
+// usual form of a self-join like query Q2.
+func NewCrossJoin(left []*Tuple, leftPrefix string, right []*Tuple, rightPrefix string, skipSelfPairs bool) *CrossJoinOp {
+	return query.NewCrossJoin(left, leftPrefix, right, rightPrefix, skipSelfPairs)
+}
+
+// AngDist4UDF returns the 4-D angular-distance UDF Distance(G1.pos, G2.pos)
+// where both positions are uncertain.
+func AngDist4UDF() UDF { return astro.AngDistFunc4() }
+
+// Extensions beyond the paper (its §8 future work and production needs).
+
+// Multivariate-output support: one GP per output component with shared UDF
+// evaluations.
+type (
+	// MultiUDF is a black-box vector-valued UDF f: ℝᵈ → ℝᵏ.
+	MultiUDF = core.MultiFunc
+	// MultiEvaluator runs OLGAPRO per output component.
+	MultiEvaluator = core.MultiEvaluator
+	// Snapshot is the serializable state of a trained evaluator.
+	Snapshot = core.Snapshot
+)
+
+// MultiFunc wraps a plain Go function as a d-input, k-output UDF.
+func MultiFunc(d, k int, f func(x []float64, out []float64) []float64) MultiUDF {
+	return core.MultiFuncOf{D: d, K: k, F: f}
+}
+
+// NewMultiEvaluator builds one OLGAPRO evaluator per output component of a
+// vector-valued UDF, sharing UDF evaluations across components.
+func NewMultiEvaluator(f MultiUDF, cfg Config) (*MultiEvaluator, error) {
+	return core.NewMultiEvaluator(f, cfg)
+}
+
+// SqExpARDKernel returns the squared-exponential kernel with per-dimension
+// lengthscales (automatic relevance determination) for high-dimensional
+// inputs.
+func SqExpARDKernel(sigmaF float64, lengthscales []float64) Kernel {
+	return kernel.NewSqExpARD(sigmaF, lengthscales)
+}
+
+// LoadEvaluator restores a saved evaluator for the UDF from r; save with
+// (*Evaluator).Save. The snapshot carries the training pairs and learned
+// hyperparameters, so the restored evaluator keeps its accumulated knowledge
+// without re-paying UDF calls.
+func LoadEvaluator(f UDF, cfg Config, r io.Reader) (*Evaluator, error) {
+	return core.Load(f, cfg, r)
+}
