@@ -1,0 +1,37 @@
+# Local targets mirror .github/workflows/ci.yml step for step so a green
+# `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: build test vet fmt fmt-fix race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails listing any unformatted file (the CI check); fmt-fix rewrites.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+# The statistical suites in internal/bench take ~35 min under the race
+# detector, so the race pass runs them in -short mode; the full suites run
+# race-free in `test`.
+race:
+	$(GO) test -race -short ./...
+
+# Compile- and run-check every benchmark once without timing it.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt test race bench

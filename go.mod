@@ -1,0 +1,3 @@
+module olgapro
+
+go 1.24

@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Uniform is the continuous uniform distribution on [A, B]. A zero B with
+// B ≤ A is not special-cased: a degenerate interval behaves as a point mass
+// at A.
+type Uniform struct {
+	A, B float64
+}
+
+// Sample draws uniformly from [A, B).
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	if u.B <= u.A {
+		return u.A
+	}
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// PDF returns 1/(B−A) inside the interval and 0 outside.
+func (u Uniform) PDF(x float64) float64 {
+	if u.B <= u.A {
+		return Constant{V: u.A}.PDF(x)
+	}
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF returns the clamped linear ramp.
+func (u Uniform) CDF(x float64) float64 {
+	if u.B <= u.A {
+		return Constant{V: u.A}.CDF(x)
+	}
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	}
+	return (x - u.A) / (u.B - u.A)
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 {
+	if u.B <= u.A {
+		return u.A
+	}
+	return (u.A + u.B) / 2
+}
+
+// Variance returns (B−A)²/12.
+func (u Uniform) Variance() float64 {
+	if u.B <= u.A {
+		return 0
+	}
+	w := u.B - u.A
+	return w * w / 12
+}
+
+// Support returns (A, B).
+func (u Uniform) Support() (lo, hi float64) {
+	if u.B <= u.A {
+		return u.A, u.A
+	}
+	return u.A, u.B
+}
+
+// Exponential is the exponential distribution with rate Rate (mean 1/Rate).
+// A non-positive rate degenerates to a point mass at 0, matching the other
+// families' handling of invalid parameters.
+type Exponential struct {
+	Rate float64 // λ > 0
+}
+
+// Sample draws via the stdlib exponential variate scaled to the rate.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	if e.Rate <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() / e.Rate
+}
+
+// PDF returns λ·e^(−λx) for x ≥ 0.
+func (e Exponential) PDF(x float64) float64 {
+	if e.Rate <= 0 {
+		return Constant{V: 0}.PDF(x)
+	}
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF returns 1 − e^(−λx), computed with expm1 for small-x accuracy.
+func (e Exponential) CDF(x float64) float64 {
+	if e.Rate <= 0 {
+		return Constant{V: 0}.CDF(x)
+	}
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Mean returns 1/λ.
+func (e Exponential) Mean() float64 {
+	if e.Rate <= 0 {
+		return 0
+	}
+	return 1 / e.Rate
+}
+
+// Variance returns 1/λ².
+func (e Exponential) Variance() float64 {
+	if e.Rate <= 0 {
+		return 0
+	}
+	return 1 / (e.Rate * e.Rate)
+}
+
+// Support returns (0, +Inf).
+func (e Exponential) Support() (lo, hi float64) {
+	if e.Rate <= 0 {
+		return 0, 0
+	}
+	return 0, math.Inf(1)
+}
+
+// Constant is a point mass at V: the representation of a *certain* numeric
+// attribute inside an otherwise uncertain tuple (the relational layer wraps
+// plain floats in it when assembling UDF input vectors).
+type Constant struct {
+	V float64
+}
+
+// Sample returns V.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// PDF is +Inf at the atom and 0 elsewhere (a Dirac mass has no density).
+func (c Constant) PDF(x float64) float64 {
+	if x == c.V {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// CDF is the unit step at V.
+func (c Constant) CDF(x float64) float64 {
+	if x < c.V {
+		return 0
+	}
+	return 1
+}
+
+// Mean returns V.
+func (c Constant) Mean() float64 { return c.V }
+
+// Variance returns 0.
+func (c Constant) Variance() float64 { return 0 }
+
+// Support returns (V, V).
+func (c Constant) Support() (lo, hi float64) { return c.V, c.V }

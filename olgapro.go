@@ -159,7 +159,7 @@ func Func(d int, f func(x []float64) float64) UDF {
 func NormalInput(mu []float64, sigma float64) InputVector {
 	v, err := dist.IsoGaussianVec(mu, sigma)
 	if err != nil {
-		panic(err) // only fails for σ ≤ 0
+		panic(err) // only fails for σ ≤ 0 or an empty mean vector
 	}
 	return v
 }
