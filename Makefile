@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-fix race bench ci
+.PHONY: build test vet fmt fmt-fix race bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -34,4 +34,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt test race bench
+# bench-json runs the focused perf-trajectory harness (steady-state
+# inference, GP.Add growth, full EvalSamples, filtering, GradHess) and
+# writes BENCH_PR2.json with ns/op, B/op, allocs/op. CI uploads the file as
+# a workflow artifact; compare against the committed trajectory entry.
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_PR2.json
+
+ci: build vet fmt test race bench bench-json

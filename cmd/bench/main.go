@@ -1,0 +1,302 @@
+// Command bench runs the focused performance microbenchmark suite behind the
+// BENCH_*.json trajectory files: steady-state GP inference, incremental model
+// growth, the full per-tuple evaluation loop, the filtering fast path, and
+// the hyperparameter gradient/Hessian used by online retraining.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_PR2.json [-baseline before.json] [-label name]
+//
+// The output is a JSON trajectory entry with ns/op, B/op, and allocs/op per
+// benchmark so future performance PRs can diff against a recorded baseline.
+// With -baseline, the named earlier run is embedded as "before" and
+// per-benchmark speedups are computed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/gp"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/udf"
+)
+
+// Result records one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Run is the file format of one harness invocation.
+type Run struct {
+	Schema     string   `json:"schema"`
+	Label      string   `json:"label,omitempty"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Comparison is the trajectory entry written when -baseline is given.
+type Comparison struct {
+	Schema   string             `json:"schema"`
+	Date     string             `json:"date"`
+	Before   *Run               `json:"before"`
+	After    *Run               `json:"after"`
+	Speedups map[string]float64 `json:"speedup_ns_op"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	res := Result{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %12d B/op %8d allocs/op\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+// smoothUDF is the 2-D test function used throughout: smooth enough for the
+// GP to emulate quickly, nonlinear enough to need a real model.
+func smoothUDF() udf.Func {
+	return udf.FuncOf{D: 2, F: func(x []float64) float64 {
+		return x[0]*x[0] + 0.5*x[1] + 0.3*x[0]*x[1]
+	}}
+}
+
+// trainedGP builds an n-point GP over [0,1]² with well-separated inputs.
+func trainedGP(n int) *gp.GP {
+	rng := rand.New(rand.NewSource(42))
+	g := gp.New(kernel.NewSqExp(1, 0.3), 1e-6)
+	f := smoothUDF()
+	for g.Len() < n {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if err := g.Add(x, f.Eval(x)); err != nil {
+			continue // numerically duplicate draw; try another
+		}
+	}
+	return g
+}
+
+// benchPredictBatch measures steady-state batch inference with
+// caller-provided output buffers: the per-sample loop of Algorithm 5.
+func benchPredictBatch(b *testing.B) {
+	g := trainedGP(400)
+	rng := rand.New(rand.NewSource(7))
+	const m = 1000
+	xs := make([][]float64, m)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PredictBatch(xs, means, vars)
+	}
+}
+
+// benchPredictBatchScratch measures the same loop through the
+// caller-provided-scratch entry point, the form the evaluator hot path
+// uses: steady state must be zero allocations per op.
+func benchPredictBatchScratch(b *testing.B) {
+	g := trainedGP(400)
+	rng := rand.New(rand.NewSource(7))
+	const m = 1000
+	xs := make([][]float64, m)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	var s gp.Scratch
+	g.PredictBatchWith(&s, xs, means, vars) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PredictBatchWith(&s, xs, means, vars)
+	}
+}
+
+// benchAddGrowth measures growing a model point-by-point to n=2000 via the
+// incremental bordered Cholesky update (paper §5.2).
+func benchAddGrowth(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	f := smoothUDF()
+	const n = 2000
+	xs := make([][]float64, 0, n)
+	ys := make([]float64, 0, n)
+	for len(xs) < n {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		xs = append(xs, x)
+		ys = append(ys, f.Eval(x))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gp.New(kernel.NewSqExp(1, 0.3), 1e-6)
+		for j := range xs {
+			if err := g.Add(xs[j], ys[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// warmEvaluator returns an evaluator whose model has converged on the
+// workload, so benchmarked Eval calls measure the steady state.
+func warmEvaluator(pred *mc.Predicate) (*core.Evaluator, dist.Vector, [][]float64) {
+	cfg := core.Config{
+		Kernel:         kernel.NewSqExp(1, 0.5),
+		SampleOverride: 1000,
+	}
+	cfg.Predicate = pred
+	ev, err := core.NewEvaluator(smoothUDF(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in, err := dist.IsoGaussianVec([]float64{0.5, 0.5}, 0.15)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := ev.Eval(in, rng); err != nil {
+			panic(err)
+		}
+	}
+	samples := make([][]float64, ev.SampleBudget())
+	for i := range samples {
+		samples[i] = in.SampleVec(rng, nil)
+	}
+	return ev, in, samples
+}
+
+// benchEvalSamples measures one full steady-state EvalSamples tuple.
+func benchEvalSamples(b *testing.B) {
+	ev, _, samples := warmEvaluator(nil)
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalSamples(samples, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFilterFastPath measures the chunked filtering fast path (§5.5): the
+// predicate range is far from the output distribution, so tuples are dropped
+// after the first inference chunk.
+func benchFilterFastPath(b *testing.B) {
+	pred := &mc.Predicate{A: 100, B: 200, Theta: 0.5}
+	ev, _, samples := warmEvaluator(pred)
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ev.EvalSamples(samples, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Filtered {
+			b.Fatal("tuple unexpectedly not filtered")
+		}
+	}
+}
+
+// benchGradHess measures the gradient+diagonal-Hessian computation driving
+// the online retraining heuristic (§5.3) at n=300.
+func benchGradHess(b *testing.B) {
+	g := trainedGP(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grad, hess := g.GradHess()
+		if len(grad) == 0 || len(hess) == 0 {
+			b.Fatal("empty gradient")
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the run (or comparison) JSON to this file; stdout when empty")
+	baseline := flag.String("baseline", "", "earlier run JSON to embed as the before side")
+	label := flag.String("label", "", "label recorded in the run")
+	flag.Parse()
+
+	run := &Run{
+		Schema:     "olgapro-bench/v1",
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	run.Results = append(run.Results,
+		measure("predict_batch_steady", benchPredictBatch),
+		measure("predict_batch_scratch", benchPredictBatchScratch),
+		measure("gp_add_growth_2000", benchAddGrowth),
+		measure("eval_samples_steady", benchEvalSamples),
+		measure("filter_fast_path", benchFilterFastPath),
+		measure("grad_hess_n300", benchGradHess),
+	)
+
+	var payload any = run
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var before Run
+		if err := json.Unmarshal(raw, &before); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		cmp := &Comparison{
+			Schema:   "olgapro-bench-cmp/v1",
+			Date:     run.Date,
+			Before:   &before,
+			After:    run,
+			Speedups: map[string]float64{},
+		}
+		byName := map[string]Result{}
+		for _, r := range before.Results {
+			byName[r.Name] = r
+		}
+		for _, r := range run.Results {
+			if b, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
+				cmp.Speedups[r.Name] = b.NsPerOp / r.NsPerOp
+			}
+		}
+		payload = cmp
+	}
+
+	enc, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}

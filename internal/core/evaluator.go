@@ -34,6 +34,11 @@ type Evaluator struct {
 	haveY      bool
 
 	stats Stats
+
+	// scratch is the persistent workspace behind the near-zero-allocation
+	// hot path; see evalScratch. Its presence is why an Evaluator must not
+	// be shared between goroutines.
+	scratch evalScratch
 }
 
 // NewEvaluator validates the configuration and returns an evaluator with an
@@ -153,25 +158,6 @@ func (e *Evaluator) zAlpha(box rtree.Rect) float64 {
 	return band.ZAlphaForKernel(e.deltaGP, e.cfg.Kernel, box.Lo, box.Hi)
 }
 
-// envelopeOf builds the three empirical CDFs Ŷ′, Y′_S, Y′_L from the
-// inferred means and variances of the first n samples.
-func envelopeOf(means, vars []float64, zAlpha float64, n int) ecdf.Envelope {
-	mean := make([]float64, n)
-	lower := make([]float64, n)
-	upper := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sd := math.Sqrt(vars[i])
-		mean[i] = means[i]
-		lower[i] = means[i] - zAlpha*sd
-		upper[i] = means[i] + zAlpha*sd
-	}
-	return ecdf.Envelope{
-		Mean:  ecdf.New(mean),
-		Lower: ecdf.New(lower),
-		Upper: ecdf.New(upper),
-	}
-}
-
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0
@@ -183,17 +169,26 @@ func clamp01(v float64) float64 {
 }
 
 // Eval processes one uncertain input tuple and returns its approximate
-// output distribution with an error bound (Algorithm 5).
+// output distribution with an error bound (Algorithm 5). The Monte-Carlo
+// sample matrix is drawn into one flat, evaluator-owned backing array that
+// is reused by the next Eval call.
 func (e *Evaluator) Eval(input dist.Vector, rng *rand.Rand) (*Output, error) {
 	if input.Dim() != e.f.Dim() {
 		return nil, fmt.Errorf("core: input dim %d ≠ UDF dim %d", input.Dim(), e.f.Dim())
 	}
 	// Step 1: draw the Monte-Carlo input samples.
-	samples := make([][]float64, e.samples)
-	for i := range samples {
-		samples[i] = input.SampleVec(rng, nil)
+	sc := &e.scratch
+	m, d := e.samples, e.f.Dim()
+	data := resizeFloats(&sc.sampleData, m*d)
+	if cap(sc.samples) < m {
+		sc.samples = make([][]float64, m)
 	}
-	return e.EvalSamples(samples, rng)
+	sc.samples = sc.samples[:m]
+	for i := range sc.samples {
+		row := data[i*d : (i+1)*d : (i+1)*d]
+		sc.samples[i] = input.SampleVec(rng, row)
+	}
+	return e.EvalSamples(sc.samples, rng)
 }
 
 // EvalSamples runs Algorithm 5 on pre-drawn input samples. Callers that
@@ -211,6 +206,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	e.stats.Inputs++
 	m := len(samples)
 	out := &Output{BoundMC: e.epsMC, Samples: m}
+	sc := &e.scratch
 
 	// Bootstrap: the online algorithm needs at least two observations to
 	// know anything about the output scale.
@@ -222,13 +218,13 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	box := rtree.BoundingBox(samples)
 	gammaThresh := e.gammaThreshold()
 	ids, gamma := e.selectLocal(samples, gammaThresh)
-	lc, err := e.buildLocal(ids, gamma)
-	if err != nil {
+	lc := &sc.lc
+	if err := e.buildLocal(lc, ids, gamma); err != nil {
 		return nil, err
 	}
 
-	means := make([]float64, m)
-	vars := make([]float64, m)
+	means := resizeFloats(&sc.means, m)
+	vars := resizeFloats(&sc.vars, m)
 	zA := e.zAlpha(box)
 
 	// Steps 3–4 (filtering fast path): run inference in chunks and drop the
@@ -247,7 +243,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 			if !checking {
 				continue
 			}
-			env := envelopeOf(means, vars, zA, processed)
+			env := sc.env.envelopeOf(means, vars, zA, processed)
 			rhoU := clamp01(env.Lower.CDF(pred.B) - env.Upper.CDF(pred.A))
 			if rhoU+mc.HoeffdingRadius(processed, e.deltaMC) < pred.Theta {
 				if !e.cfg.FilterTrustModel {
@@ -282,12 +278,12 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	// Steps 5–7: error-bound loop with online tuning.
 	lambda := e.lambda(means)
 	out.Lambda = lambda
-	skip := make(map[int]bool)
+	sc.skip.reset(m)
 	var env ecdf.Envelope
 	var boundGP float64
 	for iter := 0; ; iter++ {
-		env = envelopeOf(means, vars, zA, m)
-		boundGP = env.DiscrepancyBound(lambda)
+		env = sc.env.envelopeOf(means, vars, zA, m)
+		boundGP = env.DiscrepancyBoundWith(&sc.bound, lambda)
 		if boundGP <= e.epsGP {
 			out.MetBudget = true
 			break
@@ -295,11 +291,11 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 		if iter >= e.cfg.MaxAddPerInput {
 			break
 		}
-		idx := e.pickSample(samples, means, vars, lc, lambda, zA, skip, rng)
+		idx := e.pickSample(samples, means, vars, lc, lambda, zA, &sc.skip, rng)
 		if idx < 0 {
 			break
 		}
-		skip[idx] = true
+		sc.skip.add(idx)
 		if err := e.addPoint(samples[idx], out); err != nil {
 			if errors.Is(err, gp.ErrDuplicatePoint) {
 				continue // try a different sample next iteration
@@ -309,8 +305,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 		newID := e.g.Len() - 1
 		if err := lc.extend(e, newID); err != nil {
 			// Fall back to a full rebuild if the incremental update failed.
-			ids, gamma = e.selectLocal(samples, gammaThresh)
-			if lc, err = e.buildLocal(ids, gamma); err != nil {
+			if err := e.rebuildLocal(lc, samples); err != nil {
 				return nil, err
 			}
 		}
@@ -331,14 +326,13 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 			e.stats.Retrainings++
 			out.Retrained = true
 			// Rerun inference under the new hyperparameters.
-			ids, gamma = e.selectLocal(samples, gammaThresh)
-			if lc, err = e.buildLocal(ids, gamma); err != nil {
+			if err := e.rebuildLocal(lc, samples); err != nil {
 				return nil, err
 			}
 			lc.predictInto(e, samples, means, vars, 0, m)
 			zA = e.zAlpha(box)
-			env = envelopeOf(means, vars, zA, m)
-			boundGP = env.DiscrepancyBound(lambda)
+			env = sc.env.envelopeOf(means, vars, zA, m)
+			boundGP = env.DiscrepancyBoundWith(&sc.bound, lambda)
 			out.MetBudget = boundGP <= e.epsGP
 		}
 	}
@@ -357,8 +351,11 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 		}
 	}
 
-	out.Dist = env.Mean
-	out.Envelope = &env
+	// The envelope built so far aliases scratch reused by the next Eval;
+	// hand the caller an owned copy.
+	owned := ownedEnvelope(env)
+	out.Dist = owned.Mean
+	out.Envelope = &owned
 	out.BoundGP = boundGP
 	out.Bound = boundGP + e.epsMC
 	out.ZAlpha = zA
@@ -444,22 +441,27 @@ func (e *Evaluator) verifyFilter(samples [][]float64, means, vars []float64,
 	if best < 0 {
 		return true, nil
 	}
-	checks := []int{best}
+	var checks [3]int
+	nchecks := 0
+	checks[nchecks] = best
+	nchecks++
 	if maxVarIdx >= 0 && maxVarIdx != best {
-		checks = append(checks, maxVarIdx)
+		checks[nchecks] = maxVarIdx
+		nchecks++
 	}
 	// A model-independent probe: if the tuple truly satisfies the predicate
 	// with probability ≥ θ, a uniformly random sample lands in the
 	// predicate range with at least that probability — catching exactly the
 	// failures the model-guided probes share blind spots on.
 	if r := rng.Intn(processed); r != best && r != maxVarIdx {
-		checks = append(checks, r)
+		checks[nchecks] = r
+		nchecks++
 	}
 	slack := 1e-9 + 0.01*e.outputRange()
 	var x []float64
 	var y float64
 	failed := false
-	for _, idx := range checks {
+	for _, idx := range checks[:nchecks] {
 		x = samples[idx]
 		y = e.f.Eval(x)
 		e.stats.UDFCalls++
@@ -495,12 +497,9 @@ func (e *Evaluator) verifyFilter(samples [][]float64, means, vars []float64,
 		if lerr := lc.extend(e, id); lerr != nil {
 			// Rebuild lazily: the caller re-runs predictInto which only
 			// needs a valid factorization; rebuild the local model now.
-			ids, gamma := e.selectLocal(samples, e.gammaThreshold())
-			nlc, berr := e.buildLocal(ids, gamma)
-			if berr != nil {
+			if berr := e.rebuildLocal(lc, samples); berr != nil {
 				return false, berr
 			}
-			*lc = *nlc
 		}
 	}
 	return false, nil

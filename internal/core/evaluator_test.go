@@ -253,16 +253,15 @@ func TestLocalInferenceRespectsGamma(t *testing.T) {
 	if gamma > gammaThresh {
 		t.Fatalf("γ = %g exceeds Γ = %g", gamma, gammaThresh)
 	}
-	lc, err := e.buildLocal(ids, gamma)
-	if err != nil {
+	var lc localCtx
+	if err := e.buildLocal(&lc, ids, gamma); err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) < e.GP().Len() {
 		// Only meaningful when something was actually excluded.
-		var kbuf []float64
+		var pb predictBuf
 		for _, s := range samples {
-			var localMean float64
-			localMean, _, kbuf = lc.predict(e, s, kbuf)
+			localMean, _ := lc.predict(e, s, &pb)
 			globalMean := e.GP().PredictMean(s)
 			if diff := math.Abs(globalMean - localMean); diff > gamma+1e-9 {
 				t.Fatalf("local mean deviates %g > γ %g", diff, gamma)

@@ -16,6 +16,11 @@ import (
 // for predictive variances. Posterior means use the *global* weight vector α
 // restricted to the subset, exactly the f̂_L(x) = K(x, X*_L) α_L of §5.1,
 // whose deviation from global inference is what the γ bound controls.
+//
+// A localCtx lives inside the evaluator's evalScratch and is rebuilt in
+// place: ids, xs, and the packed Cholesky store are all reused across
+// tuples, so steady-state construction costs no allocation beyond the
+// R-tree query.
 type localCtx struct {
 	ids  []int
 	xs   [][]float64
@@ -24,28 +29,46 @@ type localCtx struct {
 	gamma float64
 }
 
-// buildLocal factorizes the Gram matrix of the selected points.
-func (e *Evaluator) buildLocal(ids []int, gamma float64) (*localCtx, error) {
-	lc := &localCtx{ids: ids, gamma: gamma}
-	lc.xs = make([][]float64, len(ids))
-	for i, id := range ids {
-		lc.xs[i] = e.g.X(id)
+// predictBuf is one worker's reusable inference buffers: the kernel
+// cross-vector and the forward-solve half of the variance computation.
+type predictBuf struct {
+	k, v []float64
+}
+
+// buildLocal (re)factorizes the Gram matrix of the selected points into lc,
+// reusing its storage. ids is copied, so callers may reuse the backing.
+func (e *Evaluator) buildLocal(lc *localCtx, ids []int, gamma float64) error {
+	lc.gamma = gamma
+	lc.ids = append(lc.ids[:0], ids...)
+	lc.xs = lc.xs[:0]
+	for _, id := range ids {
+		lc.xs = append(lc.xs, e.g.X(id))
 	}
-	gram := kernel.Gram(e.cfg.Kernel, lc.xs)
+	sc := &e.scratch
+	sc.gram = kernel.GramInto(sc.gram, e.cfg.Kernel, lc.xs)
 	for i := range ids {
-		gram.Add(i, i, e.g.Noise())
+		sc.gram.Add(i, i, e.g.Noise())
 	}
-	if _, err := lc.chol.FactorizeJittered(gram, e.g.Noise()*10, 8); err != nil {
-		return nil, fmt.Errorf("core: local gram: %w", err)
+	if _, err := lc.chol.FactorizeJittered(sc.gram, e.g.Noise()*10, 8); err != nil {
+		return fmt.Errorf("core: local gram: %w", err)
 	}
-	return lc, nil
+	return nil
+}
+
+// rebuildLocal reselects the local subset for the samples and refactorizes
+// lc in place — the fallback used whenever the incremental extend fails or
+// hyperparameters changed under the context.
+func (e *Evaluator) rebuildLocal(lc *localCtx, samples [][]float64) error {
+	ids, gamma := e.selectLocal(samples, e.gammaThreshold())
+	return e.buildLocal(lc, ids, gamma)
 }
 
 // extend adds the training point with the given global index (which must
 // already be in the evaluator's GP) to the local subset in O(l²).
 func (lc *localCtx) extend(e *Evaluator, id int) error {
 	x := e.g.X(id)
-	k := make([]float64, len(lc.xs))
+	pb := e.scratch.buf(0)
+	k := resizeFloats(&pb.k, len(lc.xs))
 	for i, xi := range lc.xs {
 		k[i] = e.cfg.Kernel.Eval(xi, x)
 	}
@@ -57,43 +80,49 @@ func (lc *localCtx) extend(e *Evaluator, id int) error {
 	return nil
 }
 
-// predict returns the local posterior mean and variance at x. The local
-// variance conditions on fewer points than the global one, so it is an
-// overestimate — conservative for the error bound.
-func (lc *localCtx) predict(e *Evaluator, x []float64, kbuf []float64) (mean, variance float64, _ []float64) {
+// predict returns the local posterior mean and variance at x using the
+// worker buffers pb. It allocates nothing once pb has grown to the subset
+// size. The local variance conditions on fewer points than the global one,
+// so it is an overestimate — conservative for the error bound.
+func (lc *localCtx) predict(e *Evaluator, x []float64, pb *predictBuf) (mean, variance float64) {
 	prior := e.cfg.Kernel.Eval(x, x)
 	if len(lc.xs) == 0 {
-		return 0, prior, kbuf
+		return 0, prior
 	}
-	kbuf = kernel.CrossVec(e.cfg.Kernel, lc.xs, x, kbuf)
+	l := len(lc.xs)
+	k := resizeFloats(&pb.k, l)
+	kernel.CrossVec(e.cfg.Kernel, lc.xs, x, k)
 	alpha := e.g.Alpha()
 	for i, id := range lc.ids {
-		mean += kbuf[i] * alpha[id]
+		mean += k[i] * alpha[id]
 	}
-	v := lc.chol.ForwardSolve(kbuf)
+	v := resizeFloats(&pb.v, l)
+	lc.chol.ForwardSolveTo(v, k)
 	variance = prior - mat.Dot(v, v)
 	if variance < 0 {
 		variance = 0
 	}
-	return mean, variance, kbuf
+	return mean, variance
 }
 
 // predictInto fills means[i], vars[i] for samples[lo:hi], fanning the work
 // out across Config.Parallelism goroutines when the range is large enough
-// to amortize their cost. Inference is read-only on the local model, which
-// is what makes this parallelization safe — the paper lists parallel
-// processing as future work (§8), and the per-sample O(l²) variance
-// computation is the dominant cost it targets.
+// to amortize their cost. Inference is read-only on the local model and each
+// worker owns a distinct predictBuf, which is what makes this
+// parallelization safe — the paper lists parallel processing as future work
+// (§8), and the per-sample O(l²) variance computation is the dominant cost
+// it targets.
 func (lc *localCtx) predictInto(e *Evaluator, samples [][]float64, means, vars []float64, lo, hi int) {
 	p := e.cfg.Parallelism
 	const minPerWorker = 128
 	if p <= 1 || hi-lo < 2*minPerWorker {
-		lc.predictRange(e, samples, means, vars, lo, hi)
+		lc.predictRange(e, samples, means, vars, lo, hi, e.scratch.buf(0))
 		return
 	}
 	if max := (hi - lo) / minPerWorker; p > max {
 		p = max
 	}
+	e.scratch.growBufs(p) // before spawning: workers must not resize the pool
 	var wg sync.WaitGroup
 	chunk := (hi - lo + p - 1) / p
 	for w := 0; w < p; w++ {
@@ -106,19 +135,19 @@ func (lc *localCtx) predictInto(e *Evaluator, samples [][]float64, means, vars [
 			break
 		}
 		wg.Add(1)
-		go func(s, t int) {
+		go func(s, t int, pb *predictBuf) {
 			defer wg.Done()
-			lc.predictRange(e, samples, means, vars, s, t)
-		}(s, t)
+			lc.predictRange(e, samples, means, vars, s, t, pb)
+		}(s, t, e.scratch.buf(w))
 	}
 	wg.Wait()
 }
 
-// predictRange is the sequential kernel of predictInto.
-func (lc *localCtx) predictRange(e *Evaluator, samples [][]float64, means, vars []float64, lo, hi int) {
-	var kbuf []float64
+// predictRange is the sequential kernel of predictInto: zero steady-state
+// heap allocations per sample.
+func (lc *localCtx) predictRange(e *Evaluator, samples [][]float64, means, vars []float64, lo, hi int, pb *predictBuf) {
 	for i := lo; i < hi; i++ {
-		means[i], vars[i], kbuf = lc.predict(e, samples[i], kbuf)
+		means[i], vars[i] = lc.predict(e, samples[i], pb)
 	}
 }
 
@@ -126,13 +155,17 @@ func (lc *localCtx) predictRange(e *Evaluator, samples [][]float64, means, vars 
 // within an adaptively grown radius of the sample bounding box, grown until
 // the dropped-point error bound γ is at most Γ (§5.1). It returns all points
 // under global inference, for non-isotropic kernels, or for tiny models.
+// The returned ids alias evaluator scratch and are only valid until the next
+// selectLocal call (buildLocal copies them).
 func (e *Evaluator) selectLocal(samples [][]float64, gammaThresh float64) (ids []int, gamma float64) {
 	n := e.g.Len()
+	sc := &e.scratch
 	all := func() []int {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
+		out := sc.idBuf[:0]
+		for i := 0; i < n; i++ {
+			out = append(out, i)
 		}
+		sc.idBuf = out
 		return out
 	}
 	iso, isIso := e.cfg.Kernel.(kernel.Isotropic)
@@ -158,15 +191,18 @@ func (e *Evaluator) selectLocal(samples [][]float64, gammaThresh float64) (ids [
 	maxR := e.domainDiameter()
 	r := kernel.RadiusFor(iso, gammaThresh/maxAbsAlpha, maxR)
 	for {
-		idList := e.tree.IDsNear(box, r)
+		sc.idBuf = e.tree.AppendIDsNear(sc.idBuf[:0], box, r)
+		idList := sc.idBuf
 		if len(idList) >= n {
 			return all(), 0
 		}
-		selected := make(map[int]bool, len(idList))
+		// Membership marks replace the map[int]bool formerly rebuilt on
+		// every radius step: one epoch bump plus l stores.
+		sc.sel.reset(n)
 		for _, id := range idList {
-			selected[id] = true
+			sc.sel.add(id)
 		}
-		gamma = e.gammaBound(iso, selected, boxes)
+		gamma = e.gammaBound(iso, &sc.sel, boxes)
 		if gamma <= gammaThresh {
 			return idList, gamma
 		}
@@ -181,14 +217,15 @@ func (e *Evaluator) selectLocal(samples [][]float64, gammaThresh float64) (ids [
 // every excluded training point x_l, the covariance k(x_j, x_l) for any
 // sample x_j in the box lies in [κ(maxdist), κ(mindist)], so the omitted
 // mean contribution Σ_l k(x_j, x_l)·α_l lies in a computable interval; γ is
-// the worst absolute endpoint over boxes.
-func (e *Evaluator) gammaBound(iso kernel.Isotropic, selected map[int]bool, boxes []rtree.Rect) float64 {
+// the worst absolute endpoint over boxes. sel marks membership in the local
+// subset.
+func (e *Evaluator) gammaBound(iso kernel.Isotropic, sel *markSet, boxes []rtree.Rect) float64 {
 	alpha := e.g.Alpha()
 	var worst float64
 	for _, b := range boxes {
 		var up, lo float64
 		for id := 0; id < e.g.Len(); id++ {
-			if selected[id] {
+			if sel.has(id) {
 				continue
 			}
 			x := e.g.X(id)
@@ -278,7 +315,14 @@ func (e *Evaluator) GammaBoundForBoxes(selected map[int]bool, boxes []rtree.Rect
 	if !ok {
 		return 0
 	}
-	return e.gammaBound(iso, selected, boxes)
+	var sel markSet
+	sel.reset(e.g.Len())
+	for id, in := range selected {
+		if in && id >= 0 && id < e.g.Len() {
+			sel.add(id)
+		}
+	}
+	return e.gammaBound(iso, &sel, boxes)
 }
 
 // SubBoxes exposes the sample-partitioning refinement of §5.1.

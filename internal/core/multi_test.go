@@ -157,8 +157,8 @@ func TestParallelInferenceMatchesSequential(t *testing.T) {
 			samples[i] = in.SampleVec(srng, nil)
 		}
 		ids, gamma := e.selectLocal(samples, e.gammaThreshold())
-		lc, err := e.buildLocal(ids, gamma)
-		if err != nil {
+		var lc localCtx
+		if err := e.buildLocal(&lc, ids, gamma); err != nil {
 			t.Fatal(err)
 		}
 		means := make([]float64, len(samples))

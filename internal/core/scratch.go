@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"olgapro/internal/ecdf"
+	"olgapro/internal/mat"
+)
+
+// sortFloats sorts in place without allocating (pdqsort on the raw slice).
+func sortFloats(x []float64) { slices.Sort(x) }
+
+// evalScratch is the persistent per-evaluator workspace behind the
+// near-zero-allocation evaluation hot path: every buffer whose size depends
+// only on the Monte-Carlo sample count m, the training-set size n, or the
+// local-subset size l lives here and is reused across Eval calls. An
+// Evaluator is documented as single-goroutine, which is what makes one
+// workspace per evaluator sound; the predictBuf pool additionally gives each
+// predictInto worker goroutine its own buffers.
+type evalScratch struct {
+	sampleData []float64   // flat backing array for Eval's m×d sample matrix
+	samples    [][]float64 // row headers into sampleData
+
+	means, vars []float64 // per-sample posterior moments
+
+	lc localCtx // the per-tuple local inference context, rebuilt in place
+
+	env     envScratch        // envelope buffers for the error-bound loop
+	tuneEnv envScratch        // separate buffers for pickOptimalGreedy's trials
+	bound   ecdf.BoundScratch // DiscrepancyBound work buffers
+
+	sel  markSet // selectLocal membership (per radius step)
+	skip markSet // per-tuple skip set for tuning picks
+
+	idBuf []int       // selectLocal id staging (copied into lc by buildLocal)
+	gram  *mat.Matrix // local Gram staging for buildLocal
+
+	pbufs []predictBuf // per-worker inference buffers; index 0 is sequential
+
+	tuneMeans, tuneVars []float64 // pickOptimalGreedy evaluation-subset moments
+	tuneY               []float64 // pickOptimalGreedy local observations
+}
+
+// buf returns worker buffer w, growing the pool as needed.
+func (s *evalScratch) buf(w int) *predictBuf {
+	s.growBufs(w + 1)
+	return &s.pbufs[w]
+}
+
+// growBufs ensures the pool holds at least p buffers. It must be called
+// before worker goroutines take pointers into the pool, since growth moves
+// the backing array.
+func (s *evalScratch) growBufs(p int) {
+	for len(s.pbufs) < p {
+		s.pbufs = append(s.pbufs, predictBuf{})
+	}
+}
+
+// resizeFloats grows *buf to length n, reusing capacity, and returns it.
+func resizeFloats(buf *[]float64, n int) []float64 {
+	*buf = resizeFloatsVal(*buf, n)
+	return *buf
+}
+
+// resizeFloatsVal grows buf to length n, reusing capacity, and returns it.
+func resizeFloatsVal(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// markSet is an epoch-stamped integer set over [0, n): reset is O(1) — one
+// epoch bump — instead of the O(n) rebuild of the map[int]bool it replaces,
+// and membership is a single slice load.
+type markSet struct {
+	marks []int32
+	epoch int32
+	count int
+}
+
+// reset empties the set and sizes it for ids in [0, n).
+func (m *markSet) reset(n int) {
+	if cap(m.marks) < n {
+		grown := make([]int32, n)
+		copy(grown, m.marks)
+		m.marks = grown
+	}
+	m.marks = m.marks[:n]
+	if m.epoch == math.MaxInt32 {
+		// Epoch wrap: clear stamps so stale entries cannot collide.
+		for i := range m.marks {
+			m.marks[i] = 0
+		}
+		m.epoch = 0
+	}
+	m.epoch++
+	m.count = 0
+}
+
+// add inserts id (idempotently).
+func (m *markSet) add(id int) {
+	if m.marks[id] != m.epoch {
+		m.marks[id] = m.epoch
+		m.count++
+	}
+}
+
+// has reports membership.
+func (m *markSet) has(id int) bool { return m.marks[id] == m.epoch }
+
+// size returns the number of distinct ids added since the last reset.
+func (m *markSet) size() int { return m.count }
+
+// envScratch owns the three sorted sample buffers an envelope is built from,
+// so each tuning iteration re-sorts in place instead of allocating and
+// copying three fresh m-length slices (ecdf.New copies; ecdf.FromSorted
+// does not).
+type envScratch struct {
+	mean, lower, upper []float64
+}
+
+// envelopeOf builds the three empirical CDFs Ŷ′, Y′_S, Y′_L from the
+// inferred means and variances of the first n samples, reusing the scratch
+// buffers. The returned envelope aliases them: it is valid only until the
+// next envelopeOf call on the same scratch, and must be deep-copied (see
+// ownedEnvelope) before escaping into an Output.
+func (s *envScratch) envelopeOf(means, vars []float64, zAlpha float64, n int) ecdf.Envelope {
+	mean := resizeFloats(&s.mean, n)
+	lower := resizeFloats(&s.lower, n)
+	upper := resizeFloats(&s.upper, n)
+	for i := 0; i < n; i++ {
+		sd := math.Sqrt(vars[i])
+		mean[i] = means[i]
+		lower[i] = means[i] - zAlpha*sd
+		upper[i] = means[i] + zAlpha*sd
+	}
+	sortFloats(mean)
+	sortFloats(lower)
+	sortFloats(upper)
+	return ecdf.Envelope{
+		Mean:  ecdf.FromSorted(mean),
+		Lower: ecdf.FromSorted(lower),
+		Upper: ecdf.FromSorted(upper),
+	}
+}
+
+// ownedEnvelope deep-copies a scratch-backed envelope so it can outlive the
+// evaluator's workspace — the one O(m) allocation a non-filtered tuple pays,
+// for the distribution it hands back to the caller.
+func ownedEnvelope(env ecdf.Envelope) ecdf.Envelope {
+	return ecdf.Envelope{
+		Mean:  ecdf.FromSorted(mat.CloneVec(env.Mean.Values())),
+		Lower: ecdf.FromSorted(mat.CloneVec(env.Lower.Values())),
+		Upper: ecdf.FromSorted(mat.CloneVec(env.Upper.Values())),
+	}
+}

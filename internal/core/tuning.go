@@ -11,9 +11,10 @@ import (
 
 // pickSample chooses which cached Monte-Carlo sample becomes the next
 // training point (online tuning, §5.2), honoring the configured policy.
-// It returns -1 when no admissible sample remains.
+// skip marks samples already tried this tuple. It returns -1 when no
+// admissible sample remains.
 func (e *Evaluator) pickSample(samples [][]float64, means, vars []float64,
-	lc *localCtx, lambda, zAlpha float64, skip map[int]bool, rng *rand.Rand) int {
+	lc *localCtx, lambda, zAlpha float64, skip *markSet, rng *rand.Rand) int {
 	switch e.cfg.Tuning {
 	case TuneRandom:
 		return pickRandom(len(samples), skip, rng)
@@ -26,10 +27,10 @@ func (e *Evaluator) pickSample(samples [][]float64, means, vars []float64,
 
 // pickMaxVariance returns the sample with the largest predictive variance —
 // the paper's heuristic: train where the emulator is least certain.
-func pickMaxVariance(vars []float64, skip map[int]bool) int {
+func pickMaxVariance(vars []float64, skip *markSet) int {
 	best, bestVar := -1, -1.0
 	for i, v := range vars {
-		if skip[i] {
+		if skip.has(i) {
 			continue
 		}
 		if v > bestVar {
@@ -40,13 +41,13 @@ func pickMaxVariance(vars []float64, skip map[int]bool) int {
 }
 
 // pickRandom returns a uniformly random non-skipped sample.
-func pickRandom(n int, skip map[int]bool, rng *rand.Rand) int {
-	if len(skip) >= n {
+func pickRandom(n int, skip *markSet, rng *rand.Rand) int {
+	if skip.size() >= n {
 		return -1
 	}
 	for tries := 0; tries < 4*n; tries++ {
 		i := rng.Intn(n)
-		if !skip[i] {
+		if !skip.has(i) {
 			return i
 		}
 	}
@@ -65,7 +66,7 @@ const (
 // nearly unchanged while shrinking variances exactly — recomputes the error
 // bound, and picks the candidate with the largest bound reduction.
 func (e *Evaluator) pickOptimalGreedy(samples [][]float64, means, vars []float64,
-	lc *localCtx, lambda, zAlpha float64, skip map[int]bool, rng *rand.Rand) int {
+	lc *localCtx, lambda, zAlpha float64, skip *markSet, rng *rand.Rand) int {
 	// Candidate pool: the highest-variance samples (evaluating every sample
 	// is prohibitive even for the reference policy).
 	type cand struct {
@@ -74,7 +75,7 @@ func (e *Evaluator) pickOptimalGreedy(samples [][]float64, means, vars []float64
 	}
 	cands := make([]cand, 0, len(samples))
 	for i, v := range vars {
-		if !skip[i] {
+		if !skip.has(i) {
 			cands = append(cands, cand{i, v})
 		}
 	}
@@ -88,41 +89,44 @@ func (e *Evaluator) pickOptimalGreedy(samples [][]float64, means, vars []float64
 	// Evaluation subset for the bound.
 	evalIdx := subsampleIndices(len(samples), greedyMaxEval, rng)
 
+	sc := &e.scratch
 	// Local observations for the simulated α′.
-	yLocal := make([]float64, len(lc.ids))
+	yLocal := resizeFloats(&sc.tuneY, len(lc.ids))
 	for i, id := range lc.ids {
 		yLocal[i] = e.g.Y(id)
 	}
 
 	best, bestBound := -1, math.Inf(1)
-	kbuf := make([]float64, 0, len(lc.xs)+1)
+	var kbuf, fsbuf, ys []float64
+	m2 := resizeFloats(&sc.tuneMeans, len(evalIdx))
+	v2 := resizeFloats(&sc.tuneVars, len(evalIdx))
 	for _, c := range cands {
 		xc := samples[c.idx]
 		// Extend a copy of the local factorization with the candidate.
 		trial := lc.chol.Clone()
-		kvec := kernel.CrossVec(e.cfg.Kernel, lc.xs, xc, nil)
+		kvec := kernel.CrossVec(e.cfg.Kernel, lc.xs, xc, kbuf)
+		kbuf = kvec
 		if err := trial.Extend(kvec, e.cfg.Kernel.Eval(xc, xc)+e.g.Noise()); err != nil {
 			continue
 		}
-		ys := append(append([]float64(nil), yLocal...), means[c.idx])
+		ys = append(append(ys[:0], yLocal...), means[c.idx])
 		alphaTrial := trial.SolveVec(ys)
 		xsTrial := append(append([][]float64(nil), lc.xs...), xc)
 		// Recompute means/vars on the evaluation subset.
-		m2 := make([]float64, len(evalIdx))
-		v2 := make([]float64, len(evalIdx))
 		for j, si := range evalIdx {
 			x := samples[si]
 			kbuf = kernel.CrossVec(e.cfg.Kernel, xsTrial, x, kbuf)
 			m2[j] = mat.Dot(kbuf, alphaTrial)
-			fs := trial.ForwardSolve(kbuf)
-			vv := e.cfg.Kernel.Eval(x, x) - mat.Dot(fs, fs)
+			fsbuf = resizeFloatsVal(fsbuf, len(kbuf))
+			trial.ForwardSolveTo(fsbuf, kbuf)
+			vv := e.cfg.Kernel.Eval(x, x) - mat.Dot(fsbuf, fsbuf)
 			if vv < 0 {
 				vv = 0
 			}
 			v2[j] = vv
 		}
-		envTrial := envelopeOf(m2, v2, zAlpha, len(evalIdx))
-		b := envTrial.DiscrepancyBound(lambda)
+		envTrial := sc.tuneEnv.envelopeOf(m2, v2, zAlpha, len(evalIdx))
+		b := envTrial.DiscrepancyBoundWith(&sc.bound, lambda)
 		if b < bestBound {
 			best, bestBound = c.idx, b
 		}

@@ -2,7 +2,6 @@ package ecdf
 
 import (
 	"math"
-	"sort"
 )
 
 // Envelope packs the three empirical output CDFs of the GP approach
@@ -54,40 +53,80 @@ func (e Envelope) IntervalBounds(a, b float64) (lo, mid, hi float64) {
 // paper Step 4b), and the second regime uses a precomputed suffix maximum of
 // w (paper Step 2). Total cost is O(m log m).
 func (e Envelope) DiscrepancyBound(lambda float64) float64 {
-	vals := mergedValues(e.Mean, e.Lower, e.Upper)
+	return e.DiscrepancyBoundWith(nil, lambda)
+}
+
+// BoundScratch holds the reusable work buffers of DiscrepancyBoundWith.
+// The zero value is ready to use; buffers grow on demand and are retained,
+// so the per-tuning-iteration bound computation stops allocating once warm.
+type BoundScratch struct {
+	vals, bs   []float64
+	fh, fs, fl []float64
+	sufU, sufW []float64
+}
+
+// growFloats resizes buf to length n, reusing capacity.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// DiscrepancyBoundWith is DiscrepancyBound with caller-provided scratch
+// buffers (nil behaves like DiscrepancyBound and allocates).
+//
+// This is the per-tuning-iteration inner loop of Algorithm 5, so on top of
+// the scratch reuse it exploits monotonicity throughout: the three supports
+// are already sorted, so the merged support and the b-candidate set are
+// linear merges rather than sorts, the CDF arrays are two-pointer walks
+// rather than per-point binary searches, and the two search indices of the
+// left-endpoint sweep (j0 at a+λ and the envelope crossing jt) only ever
+// move forward as a grows. Total cost is O(m) after envelope construction.
+func (e Envelope) DiscrepancyBoundWith(s *BoundScratch, lambda float64) float64 {
+	if s == nil {
+		s = &BoundScratch{}
+	}
+	s.vals = mergeSorted3(s.vals, e.Mean.xs, e.Lower.xs, e.Upper.xs)
+	vals := s.vals
 	m := len(vals)
 	if m == 0 {
 		return 0
 	}
-	bs := bCandidates(vals, lambda)
+	s.bs = mergeShifted(s.bs, vals, lambda)
+	bs := s.bs
 	mb := len(bs)
-	// CDF arrays at b-candidates.
-	fh := make([]float64, mb+1) // F̂, +∞ sentinel = 1
-	fs := make([]float64, mb+1) // F_S
-	fl := make([]float64, mb+1) // F_L
-	for i, v := range bs {
-		fh[i] = e.Mean.CDF(v)
-		fs[i] = e.Lower.CDF(v)
-		fl[i] = e.Upper.CDF(v)
-	}
-	fh[mb], fs[mb], fl[mb] = 1, 1, 1
+	// CDF arrays at b-candidates, by merge walk (bs is ascending).
+	s.fh = cdfAppend(s.fh, e.Mean.xs, bs, 1)  // F̂, +∞ sentinel = 1
+	s.fs = cdfAppend(s.fs, e.Lower.xs, bs, 1) // F_S
+	s.fl = cdfAppend(s.fl, e.Upper.xs, bs, 1) // F_L
+	fh, fs, fl := s.fh, s.fs, s.fl
 	// Suffix maxima of u = F_S − F̂ and w = F̂ − F_L, including the sentinel.
-	sufU := make([]float64, mb+2)
-	sufW := make([]float64, mb+2)
+	s.sufU = growFloats(s.sufU, mb+2)
+	s.sufW = growFloats(s.sufW, mb+2)
+	sufU, sufW := s.sufU, s.sufW
+	sufU[mb+1], sufW[mb+1] = 0, 0
 	for i := mb; i >= 0; i-- {
 		sufU[i] = math.Max(fs[i]-fh[i], sufU[i+1])
 		sufW[i] = math.Max(fh[i]-fl[i], sufW[i+1])
 	}
 	var best float64
+	// j0: first b-candidate ≥ a+λ (the sentinel mb when past the end).
+	// jt: first b-candidate with F_L(b) > F_S(a).
+	// Both advance monotonically: a+λ grows with a, F_S(a) is
+	// non-decreasing in a, and fl is non-decreasing over candidates.
+	j0, jt := 0, 0
 	consider := func(fhA, fsA, flA, aPlusLambda float64) {
-		// j0: first b-candidate ≥ a+λ (the sentinel mb when past the end).
-		j0 := sort.SearchFloat64s(bs, aPlusLambda)
+		for j0 < mb && bs[j0] < aPlusLambda {
+			j0++
+		}
 		// Term 1: u(b) + v(a) over b ≥ a+λ.
 		if t := sufU[j0] + (fhA - flA); t > best {
 			best = t
 		}
-		// jt: first b-candidate with F_L(b) > F_S(a); fl is non-decreasing.
-		jt := sort.Search(mb, func(i int) bool { return fl[i] > fsA })
+		for jt < mb && fl[jt] <= fsA {
+			jt++
+		}
 		// Regime 1 (ρ′_L clamped to 0): b ∈ [a+λ, b₁); F̂ is constant on
 		// candidate gaps, so its supremum there is F̂ at candidate jt−1.
 		if jt > j0 {
@@ -117,14 +156,113 @@ func (e Envelope) DiscrepancyBound(lambda float64) float64 {
 	}
 	// a = −∞ sentinel.
 	consider(0, 0, 0, math.Inf(-1))
-	// a at each merged support point.
+	// a at each merged support point, with the three CDF values advanced by
+	// merge walk rather than binary search.
+	ih, is, il := 0, 0, 0
+	invH := cdfScale(e.Mean.xs)
+	invS := cdfScale(e.Lower.xs)
+	invL := cdfScale(e.Upper.xs)
 	for _, a := range vals {
-		consider(e.Mean.CDF(a), e.Lower.CDF(a), e.Upper.CDF(a), a+lambda)
+		for ih < len(e.Mean.xs) && e.Mean.xs[ih] <= a {
+			ih++
+		}
+		for is < len(e.Lower.xs) && e.Lower.xs[is] <= a {
+			is++
+		}
+		for il < len(e.Upper.xs) && e.Upper.xs[il] <= a {
+			il++
+		}
+		consider(float64(ih)*invH, float64(is)*invS, float64(il)*invL, a+lambda)
 	}
 	if best < 0 {
 		best = 0
 	}
 	return best
+}
+
+// cdfScale returns 1/len(xs), the per-rank CDF increment (0 when empty,
+// matching ECDF.CDF's empty-distribution convention).
+func cdfScale(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return 1 / float64(len(xs))
+}
+
+// cdfAppend fills dst[:0] with CDF values of the sorted sample set xs at the
+// ascending query points qs, appending sentinel as a final entry — a linear
+// merge walk equivalent to calling ECDF.CDF per query.
+func cdfAppend(dst, xs, qs []float64, sentinel float64) []float64 {
+	dst = dst[:0]
+	inv := cdfScale(xs)
+	j := 0
+	for _, q := range qs {
+		for j < len(xs) && xs[j] <= q {
+			j++
+		}
+		dst = append(dst, float64(j)*inv)
+	}
+	return append(dst, sentinel)
+}
+
+// mergeSorted3 fills dst[:0] with the deduplicated ascending union of three
+// sorted slices — what appendMerged computes by concatenate-and-sort, in
+// O(m) instead of O(m log m).
+func mergeSorted3(dst, a, b, c []float64) []float64 {
+	dst = dst[:0]
+	i, j, k := 0, 0, 0
+	for i < len(a) || j < len(b) || k < len(c) {
+		v := math.Inf(1)
+		if i < len(a) {
+			v = a[i]
+		}
+		if j < len(b) && b[j] < v {
+			v = b[j]
+		}
+		if k < len(c) && c[k] < v {
+			v = c[k]
+		}
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		for k < len(c) && c[k] == v {
+			k++
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// mergeShifted fills dst[:0] with the deduplicated ascending union of vals
+// and vals+λ — the bCandidates set, by linear merge of the two (already
+// sorted) sequences.
+func mergeShifted(dst, vals []float64, lambda float64) []float64 {
+	dst = dst[:0]
+	if lambda <= 0 {
+		return append(dst, vals...)
+	}
+	i, j := 0, 0
+	n := len(vals)
+	for i < n || j < n {
+		v := math.Inf(1)
+		if i < n {
+			v = vals[i]
+		}
+		if j < n && vals[j]+lambda < v {
+			v = vals[j] + lambda
+		}
+		for i < n && vals[i] == v {
+			i++
+		}
+		for j < n && vals[j]+lambda == v {
+			j++
+		}
+		dst = append(dst, v)
+	}
+	return dst
 }
 
 // discrepancyBoundNaive is the O(m²) reference used to validate

@@ -161,17 +161,19 @@ func (e *ECDF) Histogram(n int) (edges, density []float64) {
 // mergedValues returns the ascending union of the support points of the
 // given ECDFs, with exact duplicates collapsed.
 func mergedValues(es ...*ECDF) []float64 {
-	var total int
+	return appendMerged(nil, es...)
+}
+
+// appendMerged is mergedValues into a reusable buffer: the union is built in
+// dst[:0], so callers on the hot path avoid the O(m) allocation.
+func appendMerged(dst []float64, es ...*ECDF) []float64 {
+	dst = dst[:0]
 	for _, e := range es {
-		total += len(e.xs)
+		dst = append(dst, e.xs...)
 	}
-	all := make([]float64, 0, total)
-	for _, e := range es {
-		all = append(all, e.xs...)
-	}
-	sort.Float64s(all)
-	out := all[:0]
-	for i, v := range all {
+	sort.Float64s(dst)
+	out := dst[:0]
+	for i, v := range dst {
 		if i == 0 || v != out[len(out)-1] {
 			out = append(out, v)
 		}

@@ -32,7 +32,12 @@ func Discrepancy(f, g *ECDF) float64 {
 // [a, b] with a in the support (or −∞) and b ≥ a+λ is attained on this set
 // (b = a+λ exactly, or b at a support point), plus the +∞ sentinel.
 func bCandidates(vals []float64, lambda float64) []float64 {
-	out := make([]float64, 0, 2*len(vals))
+	return appendBCandidates(make([]float64, 0, 2*len(vals)), vals, lambda)
+}
+
+// appendBCandidates is bCandidates into a reusable buffer dst[:0].
+func appendBCandidates(dst, vals []float64, lambda float64) []float64 {
+	out := dst[:0]
 	out = append(out, vals...)
 	if lambda > 0 {
 		for _, v := range vals {

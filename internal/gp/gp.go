@@ -13,6 +13,14 @@
 // affordable, and hyperparameters are learned by maximum likelihood with
 // analytic gradients (§3.4). The first-Newton-step estimate driving the
 // online retraining heuristic (§5.3) is exposed as NewtonStep.
+//
+// Inference is the per-sample hot path of the whole system (~10⁴ predictions
+// per input tuple), so every predict entry point has a scratch-buffer form
+// that performs no heap allocation in the steady state: see Scratch,
+// PredictWith, and PredictBatchWith. Mutating methods (Add, Fit, Train,
+// Grad/GradHess) reuse GP-owned scratch and must not be called concurrently;
+// read-only prediction with caller-owned Scratch values is safe from
+// multiple goroutines.
 package gp
 
 import (
@@ -43,6 +51,28 @@ type GP struct {
 	ys    []float64
 	chol  mat.Cholesky
 	alpha []float64
+
+	addK []float64   // Add: kernel cross-vector scratch
+	gram *mat.Matrix // Fit: Gram matrix scratch
+	gh   ghScratch   // gradHess scratch
+}
+
+// Scratch holds the reusable buffers of the allocation-free predict path.
+// The zero value is ready to use; buffers grow on demand and are retained
+// between calls. A Scratch must not be shared between goroutines, but any
+// number of goroutines may predict concurrently with their own Scratch.
+type Scratch struct {
+	k []float64 // kernel cross-vector k(x, X*)
+	v []float64 // forward-solve buffer L⁻¹k
+}
+
+// resize grows the buffers to length n without allocating in steady state.
+func (s *Scratch) resize(n int) {
+	if cap(s.k) < n {
+		s.k = make([]float64, n)
+		s.v = make([]float64, n)
+	}
+	s.k, s.v = s.k[:n], s.v[:n]
 }
 
 // New returns an empty GP with the given kernel and observation-noise
@@ -80,13 +110,30 @@ func (g *GP) Outputs() []float64 { return g.ys }
 // local inference (§5.1) uses to bound the error of dropping far points.
 func (g *GP) Alpha() []float64 { return g.alpha }
 
+// refreshAlpha recomputes α = (K + σ_n²I)⁻¹ y into the retained buffer,
+// growing it with doubling so per-Add refreshes stay amortized
+// allocation-free.
+func (g *GP) refreshAlpha() {
+	n := len(g.ys)
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n, max(2*cap(g.alpha), n))
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.SolveVecTo(g.alpha, g.ys)
+}
+
 // Add appends one training pair and updates the factorization incrementally
-// in O(n²) (paper §5.2). The input slice is copied.
+// in O(n²) (paper §5.2). The input slice is copied. Together with the
+// capacity-doubling packed factor, steady-state Add performs no allocation
+// beyond the copied point itself.
 func (g *GP) Add(x []float64, y float64) error {
 	if len(g.xs) > 0 && len(x) != len(g.xs[0]) {
 		return fmt.Errorf("gp: point dim %d ≠ %d", len(x), len(g.xs[0]))
 	}
-	k := make([]float64, len(g.xs))
+	if cap(g.addK) < len(g.xs) {
+		g.addK = make([]float64, len(g.xs), 2*len(g.xs)+1)
+	}
+	k := g.addK[:len(g.xs)]
 	for i, xi := range g.xs {
 		k[i] = g.kern.Eval(xi, x)
 	}
@@ -98,7 +145,7 @@ func (g *GP) Add(x []float64, y float64) error {
 	copy(cp, x)
 	g.xs = append(g.xs, cp)
 	g.ys = append(g.ys, y)
-	g.alpha = g.chol.SolveVec(g.ys)
+	g.refreshAlpha()
 	return nil
 }
 
@@ -128,28 +175,37 @@ func (g *GP) Fit() error {
 		g.alpha = nil
 		return nil
 	}
-	gram := kernel.Gram(g.kern, g.xs)
+	g.gram = kernel.GramInto(g.gram, g.kern, g.xs)
 	for i := 0; i < len(g.xs); i++ {
-		gram.Add(i, i, g.noise)
+		g.gram.Add(i, i, g.noise)
 	}
-	if _, err := g.chol.FactorizeJittered(gram, g.noise*10, 8); err != nil {
+	if _, err := g.chol.FactorizeJittered(g.gram, g.noise*10, 8); err != nil {
 		return fmt.Errorf("gp: fit: %w", err)
 	}
-	g.alpha = g.chol.SolveVec(g.ys)
+	g.refreshAlpha()
 	return nil
 }
 
 // Predict returns the posterior mean and variance at x (Eq. 2).
 // With no training data it returns the prior (0, k(x,x)).
+// This convenience form allocates; the hot path uses PredictWith.
 func (g *GP) Predict(x []float64) (mean, variance float64) {
+	var s Scratch
+	return g.PredictWith(&s, x)
+}
+
+// PredictWith is Predict with caller-provided scratch: zero heap allocations
+// once s has grown to the model size.
+func (g *GP) PredictWith(s *Scratch, x []float64) (mean, variance float64) {
 	prior := g.kern.Eval(x, x)
 	if len(g.xs) == 0 {
 		return 0, prior
 	}
-	k := kernel.CrossVec(g.kern, g.xs, x, nil)
-	mean = mat.Dot(k, g.alpha)
-	v := g.chol.ForwardSolve(k)
-	variance = prior - mat.Dot(v, v)
+	s.resize(len(g.xs))
+	kernel.CrossVec(g.kern, g.xs, x, s.k)
+	mean = mat.Dot(s.k, g.alpha)
+	g.chol.ForwardSolveTo(s.v, s.k)
+	variance = prior - mat.Dot(s.v, s.v)
 	if variance < 0 {
 		variance = 0
 	}
@@ -169,8 +225,18 @@ func (g *GP) PredictMean(x []float64) float64 {
 }
 
 // PredictBatch fills means[i], vars[i] for each test point. Slices may be
-// nil; they are allocated as needed and returned.
+// nil; they are allocated as needed and returned. Internal buffers are
+// reused across the batch, so the cost is two small allocations per call
+// regardless of batch size; PredictBatchWith eliminates those too.
 func (g *GP) PredictBatch(xs [][]float64, means, vars []float64) ([]float64, []float64) {
+	var s Scratch
+	return g.PredictBatchWith(&s, xs, means, vars)
+}
+
+// PredictBatchWith is PredictBatch with caller-provided scratch: with means
+// and vars of sufficient capacity it performs zero heap allocations in the
+// steady state.
+func (g *GP) PredictBatchWith(s *Scratch, xs [][]float64, means, vars []float64) ([]float64, []float64) {
 	if cap(means) < len(xs) {
 		means = make([]float64, len(xs))
 	}
@@ -178,20 +244,8 @@ func (g *GP) PredictBatch(xs [][]float64, means, vars []float64) ([]float64, []f
 		vars = make([]float64, len(xs))
 	}
 	means, vars = means[:len(xs)], vars[:len(xs)]
-	var k []float64
 	for i, x := range xs {
-		if len(g.xs) == 0 {
-			means[i], vars[i] = 0, g.kern.Eval(x, x)
-			continue
-		}
-		k = kernel.CrossVec(g.kern, g.xs, x, k)
-		means[i] = mat.Dot(k, g.alpha)
-		v := g.chol.ForwardSolve(k)
-		variance := g.kern.Eval(x, x) - mat.Dot(v, v)
-		if variance < 0 {
-			variance = 0
-		}
-		vars[i] = variance
+		means[i], vars[i] = g.PredictWith(s, x)
 	}
 	return means, vars
 }
@@ -206,6 +260,58 @@ func (g *GP) LogLikelihood() float64 {
 	return -0.5*mat.Dot(g.ys, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
 }
 
+// ghScratch holds the reusable state of gradHess. Peak live memory is two
+// n×n matrices (K⁻¹ and one per-parameter work matrix, reused across
+// parameters) plus O(n + p) vectors — independent of the number of
+// hyperparameters p, where the previous implementation kept p derivative
+// matrices (and p more for the Hessian) live at once.
+type ghScratch struct {
+	kinv *mat.Matrix // K⁻¹ (streamed against per-pair derivatives)
+	w    *mat.Matrix // Kⱼ for the current j, overwritten by S = L⁻¹KⱼL⁻ᵀ
+	gbuf []float64   // per-pair ∂k/∂θ
+	hbuf []float64   // per-pair ∂²k/∂θ²
+	u    []float64   // Kⱼα for the current j
+	sv   []float64   // solve scratch
+	hq   []float64   // αᵀKⱼⱼα accumulators
+	ht   []float64   // tr(K⁻¹Kⱼⱼ) accumulators
+	gq   []float64   // αᵀKⱼα accumulators (gradient-only path)
+	gt   []float64   // tr(K⁻¹Kⱼ) accumulators (gradient-only path)
+}
+
+func (s *ghScratch) resize(n, p int, wantHess bool) {
+	if s.kinv == nil {
+		s.kinv = mat.New(n, n)
+	} else {
+		s.kinv.Reset(n, n)
+	}
+	if cap(s.gbuf) < p {
+		s.gbuf = make([]float64, p)
+		s.hbuf = make([]float64, p)
+		s.gq = make([]float64, p)
+		s.gt = make([]float64, p)
+		s.hq = make([]float64, p)
+		s.ht = make([]float64, p)
+	}
+	s.gbuf, s.hbuf = s.gbuf[:p], s.hbuf[:p]
+	s.gq, s.gt = s.gq[:p], s.gt[:p]
+	s.hq, s.ht = s.hq[:p], s.ht[:p]
+	for j := 0; j < p; j++ {
+		s.gq[j], s.gt[j], s.hq[j], s.ht[j] = 0, 0, 0, 0
+	}
+	if wantHess {
+		if s.w == nil {
+			s.w = mat.New(n, n)
+		} else {
+			s.w.Reset(n, n)
+		}
+		if cap(s.u) < n {
+			s.u = make([]float64, n)
+			s.sv = make([]float64, n)
+		}
+		s.u, s.sv = s.u[:n], s.sv[:n]
+	}
+}
+
 // gradHess computes the gradient of the log marginal likelihood with respect
 // to the kernel's log-hyperparameters and, when wantHess is true, the
 // diagonal of its Hessian:
@@ -214,7 +320,12 @@ func (g *GP) LogLikelihood() float64 {
 //	∂²L/∂θⱼ² = −αᵀKⱼK⁻¹Kⱼα + ½ αᵀKⱼⱼα + ½ tr(K⁻¹KⱼK⁻¹Kⱼ) − ½ tr(K⁻¹Kⱼⱼ)
 //
 // with Kⱼ = ∂K/∂θⱼ and Kⱼⱼ = ∂²K/∂θⱼ² (the second-derivative machinery of
-// §5.3). Cost is O(p·n³).
+// §5.3). Cost is O(p·n³) time and — unlike the former implementation, which
+// materialized p (or 2p) full derivative matrices — O(n²) live memory
+// regardless of p: per-pair ParamGrad values are streamed into running
+// quadratic-form and trace accumulators against K⁻¹, and the Hessian's
+// quartic trace is computed one parameter at a time in a single reused work
+// matrix via tr(K⁻¹KⱼK⁻¹Kⱼ) = ‖L⁻¹KⱼL⁻ᵀ‖²_F.
 func (g *GP) gradHess(wantHess bool) (grad, hess []float64) {
 	n := len(g.xs)
 	p := g.kern.NumParams()
@@ -225,48 +336,95 @@ func (g *GP) gradHess(wantHess bool) (grad, hess []float64) {
 	if n == 0 {
 		return grad, hess
 	}
-	kinv := g.chol.Inverse()
-	// Per-parameter derivative Gram matrices.
-	kj := make([]*mat.Matrix, p)
-	kjj := make([]*mat.Matrix, p)
-	for j := 0; j < p; j++ {
-		kj[j] = mat.New(n, n)
-		if wantHess {
-			kjj[j] = mat.New(n, n)
-		}
-	}
-	gbuf := make([]float64, p)
-	hbuf := make([]float64, p)
-	for i := 0; i < n; i++ {
-		for l := 0; l <= i; l++ {
-			if wantHess {
-				g.kern.ParamGrad(g.xs[i], g.xs[l], gbuf, hbuf)
-			} else {
-				g.kern.ParamGrad(g.xs[i], g.xs[l], gbuf, nil)
-			}
-			for j := 0; j < p; j++ {
-				kj[j].Set(i, l, gbuf[j])
-				kj[j].Set(l, i, gbuf[j])
-				if wantHess {
-					kjj[j].Set(i, l, hbuf[j])
-					kjj[j].Set(l, i, hbuf[j])
+	s := &g.gh
+	s.resize(n, p, wantHess)
+	g.chol.InverseTo(s.kinv)
+
+	if !wantHess {
+		// Single streaming sweep: both gradient terms are sums of per-pair
+		// products, so no derivative matrix is ever materialized.
+		for i := 0; i < n; i++ {
+			kinvRow := s.kinv.Row(i)
+			for l := 0; l <= i; l++ {
+				g.kern.ParamGrad(g.xs[i], g.xs[l], s.gbuf, nil)
+				w := 2.0
+				if i == l {
+					w = 1
+				}
+				aa := w * g.alpha[i] * g.alpha[l]
+				kk := w * kinvRow[l]
+				for j := 0; j < p; j++ {
+					s.gq[j] += aa * s.gbuf[j]
+					s.gt[j] += kk * s.gbuf[j]
 				}
 			}
 		}
-	}
-	for j := 0; j < p; j++ {
-		kja := kj[j].MulVec(g.alpha)
-		quad := mat.Dot(g.alpha, kja)
-		trKinvKj := traceProduct(kinv, kj[j])
-		grad[j] = 0.5*quad - 0.5*trKinvKj
-		if wantHess {
-			kinvKja := g.chol.SolveVec(kja)
-			kjjA := kjj[j].MulVec(g.alpha)
-			trKK := traceProductSym(kinv, kj[j])
-			trKinvKjj := traceProduct(kinv, kjj[j])
-			hess[j] = -mat.Dot(kja, kinvKja) + 0.5*mat.Dot(g.alpha, kjjA) +
-				0.5*trKK - 0.5*trKinvKjj
+		for j := 0; j < p; j++ {
+			grad[j] = 0.5*s.gq[j] - 0.5*s.gt[j]
 		}
+		return grad, hess
+	}
+
+	for j := 0; j < p; j++ {
+		// Sweep the pairs, materializing only Kⱼ for this parameter; the
+		// second-derivative terms (which need no matrix at all) are streamed
+		// for every parameter during the first sweep.
+		for i := 0; i < n; i++ {
+			wrow := s.w.Row(i)
+			kinvRow := s.kinv.Row(i)
+			for l := 0; l <= i; l++ {
+				if j == 0 {
+					g.kern.ParamGrad(g.xs[i], g.xs[l], s.gbuf, s.hbuf)
+					w := 2.0
+					if i == l {
+						w = 1
+					}
+					aa := w * g.alpha[i] * g.alpha[l]
+					kk := w * kinvRow[l]
+					for q := 0; q < p; q++ {
+						s.hq[q] += aa * s.hbuf[q]
+						s.ht[q] += kk * s.hbuf[q]
+					}
+				} else {
+					g.kern.ParamGrad(g.xs[i], g.xs[l], s.gbuf, nil)
+				}
+				wrow[l] = s.gbuf[j]
+				s.w.Set(l, i, s.gbuf[j])
+			}
+		}
+		// u = Kⱼα; quadratic forms for gradient and Hessian term 1.
+		for i := 0; i < n; i++ {
+			s.u[i] = mat.Dot(s.w.Row(i), g.alpha)
+		}
+		quad := mat.Dot(g.alpha, s.u)
+		g.chol.SolveVecTo(s.sv, s.u)
+		term1 := -mat.Dot(s.u, s.sv)
+		// S = L⁻¹KⱼL⁻ᵀ in place: first each row r (= column r, Kⱼ is
+		// symmetric) is forward-solved independently, leaving (L⁻¹Kⱼ)ᵀ; then
+		// one blocked forward substitution applies the remaining L⁻¹. Both
+		// passes walk rows contiguously.
+		for r := 0; r < n; r++ {
+			row := s.w.Row(r)
+			g.chol.ForwardSolveTo(row, row)
+		}
+		for r := 0; r < n; r++ {
+			row := s.w.Row(r)
+			lrow := g.chol.LRow(r)
+			for q := 0; q < r; q++ {
+				mat.Axpy(-lrow[q], s.w.Row(q), row)
+			}
+			mat.ScaleVec(1/lrow[r], row)
+		}
+		var trS, t4 float64
+		for r := 0; r < n; r++ {
+			row := s.w.Row(r)
+			trS += row[r]
+			for _, v := range row {
+				t4 += v * v
+			}
+		}
+		grad[j] = 0.5*quad - 0.5*trS
+		hess[j] = term1 + 0.5*s.hq[j] + 0.5*t4 - 0.5*s.ht[j]
 	}
 	return grad, hess
 }
@@ -281,34 +439,6 @@ func (g *GP) Grad() []float64 {
 // likelihood.
 func (g *GP) GradHess() (grad, hess []float64) {
 	return g.gradHess(true)
-}
-
-// traceProduct returns tr(A·B) for square matrices.
-func traceProduct(a, b *mat.Matrix) float64 {
-	n := a.Rows()
-	var s float64
-	for i := 0; i < n; i++ {
-		arow := a.Row(i)
-		for k := 0; k < n; k++ {
-			s += arow[k] * b.At(k, i)
-		}
-	}
-	return s
-}
-
-// traceProductSym returns tr(A·B·A·B) for symmetric A, B, computed as
-// tr(M·M) with M = A·B.
-func traceProductSym(a, b *mat.Matrix) float64 {
-	m := mat.Mul(a, b)
-	n := m.Rows()
-	var s float64
-	for i := 0; i < n; i++ {
-		row := m.Row(i)
-		for k := 0; k < n; k++ {
-			s += row[k] * m.At(k, i)
-		}
-	}
-	return s
 }
 
 // SamplePosterior draws one joint sample of the posterior function values at
@@ -357,9 +487,8 @@ func (g *GP) SamplePosterior(rng *rand.Rand, points [][]float64, dst []float64) 
 	for i := range z {
 		z[i] = rng.NormFloat64()
 	}
-	l := c.L()
 	for i := 0; i < m; i++ {
-		row := l.Row(i)
+		row := c.LRow(i)
 		s := mean[i]
 		for j := 0; j <= i; j++ {
 			s += row[j] * z[j]

@@ -42,19 +42,33 @@ type Kernel interface {
 	String() string
 }
 
-// Gram fills an n×n covariance matrix K[i][j] = k(xs[i], xs[j]).
+// Gram returns a freshly allocated n×n covariance matrix
+// K[i][j] = k(xs[i], xs[j]).
 func Gram(k Kernel, xs [][]float64) *mat.Matrix {
+	return GramInto(nil, k, xs)
+}
+
+// GramInto fills dst with the covariance matrix K[i][j] = k(xs[i], xs[j]),
+// resizing it in place (reusing its backing store) to n×n. A nil dst is
+// allocated. It returns dst, letting callers that rebuild Gram matrices of
+// slowly varying size — the local-inference context of §5.1 does so once per
+// input tuple — avoid the O(n²) allocation.
+func GramInto(dst *mat.Matrix, k Kernel, xs [][]float64) *mat.Matrix {
 	n := len(xs)
-	out := mat.New(n, n)
+	if dst == nil {
+		dst = mat.New(n, n)
+	} else {
+		dst.Reset(n, n)
+	}
 	for i := 0; i < n; i++ {
-		row := out.Row(i)
+		row := dst.Row(i)
 		for j := 0; j <= i; j++ {
 			v := k.Eval(xs[i], xs[j])
 			row[j] = v
-			out.Set(j, i, v)
+			dst.Set(j, i, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // Cross fills the n×m covariance matrix K[i][j] = k(xs[i], ys[j]).

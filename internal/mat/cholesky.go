@@ -13,33 +13,72 @@ var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
 // Cholesky holds a lower-triangular factor L with A = L Lᵀ.
 // The zero value is empty; use Factorize to populate it.
 //
-// Cholesky supports Extend, the incremental bordered update used by the
-// online tuning step of OLGAPRO (paper §5.2): appending one training point
-// grows the factor in O(n²) instead of refactorizing in O(n³).
+// The factor is stored as a packed row-major lower triangle: row i occupies
+// data[i(i+1)/2 : i(i+1)/2+i+1]. Row offsets are independent of the matrix
+// size, so Extend — the incremental bordered update used by the online
+// tuning step of OLGAPRO (paper §5.2) — appends one row to the backing store
+// with capacity doubling: amortized O(n²) per add and no per-call copy of
+// the existing factor, where the dense representation forced an O(n²) clone
+// on every Extend.
 type Cholesky struct {
-	l *Matrix // lower triangular, n×n
-	n int
+	data []float64 // packed row-major lower triangle
+	n    int
+}
+
+// rowL returns packed row i of L: elements L[i][0..i].
+func (c *Cholesky) rowL(i int) []float64 {
+	off := i * (i + 1) / 2
+	return c.data[off : off+i+1]
+}
+
+// grow resizes the packed store to hold an n×n factor, reusing capacity.
+func (c *Cholesky) grow(n int) {
+	need := n * (n + 1) / 2
+	if cap(c.data) < need {
+		newCap := 2 * cap(c.data)
+		if newCap < need {
+			newCap = need
+		}
+		nd := make([]float64, need, newCap)
+		copy(nd, c.data[:min(len(c.data), need)])
+		c.data = nd
+	}
+	c.data = c.data[:need]
 }
 
 // Factorize computes the Cholesky factorization of the symmetric positive
-// definite matrix a. Only the lower triangle of a is read.
+// definite matrix a. Only the lower triangle of a is read, and a is never
+// modified. The packed backing store is reused across calls.
 // It returns ErrNotSPD if a pivot is non-positive.
 func (c *Cholesky) Factorize(a *Matrix) error {
+	return c.factorize(a, 0)
+}
+
+// factorize computes the factorization of a + jitter·I without materializing
+// the jittered matrix: the jitter is added to each diagonal pivot on the fly,
+// which is what lets FactorizeJittered retry without cloning a.
+func (c *Cholesky) factorize(a *Matrix, jitter float64) error {
 	r, co := a.Dims()
 	if r != co {
 		panic(fmt.Sprintf("mat: cholesky of non-square %d×%d matrix", r, co))
 	}
-	l := New(r, r)
+	c.grow(r)
 	for i := 0; i < r; i++ {
-		li := l.Row(i)
+		li := c.rowL(i)
+		ai := a.Row(i)
 		for j := 0; j <= i; j++ {
-			sum := a.At(i, j)
-			lj := l.Row(j)
+			sum := ai[j]
+			if i == j {
+				sum += jitter
+			}
+			lj := c.rowL(j)
 			for k := 0; k < j; k++ {
 				sum -= li[k] * lj[k]
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
+					c.data = c.data[:0]
+					c.n = 0
 					return fmt.Errorf("%w: pivot %d is %g", ErrNotSPD, i, sum)
 				}
 				li[j] = math.Sqrt(sum)
@@ -48,7 +87,6 @@ func (c *Cholesky) Factorize(a *Matrix) error {
 			}
 		}
 	}
-	c.l = l
 	c.n = r
 	return nil
 }
@@ -56,19 +94,16 @@ func (c *Cholesky) Factorize(a *Matrix) error {
 // FactorizeJittered behaves like Factorize but, on failure, retries with an
 // increasing diagonal jitter (starting at jitter0, multiplied by 10 each of
 // maxTries attempts). This is the standard numerical remedy for ill-
-// conditioned kernel Gram matrices. It returns the jitter actually used.
+// conditioned kernel Gram matrices. The jitter is applied to the running
+// pivot inside the factorization itself, so no work copy of a is made and a
+// is left untouched. It returns the jitter actually used.
 func (c *Cholesky) FactorizeJittered(a *Matrix, jitter0 float64, maxTries int) (float64, error) {
-	if err := c.Factorize(a); err == nil {
+	if err := c.factorize(a, 0); err == nil {
 		return 0, nil
 	}
-	n := a.Rows()
-	work := a.Clone()
 	jit := jitter0
 	for t := 0; t < maxTries; t++ {
-		for i := 0; i < n; i++ {
-			work.Set(i, i, a.At(i, i)+jit)
-		}
-		if err := c.Factorize(work); err == nil {
+		if err := c.factorize(a, jit); err == nil {
 			return jit, nil
 		}
 		jit *= 10
@@ -79,52 +114,80 @@ func (c *Cholesky) FactorizeJittered(a *Matrix, jitter0 float64, maxTries int) (
 // Size returns the dimension of the factored matrix.
 func (c *Cholesky) Size() int { return c.n }
 
-// L returns the lower-triangular factor (not a copy).
-func (c *Cholesky) L() *Matrix { return c.l }
-
-// SolveVec solves A x = b and returns x, where A = L Lᵀ.
-func (c *Cholesky) SolveVec(b []float64) []float64 {
-	if len(b) != c.n {
-		panic(fmt.Sprintf("mat: cholesky solve length %d ≠ %d", len(b), c.n))
+// L returns the lower-triangular factor as a freshly allocated dense matrix.
+// Use LRow for allocation-free access to one row of the packed factor.
+func (c *Cholesky) L() *Matrix {
+	out := New(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(out.Row(i)[:i+1], c.rowL(i))
 	}
-	y := c.forward(b)
-	return c.backward(y)
+	return out
 }
 
-// forward solves L y = b.
-func (c *Cholesky) forward(b []float64) []float64 {
-	y := make([]float64, c.n)
+// LRow returns row i of L — the elements L[i][0..i] — aliasing the packed
+// backing store. The slice is invalidated by the next Factorize or Extend.
+func (c *Cholesky) LRow(i int) []float64 { return c.rowL(i) }
+
+// SolveVec solves A x = b and returns a newly allocated x, where A = L Lᵀ.
+// Use SolveVecTo to reuse a caller-provided buffer.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	return c.SolveVecTo(make([]float64, c.n), b)
+}
+
+// SolveVecTo solves A x = b into dst, which must have length Size.
+// dst may alias b. It returns dst.
+func (c *Cholesky) SolveVecTo(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve lengths %d, %d ≠ %d", len(dst), len(b), c.n))
+	}
+	c.forwardTo(dst, b)
+	c.backwardInPlace(dst)
+	return dst
+}
+
+// forwardTo solves L y = b into dst; dst may alias b.
+func (c *Cholesky) forwardTo(dst, b []float64) {
 	for i := 0; i < c.n; i++ {
-		row := c.l.Row(i)
+		row := c.rowL(i)
 		sum := b[i]
 		for k := 0; k < i; k++ {
-			sum -= row[k] * y[k]
+			sum -= row[k] * dst[k]
 		}
-		y[i] = sum / row[i]
+		dst[i] = sum / row[i]
 	}
-	return y
 }
 
-// backward solves Lᵀ x = y.
-func (c *Cholesky) backward(y []float64) []float64 {
-	x := make([]float64, c.n)
+// backwardInPlace solves Lᵀ x = y, overwriting y with x. Rather than walking
+// a column of L per unknown — an O(n²) strided, cache-hostile traversal —
+// it walks rows: once x[i] is fixed, row i of L carries exactly x[i]'s
+// contribution to every remaining unknown, so the row is subtracted from the
+// prefix in one contiguous pass.
+func (c *Cholesky) backwardInPlace(y []float64) {
 	for i := c.n - 1; i >= 0; i-- {
-		sum := y[i]
-		for k := i + 1; k < c.n; k++ {
-			sum -= c.l.At(k, i) * x[k]
+		row := c.rowL(i)
+		xi := y[i] / row[i]
+		y[i] = xi
+		for k := 0; k < i; k++ {
+			y[k] -= row[k] * xi
 		}
-		x[i] = sum / c.l.At(i, i)
 	}
-	return x
 }
 
-// ForwardSolve solves L y = b, exposing the half-solve needed to compute
-// posterior variances kᵀ K⁻¹ k = ‖L⁻¹k‖².
+// ForwardSolve solves L y = b into a newly allocated y, exposing the
+// half-solve needed to compute posterior variances kᵀ K⁻¹ k = ‖L⁻¹k‖².
+// Use ForwardSolveTo to reuse a caller-provided buffer.
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
-	if len(b) != c.n {
-		panic(fmt.Sprintf("mat: cholesky forward length %d ≠ %d", len(b), c.n))
+	return c.ForwardSolveTo(make([]float64, c.n), b)
+}
+
+// ForwardSolveTo solves L y = b into dst, which must have length Size.
+// dst may alias b. It returns dst.
+func (c *Cholesky) ForwardSolveTo(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky forward lengths %d, %d ≠ %d", len(dst), len(b), c.n))
 	}
-	return c.forward(b)
+	c.forwardTo(dst, b)
+	return dst
 }
 
 // Solve solves A X = B column-by-column and returns X.
@@ -138,9 +201,9 @@ func (c *Cholesky) Solve(b *Matrix) *Matrix {
 		for i := 0; i < c.n; i++ {
 			col[i] = b.At(i, j)
 		}
-		x := c.SolveVec(col)
+		c.SolveVecTo(col, col)
 		for i := 0; i < c.n; i++ {
-			out.Set(i, j, x[i])
+			out.Set(i, j, col[i])
 		}
 	}
 	return out
@@ -148,22 +211,47 @@ func (c *Cholesky) Solve(b *Matrix) *Matrix {
 
 // Inverse returns A⁻¹ computed from the factorization.
 func (c *Cholesky) Inverse() *Matrix {
-	return c.Solve(Identity(c.n))
+	return c.InverseTo(New(c.n, c.n))
+}
+
+// InverseTo computes A⁻¹ into dst, which must be Size×Size, and returns dst.
+// It performs no allocation: because A⁻¹ is symmetric, column i can be
+// solved directly into row i of dst, using the row itself as the basis
+// vector e_i (the in-place solves permit aliasing).
+func (c *Cholesky) InverseTo(dst *Matrix) *Matrix {
+	if dst.Rows() != c.n || dst.Cols() != c.n {
+		panic(fmt.Sprintf("mat: inverse dst %d×%d ≠ %d×%d", dst.Rows(), dst.Cols(), c.n, c.n))
+	}
+	for i := 0; i < c.n; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+		row[i] = 1
+		c.SolveVecTo(row, row)
+	}
+	return dst
 }
 
 // LogDet returns log det A = 2 Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
 	var s float64
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l.At(i, i))
+		s += math.Log(c.rowL(i)[i])
 	}
 	return 2 * s
 }
 
-// Quadratic returns bᵀ A⁻¹ b using one forward solve.
+// Quadratic returns bᵀ A⁻¹ b using one forward solve (allocating).
 func (c *Cholesky) Quadratic(b []float64) float64 {
-	y := c.ForwardSolve(b)
-	return Dot(y, y)
+	return c.QuadraticTo(make([]float64, c.n), b)
+}
+
+// QuadraticTo returns bᵀ A⁻¹ b using dst (length Size) as the forward-solve
+// scratch buffer; dst may alias b.
+func (c *Cholesky) QuadraticTo(dst, b []float64) float64 {
+	c.ForwardSolveTo(dst, b)
+	return Dot(dst, dst)
 }
 
 // Extend grows the factorization of A to that of the bordered matrix
@@ -172,29 +260,27 @@ func (c *Cholesky) Quadratic(b []float64) float64 {
 //	     [ kᵀ κ ]
 //
 // in O(n²): the new row of L is l = L⁻¹k with diagonal √(κ − lᵀl).
+// The packed layout keeps existing rows in place, so the update only appends
+// one row to the backing store (doubling its capacity when exhausted) and is
+// allocation-free in the amortized steady state. On failure the store is
+// rolled back and the factorization is unchanged.
 // It returns ErrNotSPD if the Schur complement κ − lᵀl is non-positive.
 func (c *Cholesky) Extend(k []float64, kappa float64) error {
 	if len(k) != c.n {
 		panic(fmt.Sprintf("mat: cholesky extend length %d ≠ %d", len(k), c.n))
 	}
-	var l []float64
-	if c.n > 0 {
-		l = c.forward(k)
-	}
-	schur := kappa - Dot(l, l)
+	off := len(c.data)
+	c.grow(c.n + 1)
+	row := c.data[off:]
+	copy(row[:c.n], k)
+	c.forwardTo(row[:c.n], row[:c.n])
+	schur := kappa - Dot(row[:c.n], row[:c.n])
 	if schur <= 0 || math.IsNaN(schur) {
+		c.data = c.data[:off]
 		return fmt.Errorf("%w: extend Schur complement %g", ErrNotSPD, schur)
 	}
-	nn := c.n + 1
-	nl := New(nn, nn)
-	for i := 0; i < c.n; i++ {
-		copy(nl.Row(i)[:c.n], c.l.Row(i))
-	}
-	last := nl.Row(c.n)
-	copy(last[:c.n], l)
-	last[c.n] = math.Sqrt(schur)
-	c.l = nl
-	c.n = nn
+	row[c.n] = math.Sqrt(schur)
+	c.n++
 	return nil
 }
 
@@ -254,8 +340,9 @@ func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
 // speculative Extend calls do not disturb the original.
 func (c *Cholesky) Clone() Cholesky {
 	out := Cholesky{n: c.n}
-	if c.l != nil {
-		out.l = c.l.Clone()
+	if len(c.data) > 0 {
+		out.data = make([]float64, len(c.data))
+		copy(out.data, c.data)
 	}
 	return out
 }

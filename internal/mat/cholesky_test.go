@@ -384,7 +384,7 @@ func BenchmarkCholeskyExtend128(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := Cholesky{l: base.l.Clone(), n: base.n}
+		c := base.Clone()
 		if err := c.Extend(k, full.At(128, 128)); err != nil {
 			b.Fatal(err)
 		}

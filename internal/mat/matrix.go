@@ -110,6 +110,27 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Reset resizes m to r×c, reusing the backing store when it has capacity,
+// and zeroes every element. It returns m. This is the scratch-buffer hook
+// the inference hot path uses to avoid re-allocating Gram and work matrices
+// of slowly varying size.
+func (m *Matrix) Reset(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
+	}
+	n := r * c
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = r, c
+	return m
+}
+
 // CopyFrom overwrites m with the contents of src; dimensions must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.rows != src.rows || m.cols != src.cols {
@@ -225,6 +246,21 @@ func (m *Matrix) Trace() float64 {
 		t += m.data[i*m.cols+i]
 	}
 	return t
+}
+
+// TraceProductSym returns tr(A·B) for square matrices of which at least one
+// is symmetric: tr(AB) = Σ_{i,l} A_il·B_li = Σ_{i,l} A_il·B_il when B = Bᵀ.
+// Both operands are walked row-contiguously, unlike the textbook
+// tr(AB) = Σ_i (AB)_ii which strides down a column of B for every row of A.
+func TraceProductSym(a, b *Matrix) float64 {
+	if a.rows != a.cols || b.rows != b.cols || a.rows != b.rows {
+		panic(fmt.Sprintf("mat: trace product dims %d×%d × %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	var s float64
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
 }
 
 // Symmetrize replaces m with (m + mᵀ)/2 in place; m must be square.

@@ -391,12 +391,17 @@ func (t *Tree) searchNear(n *node, rect Rect, delta float64, fn func(id int, p [
 
 // IDsNear collects the ids of all points within delta of rect.
 func (t *Tree) IDsNear(rect Rect, delta float64) []int {
-	var out []int
+	return t.AppendIDsNear(nil, rect, delta)
+}
+
+// AppendIDsNear appends the ids of all points within delta of rect to dst
+// and returns it, letting hot-path callers reuse one buffer across queries.
+func (t *Tree) AppendIDsNear(dst []int, rect Rect, delta float64) []int {
 	t.SearchNear(rect, delta, func(id int, _ []float64) bool {
-		out = append(out, id)
+		dst = append(dst, id)
 		return true
 	})
-	return out
+	return dst
 }
 
 // All calls fn for every point in the tree.
