@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-fix race bench bench-json ci
+# Perf-trajectory knobs: where the fresh bench run lands, which committed
+# entry it is gated against, and how much ns/op drift the gate allows.
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASELINE ?= BENCH_PR2.json
+BENCH_MAX_REGRESS ?= 0.35
+
+.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff ci
 
 build:
 	$(GO) build ./...
@@ -35,10 +41,18 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json runs the focused perf-trajectory harness (steady-state
-# inference, GP.Add growth, full EvalSamples, filtering, GradHess) and
-# writes BENCH_PR2.json with ns/op, B/op, allocs/op. CI uploads the file as
-# a workflow artifact; compare against the committed trajectory entry.
+# inference, GP.Add growth, full EvalSamples, filtering, GradHess, parallel
+# executor throughput) and writes $(BENCH_OUT) with ns/op, B/op, allocs/op,
+# tuples/sec. CI uploads the file as a workflow artifact; compare against
+# the committed trajectory entries.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR2.json
+	$(GO) run ./cmd/bench -out $(BENCH_OUT)
 
-ci: build vet fmt test race bench bench-json
+# bench-diff is the regression gate: a fresh bench-json run is compared
+# against the committed baseline and the build fails on >$(BENCH_MAX_REGRESS)
+# ns/op drift or any allocs/op increase on the serial hot-path benchmarks
+# (parallel_* throughput is reported but exempt — it depends on host cores).
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -current $(BENCH_OUT) -max-regress $(BENCH_MAX_REGRESS)
+
+ci: build vet fmt test race bench bench-diff

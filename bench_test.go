@@ -83,3 +83,6 @@ func BenchmarkAblation2(b *testing.B) { runFigure(b, "ablation2") }
 
 // BenchmarkAblation3 measures guarded vs. unguarded filtering (A3).
 func BenchmarkAblation3(b *testing.B) { runFigure(b, "ablation3") }
+
+// BenchmarkThroughput measures parallel-executor tuples/sec (PR 3).
+func BenchmarkThroughput(b *testing.B) { runFigure(b, "throughput") }

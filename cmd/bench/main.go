@@ -1,16 +1,30 @@
 // Command bench runs the focused performance microbenchmark suite behind the
 // BENCH_*.json trajectory files: steady-state GP inference, incremental model
-// growth, the full per-tuple evaluation loop, the filtering fast path, and
-// the hyperparameter gradient/Hessian used by online retraining.
+// growth, the full per-tuple evaluation loop, the filtering fast path, the
+// hyperparameter gradient/Hessian used by online retraining, and the
+// parallel executor's end-to-end throughput at 1/2/4/8 workers.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR2.json [-baseline before.json] [-label name]
+//	go run ./cmd/bench -out BENCH_PR3.json [-baseline before.json] [-label name]
 //
-// The output is a JSON trajectory entry with ns/op, B/op, and allocs/op per
-// benchmark so future performance PRs can diff against a recorded baseline.
-// With -baseline, the named earlier run is embedded as "before" and
-// per-benchmark speedups are computed.
+// The output is a JSON trajectory entry (schema internal/benchfmt) with
+// ns/op, B/op, allocs/op — and tuples/sec for the throughput benchmarks —
+// so future performance PRs can diff against a recorded baseline;
+// cmd/benchdiff is the CI gate that does exactly that. With -baseline, the
+// named earlier run is embedded as "before" and per-benchmark speedups are
+// computed.
+//
+// Two throughput families cover the two ways a UDF workload saturates:
+//
+//   - parallel_eval_table_wN: CPU-bound — frozen GP emulator clones, the
+//     steady state of the paper's headline scenario. Scales with physical
+//     cores; on a GOMAXPROCS=1 host all N give the same tuples/sec.
+//   - parallel_udfio_table_wN: latency-bound — a Monte-Carlo engine over a
+//     UDF that blocks ~100µs per call (an external service / native
+//     process, the paper's expensive-black-box setting). Pipelining
+//     overlaps the blocking, so this family shows near-linear speedup even
+//     on a single core.
 package main
 
 import (
@@ -23,45 +37,20 @@ import (
 	"testing"
 	"time"
 
+	"olgapro/internal/benchfmt"
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
+	"olgapro/internal/exec"
 	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
 	"olgapro/internal/mc"
+	"olgapro/internal/query"
 	"olgapro/internal/udf"
 )
 
-// Result records one benchmark measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Iters       int     `json:"iters"`
-	NsPerOp     float64 `json:"ns_op"`
-	BytesPerOp  int64   `json:"b_op"`
-	AllocsPerOp int64   `json:"allocs_op"`
-}
-
-// Run is the file format of one harness invocation.
-type Run struct {
-	Schema     string   `json:"schema"`
-	Label      string   `json:"label,omitempty"`
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Results    []Result `json:"results"`
-}
-
-// Comparison is the trajectory entry written when -baseline is given.
-type Comparison struct {
-	Schema   string             `json:"schema"`
-	Date     string             `json:"date"`
-	Before   *Run               `json:"before"`
-	After    *Run               `json:"after"`
-	Speedups map[string]float64 `json:"speedup_ns_op"`
-}
-
-func measure(name string, f func(b *testing.B)) Result {
+func measure(name string, f func(b *testing.B)) benchfmt.Result {
 	r := testing.Benchmark(f)
-	res := Result{
+	res := benchfmt.Result{
 		Name:        name,
 		Iters:       r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -70,6 +59,15 @@ func measure(name string, f func(b *testing.B)) Result {
 	}
 	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %12d B/op %8d allocs/op\n",
 		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+// measureThroughput is measure for table benchmarks: one op processes
+// tuples tuples, so tuples/sec is derived from ns/op.
+func measureThroughput(name string, tuples int, f func(b *testing.B)) benchfmt.Result {
+	res := measure(name, f)
+	res.TuplesPerSec = float64(tuples) * 1e9 / res.NsPerOp
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f tuples/sec\n", "", res.TuplesPerSec)
 	return res
 }
 
@@ -231,14 +229,101 @@ func benchGradHess(b *testing.B) {
 	}
 }
 
+// throughputTuples is the table size of one throughput-benchmark op.
+const throughputTuples = 64
+
+// benchTable builds the uncertain input table shared by the throughput
+// benchmarks.
+func benchTable() []*query.Tuple {
+	rng := rand.New(rand.NewSource(21))
+	rel := make([]*query.Tuple, throughputTuples)
+	for i := range rel {
+		rel[i] = query.MustTuple(
+			[]string{"id", "x0", "x1"},
+			[]query.Value{
+				query.Int(int64(i)),
+				query.Uncertain(dist.Normal{Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15}),
+				query.Uncertain(dist.Normal{Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15}),
+			},
+		)
+	}
+	return rel
+}
+
+// benchParallelEvalTable measures the CPU-bound family: one op drains the
+// 64-tuple table through a frozen-emulator pool of the given size, the
+// steady state of the paper's headline scenario (zero UDF calls, pure GP
+// inference per tuple).
+func benchParallelEvalTable(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ev, _, _ := warmEvaluator(nil)
+		pool, err := exec.NewEvaluatorPool(ev, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel := benchTable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pe := pool.Apply(query.NewScan(rel), []string{"x0", "x1"}, "y", exec.Options{Seed: 17})
+			out, err := query.Drain(pe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != len(rel) {
+				b.Fatalf("drained %d of %d tuples", len(out), len(rel))
+			}
+		}
+	}
+}
+
+// ioUDF models the paper's expensive black-box setting: each call blocks
+// ~100µs, as an external service or spawned native process would.
+func ioUDF() udf.Func {
+	inner := smoothUDF()
+	return udf.FuncOf{D: 2, F: func(x []float64) float64 {
+		time.Sleep(100 * time.Microsecond)
+		return inner.Eval(x)
+	}}
+}
+
+// benchParallelIOTable measures the latency-bound family: a Monte-Carlo
+// engine (≈11 blocking UDF calls per tuple at ε=δ=0.3) over the same
+// table. Worker pipelining overlaps the blocking, so throughput scales with
+// the worker count even on one core.
+func benchParallelIOTable(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng := query.MCEngine{F: ioUDF(), Cfg: mc.Config{Eps: 0.3, Delta: 0.3, Metric: mc.MetricDiscrepancy}}
+		engines := make([]query.Engine, workers)
+		for i := range engines {
+			engines[i] = eng
+		}
+		pool, err := exec.NewPool(engines...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel := benchTable()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pe := pool.Apply(query.NewScan(rel), []string{"x0", "x1"}, "y", exec.Options{Seed: 17})
+			out, err := query.Drain(pe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != len(rel) {
+				b.Fatalf("drained %d of %d tuples", len(out), len(rel))
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write the run (or comparison) JSON to this file; stdout when empty")
 	baseline := flag.String("baseline", "", "earlier run JSON to embed as the before side")
 	label := flag.String("label", "", "label recorded in the run")
 	flag.Parse()
 
-	run := &Run{
-		Schema:     "olgapro-bench/v1",
+	run := &benchfmt.Run{
+		Schema:     benchfmt.SchemaRun,
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -252,30 +337,30 @@ func main() {
 		measure("filter_fast_path", benchFilterFastPath),
 		measure("grad_hess_n300", benchGradHess),
 	)
+	for _, w := range []int{1, 2, 4, 8} {
+		run.Results = append(run.Results, measureThroughput(
+			fmt.Sprintf("parallel_eval_table_w%d", w), throughputTuples, benchParallelEvalTable(w)))
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		run.Results = append(run.Results, measureThroughput(
+			fmt.Sprintf("parallel_udfio_table_w%d", w), throughputTuples, benchParallelIOTable(w)))
+	}
 
 	var payload any = run
 	if *baseline != "" {
-		raw, err := os.ReadFile(*baseline)
+		before, err := benchfmt.ReadRun(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
 			os.Exit(1)
 		}
-		var before Run
-		if err := json.Unmarshal(raw, &before); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
-			os.Exit(1)
-		}
-		cmp := &Comparison{
-			Schema:   "olgapro-bench-cmp/v1",
+		cmp := &benchfmt.Comparison{
+			Schema:   benchfmt.SchemaCmp,
 			Date:     run.Date,
-			Before:   &before,
+			Before:   before,
 			After:    run,
 			Speedups: map[string]float64{},
 		}
-		byName := map[string]Result{}
-		for _, r := range before.Results {
-			byName[r.Name] = r
-		}
+		byName := before.ByName()
 		for _, r := range run.Results {
 			if b, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
 				cmp.Speedups[r.Name] = b.NsPerOp / r.NsPerOp

@@ -1,0 +1,121 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// fresh cmd/bench run against a committed BENCH_*.json baseline and exits 1
+// when a hot-path benchmark regressed.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -baseline BENCH_PR2.json -current BENCH_PR3.json
+//	       [-max-regress 0.35] [-exempt '^parallel_']
+//
+// Rules, applied to every benchmark name present in the baseline:
+//
+//   - ns/op: fail when current > baseline × (1 + max-regress);
+//   - allocs/op: fail on any increase — the zero-allocation hot path is a
+//     hard invariant, not a soft budget;
+//   - a baseline benchmark missing from the current run fails, so a
+//     benchmark cannot silently vanish from the gate (delete it from the
+//     committed baseline deliberately instead);
+//   - names matching -exempt (default ^parallel_) are reported but not
+//     gated: throughput benchmarks depend on the host's core count, which
+//     differs between the machine that committed the baseline and the CI
+//     runner.
+//
+// Both files may use either trajectory schema (run or comparison); a
+// comparison contributes its "after" side. See internal/benchfmt.
+//
+// Caveat: the ns/op gate compares absolute timings across machines — the
+// committed baseline's host and the CI runner differ in CPU model and
+// shared-runner noise. The 35% default absorbs typical variance; if a
+// fleet's runners drift further, loosen it via BENCH_MAX_REGRESS in the
+// Makefile (the allocs/op gate is machine-independent and stays strict)
+// or refresh the committed baseline from a representative runner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"olgapro/internal/benchfmt"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json (required)")
+	current := flag.String("current", "", "fresh bench run to gate (required)")
+	maxRegress := flag.Float64("max-regress", 0.35, "allowed fractional ns/op regression")
+	exempt := flag.String("exempt", "^parallel_", "regexp of benchmark names reported but not gated")
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	exemptRe, err := regexp.Compile(*exempt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -exempt: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := benchfmt.ReadRun(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.ReadRun(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	curBy := cur.ByName()
+	baseBy := base.ByName()
+	failures := 0
+	fmt.Printf("benchdiff: %s (baseline) vs %s  [max ns/op regression %.0f%%]\n",
+		*baseline, *current, *maxRegress*100)
+	fmt.Printf("%-26s %14s %14s %8s %9s %9s  %s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δns", "base a/op", "cur a/op", "verdict")
+	for _, b := range base.Results {
+		name := b.Name
+		exempted := exemptRe.MatchString(name)
+		c, ok := curBy[name]
+		if !ok {
+			verdict, fail := "FAIL (missing from current run)", 1
+			if exempted {
+				verdict, fail = "exempt (missing)", 0
+			}
+			fmt.Printf("%-26s %14.0f %14s %8s %9d %9s  %s\n",
+				name, b.NsPerOp, "-", "-", b.AllocsPerOp, "-", verdict)
+			failures += fail
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		switch {
+		case exempted:
+			verdict = "exempt"
+		case c.NsPerOp > b.NsPerOp*(1+*maxRegress):
+			verdict = fmt.Sprintf("FAIL (ns/op +%.0f%% > %.0f%%)", delta*100, *maxRegress*100)
+			failures++
+		case c.AllocsPerOp > b.AllocsPerOp:
+			verdict = fmt.Sprintf("FAIL (allocs/op %d > %d)", c.AllocsPerOp, b.AllocsPerOp)
+			failures++
+		}
+		fmt.Printf("%-26s %14.0f %14.0f %7.0f%% %9d %9d  %s\n",
+			name, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+	for _, c := range cur.Results {
+		if _, ok := baseBy[c.Name]; !ok {
+			fmt.Printf("%-26s %14s %14.0f %8s %9s %9d  new (not gated)\n",
+				c.Name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: FAIL — %d regression(s); rerun `make bench-diff` locally, "+
+			"or update the committed baseline if the regression is intended\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: PASS")
+}

@@ -12,20 +12,30 @@
 //	FROM Galaxy G1, Galaxy G2
 //	WHERE Distance(G1.pos, G2.pos) ∈ [l, u]
 //
+// With -workers N ≠ 1 the UDF-application stages run on the parallel
+// pipelined executor (internal/exec): a GP engine is warmed on a few
+// tuples, frozen, and cloned per worker; a Monte-Carlo engine, being
+// stateless, is simply replicated. Per-tuple RNG seeding keeps the output
+// bit-identical across worker counts for a fixed -seed.
+//
 // Usage:
 //
-//	olgapro -query q1|q2 [-engine gp|mc] [-n galaxies] [-eps e] [-catalog file.csv]
+//	olgapro -query q1|q2 [-engine gp|mc] [-n galaxies] [-eps e]
+//	        [-workers n] [-catalog file.csv]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"olgapro/internal/astro"
 	"olgapro/internal/core"
+	"olgapro/internal/exec"
 	"olgapro/internal/kernel"
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
@@ -39,17 +49,18 @@ func main() {
 	eps := flag.Float64("eps", 0.1, "accuracy requirement ε")
 	delta := flag.Float64("delta", 0.05, "confidence parameter δ")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "UDF-application workers (1 = serial; ≤ 0 = GOMAXPROCS)")
 	catalogPath := flag.String("catalog", "", "load catalog CSV instead of generating")
 	limit := flag.Int("limit", 10, "print at most this many result tuples")
 	flag.Parse()
 
-	if err := run(*queryName, *engine, *n, *eps, *delta, *seed, *catalogPath, *limit); err != nil {
+	if err := run(*queryName, *engine, *n, *eps, *delta, *seed, *workers, *catalogPath, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(queryName, engine string, n int, eps, delta float64, seed int64, catalogPath string, limit int) error {
+func run(queryName, engine string, n int, eps, delta float64, seed int64, workers int, catalogPath string, limit int) error {
 	var cat *sdss.Catalog
 	if catalogPath != "" {
 		f, err := os.Open(catalogPath)
@@ -69,6 +80,9 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, catalo
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cosmo := astro.Default()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	mkEngine := func(f interface {
 		Dim() int
@@ -92,6 +106,62 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, catalo
 		}
 	}
 
+	// poolFor turns one engine into a worker pool: a GP engine is warmed on
+	// the given tuples, then frozen and cloned per worker; a stateless MC
+	// engine is replicated as-is.
+	poolFor := func(eng query.Engine, warm []*query.Tuple, inputs []string) (*exec.Pool, error) {
+		switch e := eng.(type) {
+		case query.EvaluatorEngine:
+			for _, t := range warm {
+				input, err := query.InputVectorFor(t, inputs)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := e.E.Eval(input, rng); err != nil {
+					return nil, fmt.Errorf("warm-up: %w", err)
+				}
+			}
+			return exec.NewEvaluatorPool(e.E, workers)
+		case query.MCEngine:
+			engines := make([]query.Engine, workers)
+			for i := range engines {
+				engines[i] = e
+			}
+			return exec.NewPool(engines...)
+		default:
+			return nil, fmt.Errorf("engine %T cannot be pooled", eng)
+		}
+	}
+
+	// applyStage builds the UDF-application operator: the classic serial
+	// ApplyUDF at -workers 1, the parallel executor otherwise.
+	applyStage := func(in query.Iterator, inputs []string, out string, eng query.Engine,
+		pred *mc.Predicate, warm []*query.Tuple) (query.Iterator, func() int, error) {
+		// With nothing to warm a GP pool on (empty relation), the serial
+		// path handles the stream — it drains to zero results where a
+		// frozen pool could not even be built.
+		if workers == 1 || len(warm) == 0 {
+			a := &query.ApplyUDF{In: in, Inputs: inputs, Out: out, Engine: eng, Rng: rng, Predicate: pred}
+			return a, func() int { return a.Dropped }, nil
+		}
+		pool, err := poolFor(eng, warm, inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Mix the stage name into the seed: chained stages must not hand
+		// tuple #k the same RNG stream, or their sampling errors correlate.
+		h := fnv.New64a()
+		h.Write([]byte(out))
+		pe := pool.Apply(in, inputs, out, exec.Options{Seed: seed ^ int64(h.Sum64()), Predicate: pred})
+		return pe, func() int { return pe.Dropped }, nil
+	}
+
+	// Pooled engines are frozen before the parallel scan, so give the model
+	// enough warm-up tuples to be useful — with a predicate, a barely
+	// trained frozen model filters nothing (wide envelopes keep every TEP
+	// upper bound above θ; conservative, never wrong, just slower).
+	warmCount := func(total int) int { return min(total, 12) }
+
 	start := time.Now()
 	switch queryName {
 	case "q1":
@@ -99,18 +169,16 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, catalo
 		if err != nil {
 			return err
 		}
-		apply := &query.ApplyUDF{
-			In:     query.NewScan(rel),
-			Inputs: []string{"redshift"},
-			Out:    "galAge",
-			Engine: eng,
-			Rng:    rng,
+		inputs := []string{"redshift"}
+		apply, _, err := applyStage(query.NewScan(rel), inputs, "galAge", eng, nil, rel[:warmCount(len(rel))])
+		if err != nil {
+			return err
 		}
 		results, err := query.Drain(apply)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Q1: SELECT objID, GalAge(redshift) FROM Galaxy  [engine=%s ε=%g]\n", engine, eps)
+		fmt.Printf("Q1: SELECT objID, GalAge(redshift) FROM Galaxy  [engine=%s ε=%g workers=%d]\n", engine, eps, workers)
 		printResults(results, []string{"objID", "galAge"}, limit)
 	case "q2":
 		// Self-join on distinct pairs; distance predicate with TEP filtering,
@@ -124,30 +192,28 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, catalo
 		if err != nil {
 			return err
 		}
-		withDist := &query.ApplyUDF{
-			In:     query.NewScan(pairs),
-			Inputs: []string{"g1.ra", "g1.dec", "g2.ra", "g2.dec"},
-			Out:    "distance",
-			Engine: distEng,
-			Rng:    rng,
+		distInputs := []string{"g1.ra", "g1.dec", "g2.ra", "g2.dec"}
+		withDist, distDropped, err := applyStage(query.NewScan(pairs), distInputs, "distance",
+			distEng, nil, pairs[:warmCount(len(pairs))])
+		if err != nil {
+			return err
 		}
 		volEng, err := mkEngine(astro.ComoveVolFunc(cosmo, 100), kernel.NewSqExp(5e7, 0.3), nil)
 		if err != nil {
 			return err
 		}
-		withVol := &query.ApplyUDF{
-			In:     withDist,
-			Inputs: []string{"g1.redshift", "g2.redshift"},
-			Out:    "comoveVol",
-			Engine: volEng,
-			Rng:    rng,
+		volInputs := []string{"g1.redshift", "g2.redshift"}
+		withVol, _, err := applyStage(withDist, volInputs, "comoveVol",
+			volEng, nil, pairs[:warmCount(len(pairs))])
+		if err != nil {
+			return err
 		}
 		results, err := query.Drain(withVol)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Q2: SELECT g1.objID, g2.objID, ComoveVol(...) WHERE Distance(pos) ∈ [0,25]  [engine=%s ε=%g]\n", engine, eps)
-		fmt.Printf("pairs examined: %d, dropped by TEP filter: %d\n", len(pairs), withDist.Dropped)
+		fmt.Printf("Q2: SELECT g1.objID, g2.objID, ComoveVol(...) WHERE Distance(pos) ∈ [0,25]  [engine=%s ε=%g workers=%d]\n", engine, eps, workers)
+		fmt.Printf("pairs examined: %d, dropped by TEP filter: %d\n", len(pairs), distDropped())
 		printResults(results, []string{"g1.objID", "g2.objID", "distance", "comoveVol"}, limit)
 	default:
 		return fmt.Errorf("unknown query %q (want q1 or q2)", queryName)
@@ -181,11 +247,4 @@ func printResults(results []*query.Tuple, cols []string, limit int) {
 		fmt.Println()
 	}
 	fmt.Printf("%d result tuples\n", len(results))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -266,3 +266,52 @@ func TestPublicARDKernel(t *testing.T) {
 		t.Fatalf("ARD median %g, want ≈ %g", out.Dist.Quantile(0.5), math.Sin(1))
 	}
 }
+
+// TestPublicParallelEngine exercises the parallel executor exactly as a
+// downstream user would: warm an evaluator, clone it into a pool, run a
+// query stage at two worker counts, and check the streams agree exactly.
+func TestPublicParallelEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := Func(1, func(x []float64) float64 { return math.Exp(-x[0] / 4) })
+	ev, err := NewEvaluator(f, Config{Kernel: SqExpKernel(0.5, 2), SampleOverride: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: the pool freezes the model, so train before cloning.
+	for i := 0; i < 6; i++ {
+		if _, err := ev.Eval(NormalInput([]float64{4}, 0.5), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel := make([]*Tuple, 60)
+	for i := range rel {
+		rel[i] = GalaxyTuple(int64(i), 180, 0, 0.01, 0.01, 3.5+0.02*float64(i), 0.3)
+	}
+	var ref []*Tuple
+	for _, workers := range []int{1, 3} {
+		pool, err := NewParallelEngine(ev, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pool.Workers() != workers {
+			t.Fatalf("workers = %d", pool.Workers())
+		}
+		out, err := Drain(pool.Apply(NewScan(rel), []string{"redshift"}, "y", ParallelOptions{Seed: 5}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(rel) {
+			t.Fatalf("%d of %d tuples", len(out), len(rel))
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range out {
+			a, b := ref[i].MustGet("y"), out[i].MustGet("y")
+			if a.TEP != b.TEP || a.R.Mean() != b.R.Mean() || a.R.Len() != b.R.Len() {
+				t.Fatalf("tuple %d differs between worker counts", i)
+			}
+		}
+	}
+}

@@ -35,6 +35,9 @@ type Scale struct {
 	Seed   int64
 	Inputs int // uncertain inputs per configuration
 	Truth  int // ground-truth samples per input when actual error is needed
+	// Workers sizes the parallel-executor pool in the throughput
+	// experiment (0 = GOMAXPROCS); cmd/experiments wires -workers here.
+	Workers int
 }
 
 // DefaultScale is used by cmd/experiments.

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/exec"
+	"olgapro/internal/query"
+	"olgapro/internal/udf"
+)
+
+// throughputUDF is the smooth 2-D workload function of the throughput
+// experiment, cheap enough that measured time is executor + inference.
+func throughputUDF() udf.Func {
+	return udf.FuncOf{D: 2, F: func(x []float64) float64 {
+		return x[0]*x[0] + 0.5*x[1] + 0.3*x[0]*x[1]
+	}}
+}
+
+// ThroughputParallel measures end-to-end tuples/sec of the PR 3 parallel
+// executor on a Q1-style uncertain table at 1, 2, and Scale.Workers
+// workers, and verifies live that every worker count returns bit-identical
+// results (the executor's determinism guarantee). The workload is the
+// steady state the paper's headline targets: a warmed, frozen emulator
+// whose per-tuple cost is GP inference only — CPU-bound work, so speedup
+// is capped by GOMAXPROCS (reported alongside).
+func ThroughputParallel(sc Scale) (*Table, error) {
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tuples := max(64, sc.Inputs*8)
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	ev, err := core.NewEvaluator(throughputUDF(), core.Config{
+		Kernel:         defaultKernel(),
+		SampleOverride: 400,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in, err := dist.IsoGaussianVec([]float64{1.5, 1.5}, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := ev.Eval(in, rng); err != nil {
+			return nil, err
+		}
+	}
+
+	rel := make([]*query.Tuple, tuples)
+	for i := range rel {
+		rel[i] = query.MustTuple(
+			[]string{"id", "x0", "x1"},
+			[]query.Value{
+				query.Int(int64(i)),
+				query.Uncertain(dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3}),
+				query.Uncertain(dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3}),
+			},
+		)
+	}
+
+	counts := []int{1, 2}
+	if workers > 2 {
+		counts = append(counts, workers)
+	}
+	tab := &Table{
+		ID:    "PR 3",
+		Title: "Parallel executor throughput (frozen emulator, Q1-style table)",
+		Columns: []string{"workers", "tuples", "elapsed", "tuples/sec",
+			"speedup", "identical"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; CPU-bound inference cannot speed up past it", runtime.GOMAXPROCS(0)),
+			"identical = output bit-identical to the 1-worker run (fixed seed)",
+		},
+	}
+
+	var base time.Duration
+	var ref []*query.Tuple
+	for _, w := range counts {
+		pool, err := exec.NewEvaluatorPool(ev, w)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		out, err := query.Drain(pool.Apply(query.NewScan(rel),
+			[]string{"x0", "x1"}, "y", exec.Options{Seed: sc.Seed}))
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		identical := "ref"
+		if w == 1 {
+			base = elapsed
+			ref = out
+		} else {
+			identical = fmt.Sprint(sameStreams(ref, out))
+		}
+		tab.AddRow(
+			fmt.Sprint(w),
+			fmt.Sprint(len(out)),
+			fdur(elapsed),
+			fmt.Sprintf("%.0f", float64(len(out))/elapsed.Seconds()),
+			fmt.Sprintf("%.2fx", base.Seconds()/elapsed.Seconds()),
+			identical,
+		)
+	}
+	return tab, nil
+}
+
+// sameStreams reports whether two result streams carry bit-identical output
+// distributions.
+func sameStreams(a, b []*query.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		av, bv := a[i].MustGet("y"), b[i].MustGet("y")
+		if av.TEP != bv.TEP {
+			return false
+		}
+		as, bs := av.R.Values(), bv.R.Values()
+		if len(as) != len(bs) {
+			return false
+		}
+		for j := range as {
+			if as[j] != bs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+// Package benchfmt defines the JSON schema of the BENCH_*.json performance
+// trajectory files shared by cmd/bench (the writer) and cmd/benchdiff (the
+// CI regression gate): per-benchmark ns/op, B/op, allocs/op measurements,
+// plus derived tuples/sec for the throughput benchmarks.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifiers of the two file shapes.
+const (
+	SchemaRun = "olgapro-bench/v1"     // one harness invocation
+	SchemaCmp = "olgapro-bench-cmp/v1" // a before/after comparison
+)
+
+// Result records one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	// TuplesPerSec is set on throughput benchmarks only: processed tuples
+	// per wall-clock second, derived from ns/op and the table size.
+	TuplesPerSec float64 `json:"tuples_sec,omitempty"`
+}
+
+// Run is the file format of one harness invocation.
+type Run struct {
+	Schema     string   `json:"schema"`
+	Label      string   `json:"label,omitempty"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Comparison is the trajectory entry written when a baseline is embedded.
+type Comparison struct {
+	Schema   string             `json:"schema"`
+	Date     string             `json:"date"`
+	Before   *Run               `json:"before"`
+	After    *Run               `json:"after"`
+	Speedups map[string]float64 `json:"speedup_ns_op"`
+}
+
+// ByName indexes a run's results.
+func (r *Run) ByName() map[string]Result {
+	m := make(map[string]Result, len(r.Results))
+	for _, res := range r.Results {
+		m[res.Name] = res
+	}
+	return m
+}
+
+// ReadRun loads a trajectory file in either schema: a plain run is returned
+// as-is, a comparison contributes its "after" side (the measurements that
+// were current when the file was committed).
+func ReadRun(path string) (*Run, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch probe.Schema {
+	case SchemaRun:
+		var run Run
+		if err := json.Unmarshal(raw, &run); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &run, nil
+	case SchemaCmp:
+		var cmp Comparison
+		if err := json.Unmarshal(raw, &cmp); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if cmp.After == nil {
+			return nil, fmt.Errorf("%s: comparison has no after side", path)
+		}
+		return cmp.After, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q", path, probe.Schema)
+	}
+}

@@ -1,0 +1,60 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadRunBothSchemas(t *testing.T) {
+	run := &Run{
+		Schema:  SchemaRun,
+		Results: []Result{{Name: "a", NsPerOp: 100, AllocsPerOp: 2}},
+	}
+	got, err := ReadRun(writeJSON(t, run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ByName()["a"].NsPerOp != 100 {
+		t.Fatalf("run read back wrong: %+v", got)
+	}
+
+	cmp := &Comparison{
+		Schema: SchemaCmp,
+		Before: &Run{Schema: SchemaRun, Results: []Result{{Name: "a", NsPerOp: 250}}},
+		After:  &Run{Schema: SchemaRun, Results: []Result{{Name: "a", NsPerOp: 120}}},
+	}
+	got, err = ReadRun(writeJSON(t, cmp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ByName()["a"].NsPerOp != 120 {
+		t.Fatalf("comparison must contribute its after side, got %+v", got)
+	}
+}
+
+func TestReadRunRejectsGarbage(t *testing.T) {
+	if _, err := ReadRun(writeJSON(t, map[string]string{"schema": "nope"})); err == nil {
+		t.Error("unknown schema should error")
+	}
+	if _, err := ReadRun(writeJSON(t, &Comparison{Schema: SchemaCmp})); err == nil {
+		t.Error("comparison without after side should error")
+	}
+	if _, err := ReadRun(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CloneFrozen returns an independent evaluator that shares the receiver's
+// UDF, learned hyperparameters, and training set, with every form of online
+// learning disabled: tuning (MaxAddPerInput), hyperparameter retraining, and
+// the filter-verification UDF probes are all off, and intra-tuple inference
+// parallelism is forced sequential. A frozen clone therefore never mutates
+// its model, which makes its Eval a pure function of (input, rng) — the
+// property the parallel executor's determinism guarantee (internal/exec)
+// rests on: two frozen clones of the same evaluator produce bit-identical
+// outputs for the same input and seed, regardless of which tuples each one
+// has processed in between.
+//
+// The receiver must have at least two training points (one warm-up Eval is
+// enough), or the clone's bootstrap step would add points on first use and
+// break the frozen invariant. Cloning costs one incremental O(n²) Cholesky
+// rebuild; for registry kernels (sqexp, matérn, sqexp-ard) the kernel is
+// copied so the clone shares no mutable hyperparameter state with a
+// receiver that keeps training. Unknown kernel types are shared read-only —
+// safe as long as the receiver is not retrained while clones are in use.
+func (e *Evaluator) CloneFrozen() (*Evaluator, error) {
+	if e.g.Len() < 2 {
+		return nil, errors.New("core: CloneFrozen needs a model with ≥ 2 training points; run a warm-up Eval first")
+	}
+	cfg := e.cfg
+	if name, ardDim, err := kernelName(cfg.Kernel); err == nil {
+		k, err := kernelFromName(name, ardDim, cfg.Kernel.Params(nil))
+		if err != nil {
+			return nil, fmt.Errorf("core: clone kernel: %w", err)
+		}
+		cfg.Kernel = k
+	}
+	cfg.MaxAddPerInput = -1
+	cfg.Retrain = RetrainNever
+	cfg.FilterTrustModel = true
+	cfg.Parallelism = 1
+	c, err := NewEvaluator(e.f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < e.g.Len(); i++ {
+		if err := c.g.Add(e.g.X(i), e.g.Y(i)); err != nil {
+			return nil, fmt.Errorf("core: clone training point %d: %w", i, err)
+		}
+		if err := c.tree.Insert(c.g.X(i), i); err != nil {
+			return nil, fmt.Errorf("core: clone index insert %d: %w", i, err)
+		}
+	}
+	c.yMin, c.yMax, c.haveY = e.yMin, e.yMax, e.haveY
+	return c, nil
+}
+
+// Frozen reports whether the evaluator was built with online learning
+// disabled (as CloneFrozen configures it).
+func (e *Evaluator) Frozen() bool {
+	return e.cfg.MaxAddPerInput < 0 && e.cfg.Retrain == RetrainNever && e.cfg.FilterTrustModel
+}

@@ -205,7 +205,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	}
 	e.stats.Inputs++
 	m := len(samples)
-	out := &Output{BoundMC: e.epsMC, Samples: m}
+	out := &Output{BoundMC: e.epsMC, Samples: m, Engine: EngineGP}
 	sc := &e.scratch
 
 	// Bootstrap: the online algorithm needs at least two observations to

@@ -14,18 +14,25 @@ import (
 type Engine int
 
 const (
+	// EngineUnknown is the zero value: the output was never stamped. Kept
+	// distinct from the real engines so a missing stamp is detectable.
+	EngineUnknown Engine = iota
 	// EngineGP is the OLGAPRO Gaussian-process path.
-	EngineGP Engine = iota
+	EngineGP
 	// EngineMC is direct Monte-Carlo simulation.
 	EngineMC
 )
 
 // String names the engine.
 func (e Engine) String() string {
-	if e == EngineMC {
+	switch e {
+	case EngineGP:
+		return "GP"
+	case EngineMC:
 		return "MC"
+	default:
+		return "unknown"
 	}
-	return "GP"
 }
 
 // HybridConfig configures the hybrid solution of §5.4, which explores the
@@ -95,9 +102,10 @@ func NewHybrid(f udf.Func, cfg HybridConfig) (*Hybrid, error) {
 	}
 	ecfg := eval.Config()
 	return &Hybrid{
-		cfg:  cfg,
-		tf:   tf,
-		eval: eval,
+		cfg:    cfg,
+		tf:     tf,
+		eval:   eval,
+		choice: EngineGP, // the calibration engine, until decided
 		mcCfg: mc.Config{
 			Eps: ecfg.Eps, Delta: ecfg.Delta, Metric: mc.MetricDiscrepancy,
 			Predicate: ecfg.Predicate,
@@ -152,6 +160,7 @@ func (h *Hybrid) Eval(input dist.Vector, rng *rand.Rand) (*Output, Engine, error
 			Filtered: res.Filtered,
 			TEPLower: res.TEP, TEPUpper: res.TEP,
 			MetBudget: true,
+			Engine:    EngineMC,
 		}
 		return out, EngineMC, nil
 	}
@@ -164,6 +173,7 @@ func (h *Hybrid) Eval(input dist.Vector, rng *rand.Rand) (*Output, Engine, error
 	if err != nil {
 		return nil, EngineGP, err
 	}
+	out.Engine = EngineGP
 	udfCalls := atomic.LoadInt64(&h.tf.calls) - callsBefore
 	udfWall := time.Duration(atomic.LoadInt64(&h.tf.totalNs) - udfNsBefore)
 	cost := wall - udfWall + time.Duration(udfCalls)*h.evalTime()

@@ -50,6 +50,10 @@ type Output struct {
 	LocalPoints int
 	// Retrained reports whether hyperparameter retraining ran.
 	Retrained bool
+	// Engine identifies which engine produced this output. Evaluator and
+	// the query-layer adapters stamp it, so hybrid routing decisions are
+	// never silently dropped.
+	Engine Engine
 }
 
 // Stats aggregates evaluator activity across Eval calls.

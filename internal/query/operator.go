@@ -13,6 +13,14 @@ import (
 
 // Iterator is the Volcano-model pull interface. Next returns io.EOF after
 // the last tuple.
+//
+// Error convention (shared with internal/exec): the first error wins and is
+// sticky — once Next returns a non-nil error, every subsequent call returns
+// that same error without pulling more input. io.EOF passes through
+// unwrapped. An error raised by an operator's own work is wrapped exactly
+// once, with the operator name and the 0-based ordinal of the offending
+// input tuple ("query: apply \"f\": tuple #17: ..."); errors arriving from
+// upstream propagate unmodified, since they were wrapped at their source.
 type Iterator interface {
 	Next() (*Tuple, error)
 }
@@ -30,6 +38,29 @@ func Drain(it Iterator) ([]*Tuple, error) {
 		}
 		out = append(out, t)
 	}
+}
+
+// opErr implements the package error convention for one operator: the first
+// error (io.EOF included) is retained and every later Next returns it
+// unchanged.
+type opErr struct {
+	seq int64 // input tuples consumed so far; the ordinal used in wrapping
+	err error
+}
+
+// sticky returns the retained error, or nil when iteration may continue.
+func (o *opErr) sticky() error { return o.err }
+
+// upstream retains an error from In.Next (or io.EOF) unmodified.
+func (o *opErr) upstream(err error) error {
+	o.err = err
+	return o.err
+}
+
+// fail wraps the operator's own failure on the current input tuple.
+func (o *opErr) fail(op string, err error) error {
+	o.err = fmt.Errorf("query: %s: tuple #%d: %w", op, o.seq, err)
+	return o.err
 }
 
 // --- Scan ---
@@ -59,19 +90,25 @@ func (s *Scan) Next() (*Tuple, error) {
 type Select struct {
 	In   Iterator
 	Pred func(*Tuple) (bool, error)
+
+	state opErr
 }
 
 // Next returns the next passing tuple.
 func (s *Select) Next() (*Tuple, error) {
+	if err := s.state.sticky(); err != nil {
+		return nil, err
+	}
 	for {
 		t, err := s.In.Next()
 		if err != nil {
-			return nil, err
+			return nil, s.state.upstream(err)
 		}
 		ok, err := s.Pred(t)
 		if err != nil {
-			return nil, err
+			return nil, s.state.fail("select", err)
 		}
+		s.state.seq++
 		if ok {
 			return t, nil
 		}
@@ -84,23 +121,33 @@ func (s *Select) Next() (*Tuple, error) {
 type Project struct {
 	In    Iterator
 	Names []string
+
+	state opErr
 }
 
 // Next returns the projected next tuple.
 func (p *Project) Next() (*Tuple, error) {
+	if err := p.state.sticky(); err != nil {
+		return nil, err
+	}
 	t, err := p.In.Next()
 	if err != nil {
-		return nil, err
+		return nil, p.state.upstream(err)
 	}
 	vals := make([]Value, len(p.Names))
 	for i, n := range p.Names {
 		v, err := t.Get(n)
 		if err != nil {
-			return nil, err
+			return nil, p.state.fail("project", err)
 		}
 		vals[i] = v
 	}
-	return NewTuple(p.Names, vals)
+	out, err := NewTuple(p.Names, vals)
+	if err != nil {
+		return nil, p.state.fail("project", err)
+	}
+	p.state.seq++
+	return out, nil
 }
 
 // --- CrossJoin ---
@@ -112,6 +159,8 @@ type CrossJoin struct {
 	leftPrefix, rightPref string
 	i, j                  int
 	skipSelfPairs         bool
+
+	state opErr
 }
 
 // NewCrossJoin builds a cross join; when skipSelfPairs is true, pairs (i, j)
@@ -127,9 +176,12 @@ func NewCrossJoin(left []*Tuple, leftPrefix string, right []*Tuple, rightPrefix 
 
 // Next returns the next joined tuple.
 func (c *CrossJoin) Next() (*Tuple, error) {
+	if err := c.state.sticky(); err != nil {
+		return nil, err
+	}
 	for {
 		if c.i >= len(c.left) {
-			return nil, io.EOF
+			return nil, c.state.upstream(io.EOF)
 		}
 		if c.j >= len(c.right) {
 			c.i++
@@ -141,14 +193,21 @@ func (c *CrossJoin) Next() (*Tuple, error) {
 		if c.skipSelfPairs && j <= i {
 			continue
 		}
-		return Concat(c.left[i], c.leftPrefix, c.right[j], c.rightPref)
+		t, err := Concat(c.left[i], c.leftPrefix, c.right[j], c.rightPref)
+		if err != nil {
+			return nil, c.state.fail("cross-join", fmt.Errorf("pair (%d,%d): %w", i, j, err))
+		}
+		c.state.seq++
+		return t, nil
 	}
 }
 
 // --- UDF application ---
 
 // Engine evaluates a UDF on one uncertain input vector; implemented by
-// *core.Evaluator, MCEngine, and HybridEngine.
+// *core.Evaluator, MCEngine, and HybridEngine. Every Output carries
+// Output.Engine, stamped at the producing engine, so routing decisions
+// survive into query results.
 type Engine interface {
 	EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error)
 }
@@ -183,15 +242,20 @@ func (e MCEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, er
 		TEPLower:  res.TEP,
 		TEPUpper:  res.TEP,
 		MetBudget: true,
+		Engine:    core.EngineMC,
 	}, nil
 }
 
-// HybridEngine adapts *core.Hybrid to the Engine interface.
+// HybridEngine adapts *core.Hybrid to the Engine interface. The engine the
+// hybrid routed each input to is recorded on Output.Engine rather than
+// discarded, so callers can audit the routing decisions.
 type HybridEngine struct{ H *core.Hybrid }
 
 // EvalInput routes the input through the hybrid chooser.
 func (e HybridEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
 	out, _, err := e.H.Eval(input, rng)
+	// The routed engine is not discarded: Hybrid.Eval stamps it on
+	// out.Engine for both paths.
 	return out, err
 }
 
@@ -223,47 +287,45 @@ type ApplyUDF struct {
 
 	// Dropped counts tuples removed by filtering.
 	Dropped int
+
+	state opErr
 }
 
 // Next returns the next surviving tuple with the UDF result attached.
 func (a *ApplyUDF) Next() (*Tuple, error) {
+	if err := a.state.sticky(); err != nil {
+		return nil, err
+	}
 	for {
 		t, err := a.In.Next()
 		if err != nil {
-			return nil, err
+			return nil, a.state.upstream(err)
 		}
-		input, err := a.inputVector(t)
+		input, err := InputVectorFor(t, a.Inputs)
 		if err != nil {
-			return nil, err
+			return nil, a.state.fail(fmt.Sprintf("apply %q", a.Out), err)
 		}
 		out, err := a.Engine.EvalInput(input, a.Rng)
 		if err != nil {
-			return nil, fmt.Errorf("query: UDF %q: %w", a.Out, err)
+			return nil, a.state.fail(fmt.Sprintf("apply %q", a.Out), err)
 		}
-		if out.Filtered {
+		a.state.seq++
+		result := AttachResult(t, out, a.Out, a.Predicate)
+		if result == nil {
 			a.Dropped++
 			continue
 		}
-		d := out.Dist
-		tep := out.TEPUpper
-		if a.Predicate != nil && d != nil {
-			truncated, mass := d.Truncate(a.Predicate.A, a.Predicate.B)
-			if mass < a.Predicate.Theta {
-				// The engine kept it but the realized mass is below θ —
-				// drop for consistency with the predicate semantics.
-				a.Dropped++
-				continue
-			}
-			d, tep = truncated, mass
-		}
-		return t.With(a.Out, Result(d, tep)), nil
+		return result, nil
 	}
 }
 
-// inputVector assembles the joint input distribution from tuple attributes.
-func (a *ApplyUDF) inputVector(t *Tuple) (dist.Vector, error) {
-	comps := make([]dist.Dist, len(a.Inputs))
-	for i, name := range a.Inputs {
+// InputVectorFor assembles the joint UDF input distribution from the named
+// attributes of t: uncertain attributes contribute their distribution,
+// certain numeric attributes a Constant. It is shared by ApplyUDF and the
+// parallel executor (internal/exec) so both apply identical semantics.
+func InputVectorFor(t *Tuple, inputs []string) (dist.Vector, error) {
+	comps := make([]dist.Dist, len(inputs))
+	for i, name := range inputs {
 		v, err := t.Get(name)
 		if err != nil {
 			return nil, err
@@ -276,10 +338,34 @@ func (a *ApplyUDF) inputVector(t *Tuple) (dist.Vector, error) {
 		case KindInt:
 			comps[i] = dist.Constant{V: float64(v.I)}
 		default:
-			return nil, fmt.Errorf("query: attribute %q has kind %s, want numeric or uncertain", name, v.Kind)
+			return nil, fmt.Errorf("attribute %q has kind %s, want numeric or uncertain", name, v.Kind)
 		}
 	}
 	return dist.NewIndependent(comps...), nil
+}
+
+// AttachResult applies the paper's predicate semantics to one engine output:
+// a filtered tuple yields nil (dropped); otherwise the surviving result
+// distribution is truncated to the predicate interval (when pred is non-nil)
+// with the realized mass as its tuple existence probability, and the tuple
+// extended with the result under name is returned. A post-truncation mass
+// below θ also drops the tuple, for consistency with the engine's own
+// filtering. Shared by ApplyUDF and the parallel executor so serial and
+// parallel plans agree tuple-for-tuple.
+func AttachResult(t *Tuple, out *core.Output, name string, pred *mc.Predicate) *Tuple {
+	if out.Filtered {
+		return nil
+	}
+	d := out.Dist
+	tep := out.TEPUpper
+	if pred != nil && d != nil {
+		truncated, mass := d.Truncate(pred.A, pred.B)
+		if mass < pred.Theta {
+			return nil
+		}
+		d, tep = truncated, mass
+	}
+	return t.With(name, Result(d, tep))
 }
 
 // --- Catalog helpers ---

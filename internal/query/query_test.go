@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"io"
 	"math"
 	"math/rand"
@@ -353,5 +354,128 @@ func TestApplyUDFTruncatesSurvivors(t *testing.T) {
 	// Conditional median of the upper half of N(0.5, 0.1): ≈ 0.567.
 	if med := res.R.Quantile(0.5); math.Abs(med-0.567) > 0.02 {
 		t.Fatalf("conditional median %g, want ≈ 0.567", med)
+	}
+}
+
+// errEngine fails on every input, for error-convention tests.
+type errEngine struct{ err error }
+
+func (e errEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
+	return nil, e.err
+}
+
+func TestErrorConventionApplyUDF(t *testing.T) {
+	boom := io.ErrUnexpectedEOF
+	tuples := []*Tuple{
+		MustTuple([]string{"x"}, []Value{Uncertain(dist.Normal{Mu: 1, Sigma: 0.1})}),
+		MustTuple([]string{"x"}, []Value{Uncertain(dist.Normal{Mu: 2, Sigma: 0.1})}),
+	}
+	a := &ApplyUDF{
+		In:     NewScan(tuples),
+		Inputs: []string{"x"},
+		Out:    "y",
+		Engine: errEngine{err: boom},
+		Rng:    rand.New(rand.NewSource(1)),
+	}
+	_, err := a.Next()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), `apply "y": tuple #0`) {
+		t.Fatalf("error not wrapped per convention: %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	// Sticky: the same error, with no further input pulls.
+	again, err2 := a.Next()
+	if again != nil || err2 != err {
+		t.Fatalf("error not sticky: %v vs %v", err2, err)
+	}
+}
+
+func TestErrorConventionSelect(t *testing.T) {
+	boom := errors.New("pred failed")
+	tuples := []*Tuple{
+		MustTuple([]string{"x"}, []Value{Float(1)}),
+		MustTuple([]string{"x"}, []Value{Float(2)}),
+	}
+	s := &Select{
+		In: NewScan(tuples),
+		Pred: func(tp *Tuple) (bool, error) {
+			if tp.MustGet("x").F > 1 {
+				return false, boom
+			}
+			return true, nil
+		},
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Next()
+	if err == nil || !strings.Contains(err.Error(), "select: tuple #1") || !errors.Is(err, boom) {
+		t.Fatalf("select error not wrapped per convention: %v", err)
+	}
+	if _, err2 := s.Next(); err2 != err {
+		t.Fatalf("select error not sticky: %v", err2)
+	}
+	// EOF passes through unwrapped and stays sticky too.
+	p := &Project{In: NewScan(nil), Names: []string{"x"}}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+}
+
+func TestErrorConventionProjectMissingAttr(t *testing.T) {
+	p := &Project{
+		In:    NewScan([]*Tuple{MustTuple([]string{"a"}, []Value{Float(1)})}),
+		Names: []string{"zz"},
+	}
+	_, err := p.Next()
+	if err == nil || !strings.Contains(err.Error(), "project: tuple #0") {
+		t.Fatalf("project error not wrapped per convention: %v", err)
+	}
+}
+
+func TestOutputEngineStamped(t *testing.T) {
+	in := dist.NewIndependent(dist.Normal{Mu: 1, Sigma: 0.1})
+	rng := rand.New(rand.NewSource(4))
+	f := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
+
+	mcOut, err := MCEngine{F: f, Cfg: mc.Config{Eps: 0.3, Delta: 0.3}}.EvalInput(in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcOut.Engine != core.EngineMC {
+		t.Errorf("MC engine stamp = %v", mcOut.Engine)
+	}
+
+	ev, err := core.NewEvaluator(f, core.Config{Kernel: kernel.NewSqExp(1, 1), SampleOverride: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpOut, err := EvaluatorEngine{E: ev}.EvalInput(in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpOut.Engine != core.EngineGP {
+		t.Errorf("GP engine stamp = %v", gpOut.Engine)
+	}
+
+	h, err := core.NewHybrid(f, core.HybridConfig{Config: core.Config{
+		Kernel: kernel.NewSqExp(1, 1), SampleOverride: 60,
+	}, CalibrationInputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOut, err := HybridEngine{H: h}.EvalInput(in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hOut.Engine != core.EngineGP && hOut.Engine != core.EngineMC {
+		t.Errorf("hybrid engine stamp missing: %v", hOut.Engine)
 	}
 }

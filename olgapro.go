@@ -40,6 +40,7 @@ import (
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
 	"olgapro/internal/ecdf"
+	"olgapro/internal/exec"
 	"olgapro/internal/kernel"
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
@@ -75,6 +76,7 @@ type (
 
 // Re-exported policy and engine constants.
 const (
+	EngineUnknown     = core.EngineUnknown
 	EngineGP          = core.EngineGP
 	EngineMC          = core.EngineMC
 	TuneMaxVariance   = core.TuneMaxVariance
@@ -250,6 +252,43 @@ func GalaxyTuple(objID int64, ra, dec, raErr, decErr, z, zErr float64) *Tuple {
 
 // GPEngine adapts an Evaluator for use in query plans.
 func GPEngine(e *Evaluator) QueryEngine { return query.EvaluatorEngine{E: e} }
+
+// Parallel execution (internal/exec): run the UDF-application stage of a
+// query across a worker pool with deterministic, order-preserving semantics
+// — for a fixed ParallelOptions.Seed the output is bit-identical to serial
+// execution at any worker count.
+type (
+	// ParallelEngine is a pool of per-worker engines sharing one trained
+	// model; build one with NewParallelEngine or NewParallelPool and fan a
+	// stage out with its Apply method.
+	ParallelEngine = exec.Pool
+	// ParallelOptions tunes one parallel apply stage (context, seed,
+	// queue depth, predicate truncation).
+	ParallelOptions = exec.Options
+	// ParallelEvalOp is the order-preserving parallel UDF-application
+	// operator returned by ParallelEngine.Apply.
+	ParallelEvalOp = exec.ParallelEval
+)
+
+// NewParallelEngine clones a warmed-up evaluator into a pool of frozen
+// per-worker copies that share its tuned hyperparameters and training set,
+// so the expensive GP fitting is not redone per worker. workers ≤ 0 uses
+// GOMAXPROCS. The evaluator needs at least two training points (one warm-up
+// Eval suffices).
+func NewParallelEngine(ev *Evaluator, workers int) (*ParallelEngine, error) {
+	return exec.NewEvaluatorPool(ev, workers)
+}
+
+// NewParallelPool builds a parallel engine pool from caller-supplied
+// engines, one per worker (e.g. stateless Monte-Carlo engines).
+func NewParallelPool(engines ...QueryEngine) (*ParallelEngine, error) {
+	return exec.NewPool(engines...)
+}
+
+// TupleSeed derives the per-tuple RNG seed the parallel executor uses for
+// the tuple at the given stream ordinal, for serial reference
+// implementations that need to reproduce its sampling exactly.
+func TupleSeed(base, seq int64) int64 { return exec.TupleSeed(base, seq) }
 
 // NewECDF builds an empirical CDF from samples (copied and sorted).
 func NewECDF(samples []float64) *ECDF { return ecdf.New(samples) }
