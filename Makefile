@@ -5,11 +5,16 @@ GO ?= go
 
 # Perf-trajectory knobs: where the fresh bench run lands, which committed
 # entry it is gated against, and how much ns/op drift the gate allows.
-BENCH_OUT ?= BENCH_PR3.json
-BENCH_BASELINE ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR3.json
 BENCH_MAX_REGRESS ?= 0.35
 
-.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff ci
+# Coverage gate: these packages carry the statistical-guarantee machinery and
+# must stay above the floor.
+COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/core
+COVER_MIN ?= 70
+
+.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -55,4 +60,25 @@ bench-json:
 bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -current $(BENCH_OUT) -max-regress $(BENCH_MAX_REGRESS)
 
-ci: build vet fmt test race bench bench-diff
+# cover enforces a statement-coverage floor on the packages that carry the
+# (ε, δ) guarantee machinery. -short keeps it fast; the heavy statistical
+# suites run in full in `test`.
+cover:
+	@fail=0; \
+	for p in $(COVER_PKGS); do \
+		$(GO) test -short -coverprofile=.cover.out $$p >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "coverage $$p: $$pct% (floor $(COVER_MIN)%)"; \
+		awk -v p=$$pct -v m=$(COVER_MIN) 'BEGIN{exit !(p+0 >= m+0)}' || { echo "coverage $$p below $(COVER_MIN)%"; fail=1; }; \
+	done; \
+	rm -f .cover.out; \
+	exit $$fail
+
+# fuzz-smoke runs each native fuzz target briefly: long enough to execute the
+# committed seed corpus plus tens of thousands of mutated inputs against the
+# envelope/bound invariants, short enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDiscrepancyBound -fuzztime=10s ./internal/ecdf
+	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeOf -fuzztime=10s ./internal/core
+
+ci: build vet fmt test race cover fuzz-smoke bench bench-diff

@@ -229,6 +229,53 @@ func benchGradHess(b *testing.B) {
 	}
 }
 
+// greedyBenchSetup builds an evaluator with a 60-point trained model and a
+// 400-sample tuple (the paper's cap "for 'optimal greedy' to be feasible"),
+// under global inference so the local subset — and thus the per-candidate
+// cost — is deterministic across runs.
+func greedyBenchSetup() (*core.Evaluator, [][]float64) {
+	cfg := core.Config{
+		Kernel:          kernel.NewSqExp(1, 0.3),
+		Noise:           1e-6,
+		GlobalInference: true,
+		SampleOverride:  400,
+		Tuning:          core.TuneOptimalGreedy,
+	}
+	ev, err := core.NewEvaluator(smoothUDF(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for ev.GP().Len() < 60 {
+		if err := ev.AddTrainingAt([]float64{rng.Float64(), rng.Float64()}); err != nil {
+			continue // numerically duplicate draw; try another
+		}
+	}
+	samples := make([][]float64, 400)
+	for i := range samples {
+		samples[i] = []float64{0.35 + 0.3*rng.Float64(), 0.35 + 0.3*rng.Float64()}
+	}
+	return ev, samples
+}
+
+// benchTuningPick measures one optimal-greedy tuning pick (§5.2): every
+// candidate's simulated envelope bound over the evaluation subset. The rank-1
+// fast path replaces the clone-based per-candidate refactorization; both are
+// kept in the trajectory so the speedup is visible in one file and the fast
+// path is gated once this file becomes the baseline.
+func benchTuningPick(useClone bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ev, samples := greedyBenchSetup()
+		rng := rand.New(rand.NewSource(31))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.PickGreedyForBench(samples, rng, useClone); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // throughputTuples is the table size of one throughput-benchmark op.
 const throughputTuples = 64
 
@@ -336,6 +383,8 @@ func main() {
 		measure("eval_samples_steady", benchEvalSamples),
 		measure("filter_fast_path", benchFilterFastPath),
 		measure("grad_hess_n300", benchGradHess),
+		measure("tuning_pick_rank1", benchTuningPick(false)),
+		measure("tuning_pick_clone", benchTuningPick(true)),
 	)
 	for _, w := range []int{1, 2, 4, 8} {
 		run.Results = append(run.Results, measureThroughput(

@@ -18,7 +18,14 @@
 //   - names matching -exempt (default ^parallel_) are reported but not
 //     gated: throughput benchmarks depend on the host's core count, which
 //     differs between the machine that committed the baseline and the CI
-//     runner.
+//     runner;
+//   - benchmarks present in the current run but missing from the baseline
+//     are listed as "new (not gated)" and summarized, so additions (e.g.
+//     the BENCH_PR4 tuning_pick_* pair) are visible in CI output rather
+//     than silently ignored.
+//
+// The comparison rules live in benchfmt.Diff (unit-tested); this command is
+// only the CLI shell around them.
 //
 // Both files may use either trajectory schema (run or comparison); a
 // comparison contributes its "after" side. See internal/benchfmt.
@@ -36,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 
 	"olgapro/internal/benchfmt"
 )
@@ -67,50 +75,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	curBy := cur.ByName()
-	baseBy := base.ByName()
-	failures := 0
+	entries, failures, added := benchfmt.Diff(base, cur, benchfmt.DiffOptions{
+		MaxRegress: *maxRegress,
+		Exempt:     exemptRe,
+	})
 	fmt.Printf("benchdiff: %s (baseline) vs %s  [max ns/op regression %.0f%%]\n",
 		*baseline, *current, *maxRegress*100)
 	fmt.Printf("%-26s %14s %14s %8s %9s %9s  %s\n",
 		"benchmark", "base ns/op", "cur ns/op", "Δns", "base a/op", "cur a/op", "verdict")
-	for _, b := range base.Results {
-		name := b.Name
-		exempted := exemptRe.MatchString(name)
-		c, ok := curBy[name]
-		if !ok {
-			verdict, fail := "FAIL (missing from current run)", 1
-			if exempted {
-				verdict, fail = "exempt (missing)", 0
-			}
-			fmt.Printf("%-26s %14.0f %14s %8s %9d %9s  %s\n",
-				name, b.NsPerOp, "-", "-", b.AllocsPerOp, "-", verdict)
-			failures += fail
-			continue
+	var newNames []string
+	for _, e := range entries {
+		bNs, bAllocs := "-", "-"
+		if e.Base != nil {
+			bNs = fmt.Sprintf("%.0f", e.Base.NsPerOp)
+			bAllocs = fmt.Sprintf("%d", e.Base.AllocsPerOp)
 		}
-		delta := 0.0
-		if b.NsPerOp > 0 {
-			delta = c.NsPerOp/b.NsPerOp - 1
+		cNs, cAllocs, delta := "-", "-", "-"
+		if e.Cur != nil {
+			cNs = fmt.Sprintf("%.0f", e.Cur.NsPerOp)
+			cAllocs = fmt.Sprintf("%d", e.Cur.AllocsPerOp)
 		}
-		verdict := "ok"
-		switch {
-		case exempted:
-			verdict = "exempt"
-		case c.NsPerOp > b.NsPerOp*(1+*maxRegress):
-			verdict = fmt.Sprintf("FAIL (ns/op +%.0f%% > %.0f%%)", delta*100, *maxRegress*100)
-			failures++
-		case c.AllocsPerOp > b.AllocsPerOp:
-			verdict = fmt.Sprintf("FAIL (allocs/op %d > %d)", c.AllocsPerOp, b.AllocsPerOp)
-			failures++
+		if e.Base != nil && e.Cur != nil {
+			delta = fmt.Sprintf("%.0f%%", e.Delta*100)
 		}
-		fmt.Printf("%-26s %14.0f %14.0f %7.0f%% %9d %9d  %s\n",
-			name, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsPerOp, c.AllocsPerOp, verdict)
+		fmt.Printf("%-26s %14s %14s %8s %9s %9s  %s\n",
+			e.Name, bNs, cNs, delta, bAllocs, cAllocs, e.Verdict)
+		if e.New {
+			newNames = append(newNames, e.Name)
+		}
 	}
-	for _, c := range cur.Results {
-		if _, ok := baseBy[c.Name]; !ok {
-			fmt.Printf("%-26s %14s %14.0f %8s %9s %9d  new (not gated)\n",
-				c.Name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp)
-		}
+	if added > 0 {
+		fmt.Printf("benchdiff: %d new benchmark(s) not in baseline: %s — gated once the baseline is refreshed\n",
+			added, strings.Join(newNames, ", "))
 	}
 	if failures > 0 {
 		fmt.Printf("benchdiff: FAIL — %d regression(s); rerun `make bench-diff` locally, "+

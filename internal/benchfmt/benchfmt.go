@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 )
 
 // Schema identifiers of the two file shapes.
@@ -45,6 +46,90 @@ type Comparison struct {
 	Before   *Run               `json:"before"`
 	After    *Run               `json:"after"`
 	Speedups map[string]float64 `json:"speedup_ns_op"`
+}
+
+// DiffOptions parameterize the regression gate.
+type DiffOptions struct {
+	// MaxRegress is the allowed fractional ns/op regression (0.35 = +35%).
+	MaxRegress float64
+	// Exempt matches benchmark names that are reported but never gated
+	// (host-dependent throughput families). Nil gates every name.
+	Exempt *regexp.Regexp
+}
+
+// DiffEntry is one row of a baseline/current comparison.
+type DiffEntry struct {
+	Name    string
+	Base    *Result // nil when the benchmark is new in the current run
+	Cur     *Result // nil when the benchmark vanished from the current run
+	Delta   float64 // fractional ns/op change (0 when either side is absent)
+	Verdict string
+	Failed  bool
+	New     bool // present in the current run but missing from the baseline
+}
+
+// Diff applies the regression-gate rules to a baseline and a current run:
+//
+//   - ns/op: fail when current > baseline × (1 + MaxRegress);
+//   - allocs/op: fail on any increase — the zero-allocation hot path is a
+//     hard invariant, not a soft budget;
+//   - a baseline benchmark missing from the current run fails, so a
+//     benchmark cannot silently vanish from the gate;
+//   - exempt names are reported but not gated;
+//   - benchmarks present only in the current run are reported as New and
+//     never gated, so additions stay visible in CI output instead of being
+//     silently ignored.
+//
+// Entries come back in baseline order followed by new benchmarks in current
+// order, with the failure and new-benchmark counts.
+func Diff(base, cur *Run, opt DiffOptions) (entries []DiffEntry, failures, added int) {
+	curBy := cur.ByName()
+	baseBy := base.ByName()
+	for i := range base.Results {
+		b := &base.Results[i]
+		e := DiffEntry{Name: b.Name, Base: b}
+		exempted := opt.Exempt != nil && opt.Exempt.MatchString(b.Name)
+		c, ok := curBy[b.Name]
+		switch {
+		case !ok && exempted:
+			e.Verdict = "exempt (missing)"
+		case !ok:
+			e.Verdict = "FAIL (missing from current run)"
+			e.Failed = true
+		default:
+			e.Cur = &c
+			if b.NsPerOp > 0 {
+				e.Delta = c.NsPerOp/b.NsPerOp - 1
+			}
+			switch {
+			case exempted:
+				e.Verdict = "exempt"
+			case c.NsPerOp > b.NsPerOp*(1+opt.MaxRegress):
+				e.Verdict = fmt.Sprintf("FAIL (ns/op +%.0f%% > %.0f%%)", e.Delta*100, opt.MaxRegress*100)
+				e.Failed = true
+			case c.AllocsPerOp > b.AllocsPerOp:
+				e.Verdict = fmt.Sprintf("FAIL (allocs/op %d > %d)", c.AllocsPerOp, b.AllocsPerOp)
+				e.Failed = true
+			default:
+				e.Verdict = "ok"
+			}
+		}
+		if e.Failed {
+			failures++
+		}
+		entries = append(entries, e)
+	}
+	for i := range cur.Results {
+		c := &cur.Results[i]
+		if _, ok := baseBy[c.Name]; ok {
+			continue
+		}
+		entries = append(entries, DiffEntry{
+			Name: c.Name, Cur: c, New: true, Verdict: "new (not gated)",
+		})
+		added++
+	}
+	return entries, failures, added
 }
 
 // ByName indexes a run's results.

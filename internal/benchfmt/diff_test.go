@@ -1,0 +1,109 @@
+package benchfmt
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func diffFixture() (*Run, *Run) {
+	base := &Run{Schema: SchemaRun, Results: []Result{
+		{Name: "steady", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "growth", NsPerOp: 1000, AllocsPerOp: 5},
+		{Name: "vanished", NsPerOp: 50, AllocsPerOp: 1},
+		{Name: "parallel_w4", NsPerOp: 400, AllocsPerOp: 9},
+	}}
+	cur := &Run{Schema: SchemaRun, Results: []Result{
+		{Name: "steady", NsPerOp: 110, AllocsPerOp: 0},           // +10%: ok
+		{Name: "growth", NsPerOp: 1500, AllocsPerOp: 5},          // +50%: ns/op fail
+		{Name: "parallel_w4", NsPerOp: 9000, AllocsPerOp: 9},     // exempt
+		{Name: "tuning_pick_rank1", NsPerOp: 7, AllocsPerOp: 0},  // new
+		{Name: "tuning_pick_clone", NsPerOp: 77, AllocsPerOp: 3}, // new
+	}}
+	return base, cur
+}
+
+func entryByName(t *testing.T, entries []DiffEntry, name string) DiffEntry {
+	t.Helper()
+	for _, e := range entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no entry %q", name)
+	return DiffEntry{}
+}
+
+func TestDiffGateRules(t *testing.T) {
+	base, cur := diffFixture()
+	entries, failures, added := Diff(base, cur, DiffOptions{
+		MaxRegress: 0.35,
+		Exempt:     regexp.MustCompile("^parallel_"),
+	})
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (ns/op regression + vanished)", failures)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	if e := entryByName(t, entries, "steady"); e.Failed || e.Verdict != "ok" {
+		t.Errorf("steady: %+v", e)
+	}
+	if e := entryByName(t, entries, "growth"); !e.Failed || !strings.Contains(e.Verdict, "ns/op") {
+		t.Errorf("growth should fail on ns/op: %+v", e)
+	}
+	if e := entryByName(t, entries, "vanished"); !e.Failed || !strings.Contains(e.Verdict, "missing") {
+		t.Errorf("vanished should fail as missing: %+v", e)
+	}
+	if e := entryByName(t, entries, "parallel_w4"); e.Failed || e.Verdict != "exempt" {
+		t.Errorf("parallel_w4 should be exempt despite 22×: %+v", e)
+	}
+	for _, name := range []string{"tuning_pick_rank1", "tuning_pick_clone"} {
+		e := entryByName(t, entries, name)
+		if !e.New || e.Failed || e.Verdict != "new (not gated)" {
+			t.Errorf("%s should be reported as new and ungated: %+v", name, e)
+		}
+		if e.Base != nil || e.Cur == nil {
+			t.Errorf("%s new entry sides wrong: %+v", name, e)
+		}
+	}
+	// Baseline entries come first, in baseline order; new ones follow.
+	wantOrder := []string{"steady", "growth", "vanished", "parallel_w4", "tuning_pick_rank1", "tuning_pick_clone"}
+	for i, e := range entries {
+		if e.Name != wantOrder[i] {
+			t.Fatalf("entry %d = %s, want %s", i, e.Name, wantOrder[i])
+		}
+	}
+}
+
+func TestDiffAllocRegressionFails(t *testing.T) {
+	base := &Run{Results: []Result{{Name: "hot", NsPerOp: 100, AllocsPerOp: 0}}}
+	cur := &Run{Results: []Result{{Name: "hot", NsPerOp: 90, AllocsPerOp: 1}}}
+	_, failures, _ := Diff(base, cur, DiffOptions{MaxRegress: 0.35})
+	if failures != 1 {
+		t.Fatalf("an allocs/op increase must fail even when ns/op improved (failures=%d)", failures)
+	}
+}
+
+func TestDiffExemptMissingDoesNotFail(t *testing.T) {
+	base := &Run{Results: []Result{{Name: "parallel_w8", NsPerOp: 100}}}
+	cur := &Run{Results: []Result{}}
+	entries, failures, _ := Diff(base, cur, DiffOptions{
+		MaxRegress: 0.35, Exempt: regexp.MustCompile("^parallel_"),
+	})
+	if failures != 0 {
+		t.Fatalf("exempt benchmark missing from current must not fail (failures=%d)", failures)
+	}
+	if e := entryByName(t, entries, "parallel_w8"); e.Verdict != "exempt (missing)" {
+		t.Errorf("verdict = %q", e.Verdict)
+	}
+}
+
+func TestDiffNilExemptGatesEverything(t *testing.T) {
+	base := &Run{Results: []Result{{Name: "parallel_w8", NsPerOp: 100}}}
+	cur := &Run{Results: []Result{{Name: "parallel_w8", NsPerOp: 1000}}}
+	_, failures, _ := Diff(base, cur, DiffOptions{MaxRegress: 0.35})
+	if failures != 1 {
+		t.Fatalf("nil Exempt must gate every name (failures=%d)", failures)
+	}
+}

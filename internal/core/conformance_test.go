@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"olgapro/internal/ecdf"
+	"olgapro/internal/kernel"
+	"olgapro/internal/udf"
+)
+
+// conformanceCase is one statistical-conformance workload: an analytic UDF
+// whose true per-sample outputs are computable exactly, so the returned
+// distribution can be compared against ground truth on the very samples the
+// evaluator inferred.
+type conformanceCase struct {
+	name   string
+	seed   int64
+	tuples int
+	m      int
+	dim    int
+	span   float64 // input centers drawn from [mid−span, mid+span]^d
+	kern   kernel.Kernel
+	f      func(x []float64) float64
+	heavy  bool
+}
+
+// TestStatisticalConformance is the (ε, δ) contract suite: over hundreds of
+// seeded tuples it checks that the returned error bound really dominates the
+// realized error. Per tuple, the true output distribution over the *same*
+// Monte-Carlo samples (so no sampling error enters) must satisfy
+//
+//	KS(Ŷ′, Y_true)  ≤ ε_GP reported (out.BoundGP)
+//	λ-disc(Ŷ′, Y_true) ≤ ε_GP reported
+//
+// whenever the true function lies inside the confidence envelope — an event
+// of probability ≥ 1−δ_GP — so violations may occur at rate at most δ. Any
+// future perf PR that silently breaks the bound computation (envelope order,
+// discrepancy merge, rank-1 tuning trials) trips this suite.
+func TestStatisticalConformance(t *testing.T) {
+	cases := []conformanceCase{
+		{
+			name: "sin_quadratic_1d", seed: 101, tuples: 200, m: 256, dim: 1, span: 4,
+			kern: kernel.NewSqExp(1, 1.0),
+			f:    func(x []float64) float64 { return math.Sin(2*x[0]) + 0.5*x[0]*x[0] },
+		},
+		{
+			name: "smooth_2d_matern", seed: 202, tuples: 220, m: 300, dim: 2, span: 1.5,
+			kern:  kernel.NewMatern52(1, 1.2),
+			f:     func(x []float64) float64 { return math.Cos(x[0]) * (1 + 0.3*x[1]) },
+			heavy: true,
+		},
+		{
+			name: "waves_1d", seed: 303, tuples: 200, m: 300, dim: 1, span: 2,
+			kern:  kernel.NewSqExp(1, 0.4),
+			f:     func(x []float64) float64 { return math.Sin(3*x[0]) + 0.1*x[0]*x[0] },
+			heavy: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("heavy conformance case skipped in -short")
+			}
+			runConformance(t, tc)
+		})
+	}
+}
+
+func runConformance(t *testing.T, tc conformanceCase) {
+	t.Helper()
+	e, err := NewEvaluator(udf.FuncOf{D: tc.dim, F: tc.f}, Config{
+		Eps: 0.1, Delta: 0.05,
+		Kernel:         tc.kern,
+		SampleOverride: tc.m,
+		MaxAddPerInput: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := e.Config().Delta
+	rng := rand.New(rand.NewSource(tc.seed))
+	samples := make([][]float64, tc.m)
+	trueOuts := make([]float64, tc.m)
+	ksViolations, discViolations := 0, 0
+	for tup := 0; tup < tc.tuples; tup++ {
+		center := make([]float64, tc.dim)
+		for j := range center {
+			center[j] = 5 + tc.span*(2*rng.Float64()-1)
+		}
+		for i := range samples {
+			row := make([]float64, tc.dim)
+			for j := range row {
+				row[j] = center[j] + 0.3*rng.NormFloat64()
+			}
+			samples[i] = row
+		}
+		out, err := e.EvalSamples(samples, rng)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", tup, err)
+		}
+		if out.Dist == nil {
+			t.Fatalf("tuple %d: no distribution returned", tup)
+		}
+		if out.BoundGP < 0 {
+			t.Fatalf("tuple %d: negative GP bound %g", tup, out.BoundGP)
+		}
+		if got := out.BoundGP + out.BoundMC; math.Abs(got-out.Bound) > 1e-12 {
+			t.Fatalf("tuple %d: bound decomposition %g ≠ %g", tup, got, out.Bound)
+		}
+		for i, x := range samples {
+			trueOuts[i] = tc.f(x)
+		}
+		truth := ecdf.New(trueOuts)
+		tol := 1e-9
+		if ks := ecdf.KS(out.Dist, truth); ks > out.BoundGP+tol {
+			ksViolations++
+		}
+		if d := ecdf.DiscrepancyLambda(out.Dist, truth, out.Lambda); d > out.BoundGP+tol {
+			discViolations++
+		}
+	}
+	// The envelope holds with probability ≥ 1−δ_GP per tuple; δ (total) is a
+	// generous ceiling for the violation rate and still orders of magnitude
+	// below what a broken bound computation produces.
+	maxViol := int(math.Ceil(delta * float64(tc.tuples)))
+	if ksViolations > maxViol {
+		t.Errorf("KS bound violated on %d/%d tuples (allowed %d): reported ε_GP fails to dominate the realized KS error",
+			ksViolations, tc.tuples, maxViol)
+	}
+	if discViolations > maxViol {
+		t.Errorf("λ-discrepancy bound violated on %d/%d tuples (allowed %d)",
+			discViolations, tc.tuples, maxViol)
+	}
+	t.Logf("%s: %d tuples, KS violations %d, λ-disc violations %d (allowed %d), training points %d",
+		tc.name, tc.tuples, ksViolations, discViolations, maxViol, e.GP().Len())
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"olgapro/internal/ecdf"
+)
+
+// refEnvelopeOf is the sort-based construction envelopeOf replaced: three
+// fresh slices, three comparison sorts. The sorted multiset of each support
+// is unique, so the adaptive path must reproduce it element for element.
+func refEnvelopeOf(means, vars []float64, zAlpha float64, n int) ecdf.Envelope {
+	mean := make([]float64, n)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd := math.Sqrt(vars[i])
+		mean[i] = means[i]
+		lower[i] = means[i] - zAlpha*sd
+		upper[i] = means[i] + zAlpha*sd
+	}
+	slices.Sort(mean)
+	slices.Sort(lower)
+	slices.Sort(upper)
+	return ecdf.Envelope{
+		Mean:  ecdf.FromSorted(mean),
+		Lower: ecdf.FromSorted(lower),
+		Upper: ecdf.FromSorted(upper),
+	}
+}
+
+func assertEnvelopesEqual(t *testing.T, got, want ecdf.Envelope, ctx string) {
+	t.Helper()
+	pairs := []struct {
+		name      string
+		got, want []float64
+	}{
+		{"mean", got.Mean.Values(), want.Mean.Values()},
+		{"lower", got.Lower.Values(), want.Lower.Values()},
+		{"upper", got.Upper.Values(), want.Upper.Values()},
+	}
+	for _, p := range pairs {
+		if len(p.got) != len(p.want) {
+			t.Fatalf("%s: %s support length %d ≠ %d", ctx, p.name, len(p.got), len(p.want))
+		}
+		for i := range p.got {
+			if p.got[i] != p.want[i] {
+				t.Fatalf("%s: %s support[%d] = %g ≠ %g", ctx, p.name, i, p.got[i], p.want[i])
+			}
+		}
+	}
+}
+
+// TestEnvelopeOfMatchesSortedReference drives one envScratch through the
+// call pattern of a real tuning loop — fresh tuple, small perturbations,
+// chunked prefix growth, a shrunk next tuple — asserting exact equality with
+// the sort-based reference at every step. This is the equivalence test
+// pinning the sort-free envelope tentpole.
+func TestEnvelopeOfMatchesSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s envScratch
+	const m = 300
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	fill := func() {
+		for i := range means {
+			means[i] = rng.NormFloat64() * 3
+			vars[i] = rng.Float64() * 2
+		}
+	}
+	perturb := func(scale float64) {
+		for i := range means {
+			means[i] += rng.NormFloat64() * scale
+			vars[i] = math.Abs(vars[i] + rng.NormFloat64()*scale*0.1)
+		}
+	}
+	fill()
+	// Fresh tuple, then ten tuning-style perturbation rounds.
+	for round := 0; round < 11; round++ {
+		got := s.envelopeOf(means, vars, 2.5, m)
+		assertEnvelopesEqual(t, got, refEnvelopeOf(means, vars, 2.5, m), "perturbation round")
+		perturb(0.01)
+	}
+	// Chunked filtering pattern: growing prefixes over fresh data.
+	fill()
+	for n := 64; n <= m; n += 64 {
+		if n > m {
+			n = m
+		}
+		got := s.envelopeOf(means, vars, 1.8, n)
+		assertEnvelopesEqual(t, got, refEnvelopeOf(means, vars, 1.8, n), "chunk growth")
+	}
+	// A following tuple with a smaller budget must reset cleanly.
+	fill()
+	got := s.envelopeOf(means, vars, 2.0, 50)
+	assertEnvelopesEqual(t, got, refEnvelopeOf(means, vars, 2.0, 50), "shrunk budget")
+}
+
+// TestEnvelopeOfUniformVariance pins the homoscedastic fast path: with one
+// shared variance the lower/upper supports are built as shifts of the sorted
+// mean (ecdf.FromSortedShifted) and must equal the reference exactly.
+func TestEnvelopeOfUniformVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s envScratch
+	const m = 128
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	for i := range means {
+		means[i] = rng.NormFloat64()
+		vars[i] = 0.37 // one shared predictive variance (prior-only regime)
+	}
+	for round := 0; round < 3; round++ {
+		got := s.envelopeOf(means, vars, 2.2, m)
+		assertEnvelopesEqual(t, got, refEnvelopeOf(means, vars, 2.2, m), "uniform variance")
+		for i := range means {
+			means[i] += rng.NormFloat64() * 0.05
+		}
+	}
+	// Switching from uniform to heteroscedastic on the same scratch must not
+	// leave the lower/upper permutations stale.
+	for i := range vars {
+		vars[i] = rng.Float64()
+	}
+	got := s.envelopeOf(means, vars, 2.2, m)
+	assertEnvelopesEqual(t, got, refEnvelopeOf(means, vars, 2.2, m), "uniform→hetero switch")
+}
+
+// TestSortWithPermProperties drives the adaptive natural merge across input
+// shapes — sorted, reversed, nearly sorted, duplicate-heavy, random — and
+// checks both the sorted result (vs slices.Sort) and that perm keeps tracking
+// which original element landed where.
+func TestSortWithPermProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := map[string]func(n int) []float64{
+		"sorted": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(i)
+			}
+			return out
+		},
+		"reversed": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(n - i)
+			}
+			return out
+		},
+		"nearly_sorted": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(i) + rng.NormFloat64()*2
+			}
+			return out
+		},
+		"duplicates": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(rng.Intn(5))
+			}
+			return out
+		},
+		"random": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = rng.NormFloat64()
+			}
+			return out
+		},
+	}
+	var mergeV []float64
+	var mergeP []int
+	for name, gen := range shapes {
+		for _, n := range []int{0, 1, 2, 3, 17, 100, 513} {
+			vals := gen(n)
+			orig := slices.Clone(vals)
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			sortWithPerm(vals, perm, &mergeV, &mergeP)
+			want := slices.Clone(orig)
+			slices.Sort(want)
+			if !slices.Equal(vals, want) {
+				t.Fatalf("%s n=%d: not sorted like slices.Sort", name, n)
+			}
+			seen := make([]bool, n)
+			for k, i := range perm {
+				if i < 0 || i >= n || seen[i] {
+					t.Fatalf("%s n=%d: perm is not a permutation", name, n)
+				}
+				seen[i] = true
+				if vals[k] != orig[i] {
+					t.Fatalf("%s n=%d: perm[%d]=%d does not track its value", name, n, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSortWithPermNaN guards the termination property: NaNs must sort finite-
+// last-to-first like slices.Sort (NaN-first total order) rather than stalling
+// the natural merge.
+func TestSortWithPermNaN(t *testing.T) {
+	vals := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	perm := []int{0, 1, 2, 3, 4}
+	var mv []float64
+	var mp []int
+	sortWithPerm(vals, perm, &mv, &mp) // must terminate
+	want := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	slices.Sort(want)
+	for i := range vals {
+		if vals[i] != want[i] && !(math.IsNaN(vals[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("NaN ordering diverges from slices.Sort at %d: %v vs %v", i, vals, want)
+		}
+	}
+}

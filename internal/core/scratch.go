@@ -2,14 +2,10 @@ package core
 
 import (
 	"math"
-	"slices"
 
 	"olgapro/internal/ecdf"
 	"olgapro/internal/mat"
 )
-
-// sortFloats sorts in place without allocating (pdqsort on the raw slice).
-func sortFloats(x []float64) { slices.Sort(x) }
 
 // evalScratch is the persistent per-evaluator workspace behind the
 // near-zero-allocation evaluation hot path: every buffer whose size depends
@@ -40,6 +36,25 @@ type evalScratch struct {
 
 	tuneMeans, tuneVars []float64 // pickOptimalGreedy evaluation-subset moments
 	tuneY               []float64 // pickOptimalGreedy local observations
+
+	// rank-1 greedy fast-path buffers (greedyBestRank1).
+	tuneCands  []int       // candidate pool, by descending variance
+	tuneAlpha  []float64   // local-solve weights α_L = K_L⁻¹ y_L
+	tuneMHat   []float64   // local-solve means at the evaluation subset
+	tuneEvalXs [][]float64 // evaluation-subset sample rows
+	tuneCross  *mat.Matrix // eval×l cross-covariance rows K_eval
+	tuneK      []float64   // candidate cross-vector k_c
+	tuneU      []float64   // candidate solve u_c = K_L⁻¹ k_c
+	tuneCC     []float64   // candidate↔eval kernel values k(x_c, x_j)
+}
+
+// resizeRows grows *buf to n row headers, reusing capacity.
+func resizeRows(buf *[][]float64, n int) [][]float64 {
+	if cap(*buf) < n {
+		*buf = make([][]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // buf returns worker buffer w, growing the pool as needed.
@@ -114,11 +129,37 @@ func (m *markSet) has(id int) bool { return m.marks[id] == m.epoch }
 func (m *markSet) size() int { return m.count }
 
 // envScratch owns the three sorted sample buffers an envelope is built from,
-// so each tuning iteration re-sorts in place instead of allocating and
-// copying three fresh m-length slices (ecdf.New copies; ecdf.FromSorted
-// does not).
+// plus one sort permutation per support. The permutations persist across
+// envelopeOf calls: within a tuple's tuning loop consecutive calls see means
+// and variances that moved only slightly (one rank-1 model update), so
+// writing the new values in the previous sorted order yields a handful of
+// ascending runs and the adaptive merge below restores order in ~O(m) —
+// the steady-state loop performs no comparison sort at all, where each call
+// formerly paid three O(m log m) slices.Sort passes.
 type envScratch struct {
-	mean, lower, upper []float64
+	mean, lower, upper  []float64
+	permM, permL, permU []int
+	permN               int       // sample count the permutations cover
+	mergeV              []float64 // natural-merge value scratch
+	mergeP              []int     // natural-merge permutation scratch
+}
+
+// syncPerms sizes the three permutations to n samples. A grown range is
+// appended as identity — during chunked filtering the first permN samples
+// keep their values exactly, so the previous order stays a sorted prefix run
+// and only the new suffix needs merging. A shrunk range (new tuple with a
+// smaller budget) resets to identity.
+func (s *envScratch) syncPerms(n int) {
+	if s.permN > n {
+		s.permN = 0
+		s.permM, s.permL, s.permU = s.permM[:0], s.permL[:0], s.permU[:0]
+	}
+	for i := s.permN; i < n; i++ {
+		s.permM = append(s.permM, i)
+		s.permL = append(s.permL, i)
+		s.permU = append(s.permU, i)
+	}
+	s.permN = n
 }
 
 // envelopeOf builds the three empirical CDFs Ŷ′, Y′_S, Y′_L from the
@@ -130,20 +171,144 @@ func (s *envScratch) envelopeOf(means, vars []float64, zAlpha float64, n int) ec
 	mean := resizeFloats(&s.mean, n)
 	lower := resizeFloats(&s.lower, n)
 	upper := resizeFloats(&s.upper, n)
-	for i := 0; i < n; i++ {
-		sd := math.Sqrt(vars[i])
-		mean[i] = means[i]
-		lower[i] = means[i] - zAlpha*sd
-		upper[i] = means[i] + zAlpha*sd
+	if n == 0 {
+		return ecdf.Envelope{
+			Mean:  ecdf.FromSorted(mean),
+			Lower: ecdf.FromSorted(lower),
+			Upper: ecdf.FromSorted(upper),
+		}
 	}
-	sortFloats(mean)
-	sortFloats(lower)
-	sortFloats(upper)
+	s.syncPerms(n)
+	for k, i := range s.permM[:n] {
+		mean[k] = means[i]
+	}
+	sortWithPerm(mean, s.permM[:n], &s.mergeV, &s.mergeP)
+	// Homoscedastic fast path: with one shared variance the lower and upper
+	// supports are constant shifts of the sorted mean support, so they need
+	// no ordering work of their own (ecdf.FromSortedShifted).
+	uniform := true
+	for i := 1; i < n; i++ {
+		if vars[i] != vars[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		off := zAlpha * math.Sqrt(vars[0])
+		return ecdf.Envelope{
+			Mean:  ecdf.FromSorted(mean),
+			Lower: ecdf.FromSortedShifted(lower, mean, -off),
+			Upper: ecdf.FromSortedShifted(upper, mean, off),
+		}
+	}
+	for k, i := range s.permL[:n] {
+		lower[k] = means[i] - zAlpha*math.Sqrt(vars[i])
+	}
+	sortWithPerm(lower, s.permL[:n], &s.mergeV, &s.mergeP)
+	for k, i := range s.permU[:n] {
+		upper[k] = means[i] + zAlpha*math.Sqrt(vars[i])
+	}
+	sortWithPerm(upper, s.permU[:n], &s.mergeV, &s.mergeP)
 	return ecdf.Envelope{
 		Mean:  ecdf.FromSorted(mean),
 		Lower: ecdf.FromSorted(lower),
 		Upper: ecdf.FromSorted(upper),
 	}
+}
+
+// sortWithPerm sorts vals ascending while applying the same reordering to
+// perm, using a bottom-up natural merge: maximal ascending runs are detected
+// and adjacent runs merged until one remains, ping-ponging through the
+// scratch buffers. Already-sorted input is a single O(n) scan with zero
+// writes; r runs cost O(n log r); fully random input degrades gracefully to
+// an ordinary O(n log n) merge sort. This adaptivity is what the persistent
+// envelope permutations exploit.
+func sortWithPerm(vals []float64, perm []int, mergeV *[]float64, mergeP *[]int) {
+	n := len(vals)
+	if n < 2 {
+		return
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if fless(vals[i], vals[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sv := resizeFloats(mergeV, n)
+	sp := resizeInts(mergeP, n)
+	srcV, srcP := vals, perm
+	dstV, dstP := sv, sp
+	for {
+		runs := 0
+		out := 0
+		i := 0
+		for i < n {
+			// First run [i, j).
+			j := i + 1
+			for j < n && !fless(srcV[j], srcV[j-1]) {
+				j++
+			}
+			if j == n {
+				copy(dstV[out:], srcV[i:])
+				copy(dstP[out:], srcP[i:])
+				runs++
+				break
+			}
+			// Second run [j, k); merge the pair into dst.
+			k := j + 1
+			for k < n && !fless(srcV[k], srcV[k-1]) {
+				k++
+			}
+			a, b := i, j
+			for a < j && b < k {
+				if fless(srcV[b], srcV[a]) {
+					dstV[out], dstP[out] = srcV[b], srcP[b]
+					b++
+				} else {
+					dstV[out], dstP[out] = srcV[a], srcP[a]
+					a++
+				}
+				out++
+			}
+			for ; a < j; a++ {
+				dstV[out], dstP[out] = srcV[a], srcP[a]
+				out++
+			}
+			for ; b < k; b++ {
+				dstV[out], dstP[out] = srcV[b], srcP[b]
+				out++
+			}
+			runs++
+			i = k
+		}
+		if runs <= 1 {
+			if &dstV[0] != &vals[0] {
+				copy(vals, dstV)
+				copy(perm, dstP)
+			}
+			return
+		}
+		srcV, srcP, dstV, dstP = dstV, dstP, srcV, srcP
+	}
+}
+
+// fless is the NaN-first strict weak order slices.Sort applies to float64 —
+// a *total* order, which is what guarantees the natural merge's run count
+// shrinks every pass (plain < stalls on NaN: it breaks every run containing
+// one and the merge loops forever).
+func fless(a, b float64) bool { return a < b || (a != a && b == b) }
+
+// resizeInts grows *buf to length n, reusing capacity, and returns it.
+func resizeInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // ownedEnvelope deep-copies a scratch-backed envelope so it can outlive the

@@ -40,6 +40,25 @@ func FromSorted(xs []float64) *ECDF {
 	return &ECDF{xs: xs}
 }
 
+// FromSortedShifted builds an ECDF whose support is base[i] + shift, filling
+// dst (which must have length len(base)) and aliasing it like FromSorted.
+// A constant shift is an order-preserving transform of the sorted base, so no
+// re-sort — and, unlike FromSorted, no O(m) sortedness re-check — is needed:
+// the fill is the entire cost. This is what makes envelope construction
+// sort-free when every sample shares one predictive variance (the lower and
+// upper supports are then pure shifts of the sorted mean support): the
+// prior-only regime before any local training point is selected, and any
+// workload with homoscedastic predictions. base must be ascending.
+func FromSortedShifted(dst, base []float64, shift float64) *ECDF {
+	if len(dst) != len(base) {
+		panic(fmt.Sprintf("ecdf: FromSortedShifted dst length %d ≠ %d", len(dst), len(base)))
+	}
+	for i, v := range base {
+		dst[i] = v + shift
+	}
+	return &ECDF{xs: dst}
+}
+
 // Len returns the number of samples.
 func (e *ECDF) Len() int { return len(e.xs) }
 

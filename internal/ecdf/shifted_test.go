@@ -1,0 +1,53 @@
+package ecdf
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestFromSortedShifted checks the shift-constructed ECDF equals the one
+// built by shifting every sample and re-sorting from scratch.
+func TestFromSortedShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]float64, 100)
+	for i := range base {
+		base[i] = rng.NormFloat64() * 5
+	}
+	slices.Sort(base)
+	for _, shift := range []float64{0, 1.5, -2.25, 1e-9} {
+		dst := make([]float64, len(base))
+		got := FromSortedShifted(dst, base, shift)
+		raw := make([]float64, len(base))
+		for i, v := range base {
+			raw[i] = v + shift
+		}
+		want := New(raw)
+		g, w := got.Values(), want.Values()
+		if !slices.Equal(g, w) {
+			t.Fatalf("shift %g: supports differ", shift)
+		}
+		// CDF queries agree at and between support points.
+		for _, q := range []float64{g[0] - 1, g[0], g[len(g)/2], g[len(g)-1], g[len(g)-1] + 1} {
+			if got.CDF(q) != want.CDF(q) {
+				t.Fatalf("shift %g: CDF(%g) %g ≠ %g", shift, q, got.CDF(q), want.CDF(q))
+			}
+		}
+	}
+}
+
+func TestFromSortedShiftedLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dst length mismatch")
+		}
+	}()
+	FromSortedShifted(make([]float64, 2), make([]float64, 3), 1)
+}
+
+func TestFromSortedShiftedEmpty(t *testing.T) {
+	e := FromSortedShifted(nil, nil, 3)
+	if e.Len() != 0 {
+		t.Fatalf("empty shifted ECDF has %d samples", e.Len())
+	}
+}

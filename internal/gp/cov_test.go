@@ -1,0 +1,129 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"olgapro/internal/kernel"
+	"olgapro/internal/mat"
+)
+
+func covFixture(t *testing.T, seed int64, n int) (*GP, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(kernel.NewSqExp(1, 0.6), 1e-6)
+	f := func(x []float64) float64 { return math.Sin(3*x[0]) + x[1]*x[1] }
+	for g.Len() < n {
+		x := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		if err := g.Add(x, f(x)); err != nil {
+			continue
+		}
+	}
+	return g, rng
+}
+
+// TestPosteriorCovAgainstNaive differential-tests PosteriorCovWith against
+// the direct formula k(x,y) − k_xᵀ (K+σ²I)⁻¹ k_y computed through an explicit
+// inverse.
+func TestPosteriorCovAgainstNaive(t *testing.T) {
+	g, rng := covFixture(t, 1, 30)
+	gram := kernel.Gram(g.Kernel(), g.Inputs())
+	for i := 0; i < g.Len(); i++ {
+		gram.Add(i, i, g.Noise())
+	}
+	var c mat.Cholesky
+	if err := c.Factorize(gram); err != nil {
+		t.Fatal(err)
+	}
+	kinv := c.Inverse()
+	var s Scratch
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		y := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		kx := kernel.CrossVec(g.Kernel(), g.Inputs(), x, nil)
+		ky := kernel.CrossVec(g.Kernel(), g.Inputs(), y, nil)
+		want := g.Kernel().Eval(x, y) - mat.Dot(kx, kinv.MulVec(ky))
+		got := g.PosteriorCovWith(&s, x, y)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: cov %g ≠ naive %g", trial, got, want)
+		}
+		// Symmetry.
+		if sym := g.PosteriorCovWith(&s, y, x); math.Abs(sym-got) > 1e-12 {
+			t.Fatalf("trial %d: cov not symmetric: %g vs %g", trial, got, sym)
+		}
+	}
+	// Allocating convenience form agrees.
+	x := []float64{1, 2}
+	if a, b := g.PosteriorCov(x, x), g.PosteriorCovWith(&s, x, x); a != b {
+		t.Fatalf("PosteriorCov %g ≠ PosteriorCovWith %g", a, b)
+	}
+}
+
+// TestPosteriorCovSelfIsVariance: cov(x,x) must equal the predictive
+// variance (before clamping, which never triggers on this well-conditioned
+// fixture).
+func TestPosteriorCovSelfIsVariance(t *testing.T) {
+	g, rng := covFixture(t, 2, 25)
+	var s Scratch
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		_, v := g.PredictWith(&s, x)
+		cov := g.PosteriorCovWith(&s, x, x)
+		if math.Abs(cov-v) > 1e-12*(1+v) {
+			t.Fatalf("trial %d: cov(x,x)=%g ≠ var=%g", trial, cov, v)
+		}
+	}
+}
+
+// TestPosteriorCovPriorOnly: with no training data the posterior covariance
+// is the prior kernel value.
+func TestPosteriorCovPriorOnly(t *testing.T) {
+	g := New(kernel.NewSqExp(1, 0.5), 0)
+	var s Scratch
+	x, y := []float64{0.2, 0.3}, []float64{1.1, 0.4}
+	if got, want := g.PosteriorCovWith(&s, x, y), g.Kernel().Eval(x, y); got != want {
+		t.Fatalf("prior cov %g ≠ %g", got, want)
+	}
+}
+
+// TestRankOneUpdateViaPosteriorCov pins the GP-level identity behind the
+// greedy-tuning fast path: after adding a point x_c observed at the current
+// posterior mean, every predictive mean is unchanged and every predictive
+// variance shrinks by exactly cov(x_c, x_j)²/(var(x_c) + noise) — the
+// clone-based trial's full re-predict collapses to one covariance pass.
+func TestRankOneUpdateViaPosteriorCov(t *testing.T) {
+	g, rng := covFixture(t, 3, 20)
+	var s Scratch
+	xc := []float64{1.5, 1.5}
+	mc, vc := g.PredictWith(&s, xc)
+	sc := vc + g.Noise()
+
+	probes := make([][]float64, 15)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64() * 3, rng.Float64() * 3}
+	}
+	type before struct{ m, v, cov float64 }
+	pre := make([]before, len(probes))
+	for i, p := range probes {
+		m, v := g.PredictWith(&s, p)
+		pre[i] = before{m, v, g.PosteriorCovWith(&s, p, xc)}
+	}
+
+	if err := g.Add(xc, mc); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probes {
+		m2, v2 := g.PredictWith(&s, p)
+		if math.Abs(m2-pre[i].m) > 1e-9*(1+math.Abs(pre[i].m)) {
+			t.Errorf("probe %d: mean moved %g → %g despite observing the posterior mean", i, pre[i].m, m2)
+		}
+		wantV := pre[i].v - pre[i].cov*pre[i].cov/sc
+		if wantV < 0 {
+			wantV = 0
+		}
+		if math.Abs(v2-wantV) > 1e-9*(1+pre[i].v) {
+			t.Errorf("probe %d: variance %g ≠ rank-1 prediction %g (was %g)", i, v2, wantV, pre[i].v)
+		}
+	}
+}

@@ -64,6 +64,10 @@ type GP struct {
 type Scratch struct {
 	k []float64 // kernel cross-vector k(x, X*)
 	v []float64 // forward-solve buffer L⁻¹k
+	// second cross-vector/solve pair, used by the two-point posterior
+	// covariance; lazily grown so single-point predicts never pay for it.
+	k2 []float64
+	v2 []float64
 }
 
 // resize grows the buffers to length n without allocating in steady state.
@@ -73,6 +77,15 @@ func (s *Scratch) resize(n int) {
 		s.v = make([]float64, n)
 	}
 	s.k, s.v = s.k[:n], s.v[:n]
+}
+
+// resize2 grows the second buffer pair to length n.
+func (s *Scratch) resize2(n int) {
+	if cap(s.k2) < n {
+		s.k2 = make([]float64, n)
+		s.v2 = make([]float64, n)
+	}
+	s.k2, s.v2 = s.k2[:n], s.v2[:n]
 }
 
 // New returns an empty GP with the given kernel and observation-noise
@@ -210,6 +223,41 @@ func (g *GP) PredictWith(s *Scratch, x []float64) (mean, variance float64) {
 		variance = 0
 	}
 	return mean, variance
+}
+
+// PosteriorCov returns the posterior covariance between test points x and y.
+// This convenience form allocates; the hot path uses PosteriorCovWith.
+func (g *GP) PosteriorCov(x, y []float64) float64 {
+	var s Scratch
+	return g.PosteriorCovWith(&s, x, y)
+}
+
+// PosteriorCovWith returns the posterior covariance between test points x
+// and y under the current model,
+//
+//	cov(x, y) = k(x, y) − k(x, X*)ᵀ (K + σ_n²I)⁻¹ k(y, X*)
+//	          = k(x, y) − (L⁻¹k_x)·(L⁻¹k_y),
+//
+// via two forward solves — O(n²), zero heap allocations once s has grown.
+// It is the quantity behind the rank-1 greedy-tuning fast path (§5.2): adding
+// a hypothetical training point at x_c with predictive variance s_c (plus
+// noise) shrinks every other predictive variance by exactly cov(x_c, x_j)²/s_c
+// and, when the hypothetical observation differs from the posterior mean m̂_c
+// by Δ, shifts every posterior mean by Δ·cov(x_c, x_j)/s_c — so one
+// posterior-covariance pass replaces a full re-factorize-and-re-predict.
+func (g *GP) PosteriorCovWith(s *Scratch, x, y []float64) float64 {
+	prior := g.kern.Eval(x, y)
+	if len(g.xs) == 0 {
+		return prior
+	}
+	n := len(g.xs)
+	s.resize(n)
+	s.resize2(n)
+	kernel.CrossVec(g.kern, g.xs, x, s.k)
+	g.chol.ForwardSolveTo(s.v, s.k)
+	kernel.CrossVec(g.kern, g.xs, y, s.k2)
+	g.chol.ForwardSolveTo(s.v2, s.k2)
+	return prior - mat.Dot(s.v, s.v2)
 }
 
 // PredictMean returns only the posterior mean at x, in O(n).

@@ -59,6 +59,31 @@ func (k *SqExpARD) Eval(x, y []float64) float64 {
 	return k.SigmaF * k.SigmaF * math.Exp(-0.5*s)
 }
 
+// EvalBatch fills dst[i] = k(xs[i], y). The scaled squared distance keeps
+// Eval's per-dimension division so both paths agree bit-for-bit; batching
+// still hoists the interface dispatch and dimension check out of the loop.
+func (k *SqExpARD) EvalBatch(dst []float64, xs [][]float64, y []float64) {
+	d := len(k.Lens)
+	if len(y) != d {
+		panic(fmt.Sprintf("kernel: ARD dim %d ≠ %d", len(y), d))
+	}
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("kernel: ARD batch dst length %d ≠ %d", len(dst), len(xs)))
+	}
+	sf2 := k.SigmaF * k.SigmaF
+	for i, row := range xs {
+		if len(row) != d {
+			panic(fmt.Sprintf("kernel: ARD dims %d ≠ %d", len(row), d))
+		}
+		var s float64
+		for j, l := range k.Lens {
+			v := (row[j] - y[j]) / l
+			s += v * v
+		}
+		dst[i] = sf2 * math.Exp(-0.5*s)
+	}
+}
+
 // NumParams returns 1 + d: (log σ_f, log ℓ_1, …, log ℓ_d).
 func (k *SqExpARD) NumParams() int { return 1 + len(k.Lens) }
 

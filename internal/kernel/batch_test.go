@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarOnly hides a kernel's BatchEvaler implementation, forcing CrossVec,
+// Cross, and GramInto down the per-pair path — the reference the batched
+// path is differential-tested against.
+type scalarOnly struct{ k Kernel }
+
+func (s scalarOnly) Eval(x, y []float64) float64              { return s.k.Eval(x, y) }
+func (s scalarOnly) NumParams() int                           { return s.k.NumParams() }
+func (s scalarOnly) Params(dst []float64) []float64           { return s.k.Params(dst) }
+func (s scalarOnly) SetParams(p []float64)                    { s.k.SetParams(p) }
+func (s scalarOnly) ParamGrad(x, y []float64, g, h []float64) { s.k.ParamGrad(x, y, g, h) }
+func (s scalarOnly) SecondSpectralMoment() float64            { return s.k.SecondSpectralMoment() }
+func (s scalarOnly) Clone() Kernel                            { return scalarOnly{s.k.Clone()} }
+func (s scalarOnly) String() string                           { return s.k.String() }
+
+func batchTestKernels(d int) map[string]Kernel {
+	lens := make([]float64, d)
+	for i := range lens {
+		lens[i] = 0.5 + 0.3*float64(i)
+	}
+	return map[string]Kernel{
+		"sqexp":    NewSqExp(1.3, 0.7),
+		"matern32": NewMatern32(0.9, 1.1),
+		"matern52": NewMatern52(1.1, 0.6),
+		"ard":      NewSqExpARD(1.2, lens),
+	}
+}
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() * 2
+		}
+	}
+	return out
+}
+
+// TestEvalBatchBitIdenticalToEval is the vectorization contract: for every
+// kernel the batched row must agree with per-pair Eval calls bit for bit —
+// not to a tolerance — because downstream determinism (parallel replay,
+// envelope equality) assumes one evaluation path.
+func TestEvalBatchBitIdenticalToEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 5} {
+		for name, k := range batchTestKernels(d) {
+			be, ok := k.(BatchEvaler)
+			if !ok {
+				t.Fatalf("%s does not implement BatchEvaler", name)
+			}
+			xs := randPoints(rng, 37, d)
+			y := randPoints(rng, 1, d)[0]
+			dst := make([]float64, len(xs))
+			be.EvalBatch(dst, xs, y)
+			for i, x := range xs {
+				if want := k.Eval(x, y); dst[i] != want {
+					t.Fatalf("%s d=%d row %d: batch %g ≠ eval %g", name, d, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossVecGramBatchedMatchesScalar compares the batched CrossVec / Cross
+// / GramInto against the same entry points forced down the per-pair path.
+func TestCrossVecGramBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 2, 4} {
+		for name, k := range batchTestKernels(d) {
+			ref := scalarOnly{k}
+			xs := randPoints(rng, 19, d)
+			ys := randPoints(rng, 7, d)
+
+			got := CrossVec(k, xs, ys[0], nil)
+			want := CrossVec(ref, xs, ys[0], nil)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s d=%d: CrossVec[%d] %g ≠ %g", name, d, i, got[i], want[i])
+				}
+			}
+
+			gm := GramInto(nil, k, xs)
+			wm := GramInto(nil, ref, xs)
+			for i := 0; i < len(xs); i++ {
+				for j := 0; j < len(xs); j++ {
+					if gm.At(i, j) != wm.At(i, j) {
+						t.Fatalf("%s d=%d: Gram[%d][%d] %g ≠ %g", name, d, i, j, gm.At(i, j), wm.At(i, j))
+					}
+				}
+			}
+
+			cm := Cross(k, xs, ys)
+			cw := Cross(ref, xs, ys)
+			for i := 0; i < len(xs); i++ {
+				for j := 0; j < len(ys); j++ {
+					if cm.At(i, j) != cw.At(i, j) {
+						t.Fatalf("%s d=%d: Cross[%d][%d] %g ≠ %g", name, d, i, j, cm.At(i, j), cw.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGramIntoBatchedSymmetric confirms the batched row fill mirrors the
+// upper triangle exactly.
+func TestGramIntoBatchedSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := randPoints(rng, 23, 3)
+	g := GramInto(nil, NewSqExp(1, 0.8), xs)
+	for i := 0; i < len(xs); i++ {
+		for j := 0; j < len(xs); j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("Gram asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

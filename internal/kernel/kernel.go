@@ -42,6 +42,20 @@ type Kernel interface {
 	String() string
 }
 
+// BatchEvaler is implemented by kernels that can fill a whole row of
+// covariances k(xs[i], y) in one call. Batching hoists the per-pair interface
+// dispatch and length validation out of the inner loop and splits the work
+// into a tight squared-distance pass (mat.SqDistRowsTo) followed by a tight
+// transform pass — the restructuring that lets the compiler keep both loops
+// branch-free. CrossVec and GramInto use it automatically, which is how the
+// speedup reaches gp.PredictBatchWith, local inference, and online tuning
+// without any caller changes. Implementations must produce values identical
+// to per-pair Eval calls.
+type BatchEvaler interface {
+	// EvalBatch fills dst[i] = k(xs[i], y); len(dst) must equal len(xs).
+	EvalBatch(dst []float64, xs [][]float64, y []float64)
+}
+
 // Gram returns a freshly allocated n×n covariance matrix
 // K[i][j] = k(xs[i], xs[j]).
 func Gram(k Kernel, xs [][]float64) *mat.Matrix {
@@ -52,13 +66,24 @@ func Gram(k Kernel, xs [][]float64) *mat.Matrix {
 // resizing it in place (reusing its backing store) to n×n. A nil dst is
 // allocated. It returns dst, letting callers that rebuild Gram matrices of
 // slowly varying size — the local-inference context of §5.1 does so once per
-// input tuple — avoid the O(n²) allocation.
+// input tuple — avoid the O(n²) allocation. Each lower-triangle row is
+// produced by one batched evaluation when the kernel supports it.
 func GramInto(dst *mat.Matrix, k Kernel, xs [][]float64) *mat.Matrix {
 	n := len(xs)
 	if dst == nil {
 		dst = mat.New(n, n)
 	} else {
 		dst.Reset(n, n)
+	}
+	if be, ok := k.(BatchEvaler); ok {
+		for i := 0; i < n; i++ {
+			row := dst.Row(i)
+			be.EvalBatch(row[:i+1], xs[:i+1], xs[i])
+			for j := 0; j < i; j++ {
+				dst.Set(j, i, row[j])
+			}
+		}
+		return dst
 	}
 	for i := 0; i < n; i++ {
 		row := dst.Row(i)
@@ -74,6 +99,16 @@ func GramInto(dst *mat.Matrix, k Kernel, xs [][]float64) *mat.Matrix {
 // Cross fills the n×m covariance matrix K[i][j] = k(xs[i], ys[j]).
 func Cross(k Kernel, xs, ys [][]float64) *mat.Matrix {
 	out := mat.New(len(xs), len(ys))
+	if be, ok := k.(BatchEvaler); ok {
+		col := make([]float64, len(xs))
+		for j := range ys {
+			be.EvalBatch(col, xs, ys[j])
+			for i := range xs {
+				out.Set(i, j, col[i])
+			}
+		}
+		return out
+	}
 	for i := range xs {
 		row := out.Row(i)
 		for j := range ys {
@@ -83,12 +118,17 @@ func Cross(k Kernel, xs, ys [][]float64) *mat.Matrix {
 	return out
 }
 
-// CrossVec fills dst[i] = k(xs[i], y).
+// CrossVec fills dst[i] = k(xs[i], y), batching the row when the kernel
+// implements BatchEvaler.
 func CrossVec(k Kernel, xs [][]float64, y []float64, dst []float64) []float64 {
 	if cap(dst) < len(xs) {
 		dst = make([]float64, len(xs))
 	}
 	dst = dst[:len(xs)]
+	if be, ok := k.(BatchEvaler); ok {
+		be.EvalBatch(dst, xs, y)
+		return dst
+	}
 	for i := range xs {
 		dst[i] = k.Eval(xs[i], y)
 	}
@@ -153,6 +193,18 @@ func (k *SqExp) ParamGrad(x, y []float64, grad, hess []float64) {
 	if hess != nil {
 		hess[0] = 4 * kv
 		hess[1] = kv * (s*s/(l2*l2) - 2*s/l2)
+	}
+}
+
+// EvalBatch fills dst[i] = k(xs[i], y) via one squared-distance pass and one
+// transform pass. Both passes follow the exact operation order of Eval, so
+// the batched and per-pair paths agree bit-for-bit.
+func (k *SqExp) EvalBatch(dst []float64, xs [][]float64, y []float64) {
+	mat.SqDistRowsTo(dst, xs, y)
+	sf2 := k.SigmaF * k.SigmaF
+	l2 := k.Len * k.Len
+	for i, s := range dst {
+		dst[i] = sf2 * math.Exp(-0.5*s/l2)
 	}
 }
 
@@ -230,6 +282,17 @@ func (k *Matern32) ParamGrad(x, y []float64, grad, hess []float64) {
 	}
 }
 
+// EvalBatch fills dst[i] = k(xs[i], y), batched like SqExp.EvalBatch.
+func (k *Matern32) EvalBatch(dst []float64, xs [][]float64, y []float64) {
+	mat.SqDistRowsTo(dst, xs, y)
+	sf2 := k.SigmaF * k.SigmaF
+	a := math.Sqrt(3) / k.Len
+	for i, s := range dst {
+		t := math.Sqrt(s)
+		dst[i] = sf2 * (1 + a*t) * math.Exp(-a*t)
+	}
+}
+
 // SecondSpectralMoment returns 3/ℓ².
 func (k *Matern32) SecondSpectralMoment() float64 { return 3 / (k.Len * k.Len) }
 
@@ -296,6 +359,17 @@ func (k *Matern52) ParamGrad(x, y []float64, grad, hess []float64) {
 	if hess != nil {
 		hess[0] = 4 * kv
 		hess[1] = sf2 * (t * t / 3) * e * (a*a*a*a*t*t - 2*a*a*a*t - 2*a*a)
+	}
+}
+
+// EvalBatch fills dst[i] = k(xs[i], y), batched like SqExp.EvalBatch.
+func (k *Matern52) EvalBatch(dst []float64, xs [][]float64, y []float64) {
+	mat.SqDistRowsTo(dst, xs, y)
+	sf2 := k.SigmaF * k.SigmaF
+	a := math.Sqrt(5) / k.Len
+	for i, s := range dst {
+		t := math.Sqrt(s)
+		dst[i] = sf2 * (1 + a*t + a*a*t*t/3) * math.Exp(-a*t)
 	}
 }
 

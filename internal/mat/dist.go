@@ -1,0 +1,57 @@
+package mat
+
+import "fmt"
+
+// SqDistRowsTo fills dst[i] = ‖xs[i] − y‖² for every row of xs — the blocked
+// squared-distance core behind batch kernel evaluation (kernel.CrossVec /
+// GramInto). Compared with calling SqDist per row it hoists the length
+// validation out of the loop, specializes the common low dimensions so the
+// inner loop has no trip-count branch, and keeps the accumulation order
+// identical to SqDist so the two paths agree bit-for-bit. dst must have
+// length len(xs); it is returned for convenience.
+func SqDistRowsTo(dst []float64, xs [][]float64, y []float64) []float64 {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("mat: sqdistrows dst length %d ≠ %d", len(dst), len(xs)))
+	}
+	d := len(y)
+	for i, row := range xs {
+		if len(row) != d {
+			panic(fmt.Sprintf("mat: sqdistrows row %d length %d ≠ %d", i, len(row), d))
+		}
+	}
+	switch d {
+	case 1:
+		for i, row := range xs {
+			v := row[0] - y[0]
+			dst[i] = v * v
+		}
+	case 2:
+		y0, y1 := y[0], y[1]
+		for i, row := range xs {
+			row = row[:2]
+			d0 := row[0] - y0
+			d1 := row[1] - y1
+			dst[i] = d0*d0 + d1*d1
+		}
+	case 3:
+		y0, y1, y2 := y[0], y[1], y[2]
+		for i, row := range xs {
+			row = row[:3]
+			d0 := row[0] - y0
+			d1 := row[1] - y1
+			d2 := row[2] - y2
+			dst[i] = d0*d0 + d1*d1 + d2*d2
+		}
+	default:
+		for i, row := range xs {
+			row = row[:d]
+			var s float64
+			for j := 0; j < d; j++ {
+				v := row[j] - y[j]
+				s += v * v
+			}
+			dst[i] = s
+		}
+	}
+	return dst
+}
