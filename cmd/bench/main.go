@@ -28,10 +28,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -45,6 +49,8 @@ import (
 	"olgapro/internal/kernel"
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
+	"olgapro/internal/server"
+	"olgapro/internal/server/wire"
 	"olgapro/internal/udf"
 )
 
@@ -363,6 +369,101 @@ func benchParallelIOTable(workers int) func(b *testing.B) {
 	}
 }
 
+// benchServer boots the olgaprod serving layer in-process (httptest) with a
+// registered, warmed smooth UDF, for end-to-end request benchmarks through
+// the real HTTP handler: JSON decode, admission, frozen-clone evaluation,
+// JSON encode.
+func benchServer(b *testing.B, workers int) (*httptest.Server, func()) {
+	s, err := server.New(server.Config{Workers: workers, MaxInFlight: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	rng := rand.New(rand.NewSource(5))
+	warmup := make([]wire.InputSpec, 8)
+	for i := range warmup {
+		warmup[i] = wire.InputSpec{
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+		}
+	}
+	body, _ := json.Marshal(map[string]any{
+		"udf": "poly/smooth2d", "name": "bench", "eps": 0.2, "delta": 0.1,
+		"warmup": warmup, "warmup_seed": 3,
+	})
+	resp, err := http.Post(ts.URL+"/udfs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("register: %d", resp.StatusCode)
+	}
+	return ts, func() { ts.Close(); s.Close() }
+}
+
+// benchServerEval measures single-tuple serving throughput: one op is one
+// POST /eval round trip on the frozen (read) path.
+func benchServerEval(b *testing.B) {
+	ts, stop := benchServer(b, 1)
+	defer stop()
+	learn := false
+	req, _ := json.Marshal(map[string]any{
+		"input": wire.InputSpec{
+			{Type: "normal", Mu: 0.5, Sigma: 0.12},
+			{Type: "normal", Mu: 0.5, Sigma: 0.12},
+		},
+		"seed": 11, "learn": &learn,
+	})
+	url := ts.URL + "/udfs/bench/eval"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(req))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("eval: %d", resp.StatusCode)
+		}
+	}
+}
+
+// benchServerStream measures NDJSON stream serving: one op streams the
+// 64-tuple table through the frozen exec fan-out at the given worker count.
+func benchServerStream(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ts, stop := benchServer(b, workers)
+		defer stop()
+		rng := rand.New(rand.NewSource(21))
+		var lines bytes.Buffer
+		for i := 0; i < throughputTuples; i++ {
+			l, _ := json.Marshal(map[string]any{"input": wire.InputSpec{
+				{Type: "normal", Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15},
+				{Type: "normal", Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15},
+			}})
+			lines.Write(l)
+			lines.WriteByte('\n')
+		}
+		url := ts.URL + "/udfs/bench/stream?learn=false&seed=17"
+		payload := lines.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || n == 0 {
+				b.Fatalf("stream: %d (%d bytes)", resp.StatusCode, n)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write the run (or comparison) JSON to this file; stdout when empty")
 	baseline := flag.String("baseline", "", "earlier run JSON to embed as the before side")
@@ -393,6 +494,15 @@ func main() {
 	for _, w := range []int{1, 2, 4, 8} {
 		run.Results = append(run.Results, measureThroughput(
 			fmt.Sprintf("parallel_udfio_table_w%d", w), throughputTuples, benchParallelIOTable(w)))
+	}
+	// Serving layer: requests/sec through the real HTTP handler. Like the
+	// parallel_* family these depend on host cores and scheduler, so they
+	// are trajectory-reported but exempt from the regression gate (the
+	// benchdiff -exempt default covers server_*).
+	run.Results = append(run.Results, measureThroughput("server_eval_rps", 1, benchServerEval))
+	for _, w := range []int{1, 4} {
+		run.Results = append(run.Results, measureThroughput(
+			fmt.Sprintf("server_stream_rps_w%d", w), throughputTuples, benchServerStream(w)))
 	}
 
 	var payload any = run

@@ -40,6 +40,7 @@ import (
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
 	"olgapro/internal/sdss"
+	"olgapro/internal/server/wire"
 )
 
 func main() {
@@ -74,10 +75,9 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, worker
 	} else {
 		cat = sdss.Generate(sdss.GenerateConfig{N: n, Seed: seed})
 	}
-	rel := make([]*query.Tuple, len(cat.Galaxies))
-	for i, g := range cat.Galaxies {
-		rel[i] = query.GalaxyTuple(g.ObjID, g.RA, g.Dec, g.RAErr, g.DecErr, g.Redshift, g.RedshiftErr)
-	}
+	// Catalog → uncertain relation through the shared wire codec, the same
+	// construction the network service applies.
+	rel := wire.GalaxyRelation(cat)
 	rng := rand.New(rand.NewSource(seed))
 	cosmo := astro.Default()
 	if workers <= 0 {

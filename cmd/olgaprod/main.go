@@ -1,0 +1,104 @@
+// Command olgaprod serves the OLGAPRO evaluation pipeline over HTTP/JSON:
+// a long-lived process that keeps one warm, tuning-enabled GP emulator per
+// registered UDF so the expensive online learning is paid once and reused
+// across every request — the serving form of the paper's core economics.
+//
+// API (see the README "Serving" section for curl examples):
+//
+//	GET  /healthz                  liveness + in-flight gauge
+//	GET  /stats                    per-UDF counters incl. UDF-call savings vs MC
+//	GET  /catalog                  built-in registrable UDFs
+//	GET  /udfs                     registered instances
+//	POST /udfs                     register {"udf":"mix/f1","eps":0.1,...}
+//	POST /udfs/{name}/eval         one tuple {"input":[{"type":"normal",...}]}
+//	POST /udfs/{name}/stream       NDJSON tuple stream; ?learn=false&seed=S
+//	                               serves frozen, bit-replayable output
+//	POST /udfs/{name}/snapshot     persist trained GP state to -snapshot-dir
+//	POST /snapshot                 persist every registered UDF
+//
+// On boot, snapshots found in -snapshot-dir are restored, so a restarted
+// server skips re-learning. SIGTERM/SIGINT drain gracefully: in-flight
+// requests finish (up to -drain-timeout), new ones are refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"olgapro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for GP snapshots (empty disables persistence)")
+	maxInFlight := flag.Int("max-inflight", 256, "max tuples in flight before 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	workers := flag.Int("workers", 0, "frozen-clone slots per UDF (≤ 0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	if err := run(*addr, *snapshotDir, *maxInFlight, *timeout, *workers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, snapshotDir string, maxInFlight int, timeout time.Duration, workers int, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "olgaprod: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		SnapshotDir:    snapshotDir,
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: timeout,
+		Workers:        workers,
+		Logf:           func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripted drivers (the e2e CI
+	// job) can boot on port 0 and discover the port.
+	fmt.Printf("olgaprod listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining (budget %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	srv.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("shutdown complete")
+	return nil
+}

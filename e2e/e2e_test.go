@@ -1,0 +1,317 @@
+// Package e2e drives the olgaprod network service end to end as CI does:
+// build the real binary, boot it on a loopback port, run a scripted client
+// session — register a UDF, stream learning tuples, snapshot, restart the
+// process, replay the same seeds — and assert the restored server serves
+// bit-identical bytes with every output honoring the (ε, δ) contract.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// olgaprod is one running server process.
+type olgaprod struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startServer builds (once) and boots olgaprod with the given snapshot dir,
+// returning after the process reported its listen address.
+func startServer(t *testing.T, bin, snapDir string) *olgaprod {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-snapshot-dir", snapDir,
+		"-max-inflight", "64",
+		"-timeout", "30s",
+		"-workers", "2",
+		"-drain-timeout", "10s",
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &olgaprod{cmd: cmd, stderr: &stderr}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok {
+			t.Fatalf("olgaprod exited before announcing its address; stderr:\n%s", stderr.String())
+		}
+		const prefix = "olgaprod listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected boot line %q", line)
+		}
+		p.addr = strings.TrimPrefix(line, prefix)
+	case <-time.After(30 * time.Second):
+		t.Fatal("olgaprod did not come up within 30s")
+	}
+	return p
+}
+
+// shutdown sends SIGTERM and verifies a clean (graceful-drain) exit.
+func (p *olgaprod) shutdown(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("olgaprod exited dirty: %v; stderr:\n%s", err, p.stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("olgaprod did not drain within 20s; stderr:\n%s", p.stderr.String())
+	}
+}
+
+func (p *olgaprod) url(path string) string { return "http://" + p.addr + path }
+
+func (p *olgaprod) postJSON(t *testing.T, path string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(p.url(path), "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// distSpec / result mirror the wire structures (kept local: this package
+// drives the service purely over its public HTTP surface, as a client
+// binary would).
+type distSpec struct {
+	Type  string  `json:"type"`
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+type streamResult struct {
+	Seq         int64   `json:"seq"`
+	Eps         float64 `json:"eps"`
+	Bound       float64 `json:"bound"`
+	MetBudget   bool    `json:"met_budget"`
+	UDFCalls    int     `json:"udf_calls"`
+	SupportHash string  `json:"support_hash"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// session is the scripted 50-tuple workload, deterministic by construction.
+func sessionInputs() [][]distSpec {
+	rng := rand.New(rand.NewSource(1234))
+	inputs := make([][]distSpec, 50)
+	for i := range inputs {
+		inputs[i] = []distSpec{
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
+		}
+	}
+	return inputs
+}
+
+// stream posts the inputs as NDJSON and returns raw bytes + parsed lines.
+func (p *olgaprod) stream(t *testing.T, path string, inputs [][]distSpec) (string, []streamResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, in := range inputs {
+		line, err := json.Marshal(map[string]any{"input": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	resp, err := http.Post(p.url(path), "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream %s: %d %s", path, resp.StatusCode, raw)
+	}
+	var results []streamResult
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var r streamResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if r.Error != "" {
+			t.Fatalf("stream error at seq %d: %s", r.Seq, r.Error)
+		}
+		results = append(results, r)
+	}
+	return string(raw), results
+}
+
+// assertContract checks every served line against the (ε, δ) surface
+// contract: Bound ≤ ε.
+func assertContract(t *testing.T, phase string, results []streamResult, n int) {
+	t.Helper()
+	if len(results) != n {
+		t.Fatalf("%s: got %d lines, want %d", phase, len(results), n)
+	}
+	for _, r := range results {
+		if !(r.Bound > 0) || r.Bound > r.Eps+1e-12 {
+			t.Fatalf("%s: seq %d bound %g violates ε=%g (met_budget=%v)",
+				phase, r.Seq, r.Bound, r.Eps, r.MetBudget)
+		}
+	}
+}
+
+func TestE2ESnapshotRestartReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and boots the real binary; skipped in -short")
+	}
+	workDir := t.TempDir()
+	bin := filepath.Join(workDir, "olgaprod")
+	build := exec.Command("go", "build", "-o", bin, "olgapro/cmd/olgaprod")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building olgaprod: %v", err)
+	}
+	snapDir := filepath.Join(workDir, "snapshots")
+	inputs := sessionInputs()
+
+	// --- First server lifetime: register, learn, replay, snapshot. ---
+	p1 := startServer(t, bin, snapDir)
+
+	status, body := p1.postJSON(t, "/udfs", map[string]any{
+		"udf": "poly/smooth2d", "name": "smooth", "eps": 0.2, "delta": 0.1,
+		"warmup": [][]distSpec{inputs[0], inputs[1], inputs[2], inputs[3]}, "warmup_seed": 99,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("register: %d %s", status, body)
+	}
+
+	_, learned := p1.stream(t, "/udfs/smooth/stream?seed=7", inputs)
+	assertContract(t, "learn stream", learned, len(inputs))
+
+	replayBefore, frozen := p1.stream(t, "/udfs/smooth/stream?learn=false&seed=7", inputs)
+	assertContract(t, "frozen replay (before restart)", frozen, len(inputs))
+	for _, r := range frozen {
+		if r.UDFCalls != 0 {
+			t.Fatalf("frozen replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
+		}
+	}
+
+	if status, body := p1.postJSON(t, "/snapshot", nil); status != 200 {
+		t.Fatalf("snapshot: %d %s", status, body)
+	}
+
+	// /stats must show the service beating Monte Carlo on UDF calls.
+	resp, err := http.Get(p1.url("/stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		UDFs []struct {
+			Name         string  `json:"name"`
+			SavedCalls   int64   `json:"saved_calls"`
+			SavingsRatio float64 `json:"savings_ratio"`
+		} `json:"udfs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.UDFs) != 1 || stats.UDFs[0].SavedCalls <= 0 {
+		t.Fatalf("no UDF-call savings reported: %+v", stats.UDFs)
+	}
+
+	p1.shutdown(t) // graceful drain on SIGTERM
+
+	// --- Second lifetime: boot-time restore, then seeded replay. ---
+	p2 := startServer(t, bin, snapDir)
+
+	// The UDF must be back without re-registration.
+	resp, err = http.Get(p2.url("/udfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		UDFs []struct {
+			Name           string `json:"name"`
+			TrainingPoints int64  `json:"training_points"`
+		} `json:"udfs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.UDFs) != 1 || list.UDFs[0].Name != "smooth" || list.UDFs[0].TrainingPoints < 2 {
+		t.Fatalf("restore lost the UDF: %+v", list.UDFs)
+	}
+
+	replayAfter, frozen2 := p2.stream(t, "/udfs/smooth/stream?learn=false&seed=7", inputs)
+	assertContract(t, "frozen replay (after restart)", frozen2, len(inputs))
+
+	// The heart of the gate: the restored server replays the exact bytes.
+	if replayBefore != replayAfter {
+		for i := range frozen {
+			if frozen[i].SupportHash != frozen2[i].SupportHash {
+				t.Errorf("first divergence at seq %d: %s vs %s",
+					frozen[i].Seq, frozen[i].SupportHash, frozen2[i].SupportHash)
+				break
+			}
+		}
+		t.Fatal("snapshot → restart → replay is not bit-identical")
+	}
+
+	p2.shutdown(t)
+}

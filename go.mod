@@ -1,3 +1,5 @@
 module olgapro
 
-go 1.24
+// Kept one release behind the newest stable so the CI build matrix
+// (stable + oldstable) both satisfy the floor.
+go 1.23

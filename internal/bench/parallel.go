@@ -10,6 +10,7 @@ import (
 	"olgapro/internal/dist"
 	"olgapro/internal/exec"
 	"olgapro/internal/query"
+	"olgapro/internal/server/wire"
 	"olgapro/internal/udf"
 )
 
@@ -55,13 +56,11 @@ func ThroughputParallel(sc Scale) (*Table, error) {
 
 	rel := make([]*query.Tuple, tuples)
 	for i := range rel {
-		rel[i] = query.MustTuple(
-			[]string{"id", "x0", "x1"},
-			[]query.Value{
-				query.Int(int64(i)),
-				query.Uncertain(dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3}),
-				query.Uncertain(dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3}),
-			},
+		// Canonical uncertain-input tuples via the shared wire codec (same
+		// attribute names and construction as the network service).
+		rel[i] = wire.UncertainTuple(int64(i),
+			dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3},
+			dist.Normal{Mu: 1 + rng.Float64(), Sigma: 0.3},
 		)
 	}
 

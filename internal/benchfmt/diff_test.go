@@ -85,6 +85,42 @@ func TestDiffAllocRegressionFails(t *testing.T) {
 	}
 }
 
+// AllocSlack relaxes only large-count benchmarks: the per-benchmark budget
+// is ⌊base × slack⌋, so a 0-alloc (or any < 1/slack) baseline stays a hard
+// equality gate while a multi-thousand-alloc one absorbs sub-percent
+// background-runtime noise.
+func TestDiffAllocSlackFloorScaled(t *testing.T) {
+	base := &Run{Results: []Result{
+		{Name: "hot", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "warm", NsPerOp: 100, AllocsPerOp: 137},
+		{Name: "growth", NsPerOp: 100, AllocsPerOp: 2072},
+	}}
+	cur := &Run{Results: []Result{
+		{Name: "hot", NsPerOp: 100, AllocsPerOp: 1},       // 0-alloc gate stays strict
+		{Name: "warm", NsPerOp: 100, AllocsPerOp: 138},    // ⌊137×0.005⌋ = 0 → strict
+		{Name: "growth", NsPerOp: 100, AllocsPerOp: 2080}, // ⌊2072×0.005⌋ = 10 → ok
+	}}
+	entries, failures, _ := Diff(base, cur, DiffOptions{MaxRegress: 0.35, AllocSlack: 0.005})
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (hot and warm strict, growth within slack)", failures)
+	}
+	if e := entryByName(t, entries, "hot"); !e.Failed {
+		t.Errorf("hot must stay a hard zero-alloc gate: %+v", e)
+	}
+	if e := entryByName(t, entries, "warm"); !e.Failed {
+		t.Errorf("warm (137 allocs) must stay strict under 0.5%% slack: %+v", e)
+	}
+	if e := entryByName(t, entries, "growth"); e.Failed {
+		t.Errorf("growth +8/2072 must pass under 0.5%% slack: %+v", e)
+	}
+	// Beyond the budget still fails.
+	cur.Results[2].AllocsPerOp = 2083
+	_, failures, _ = Diff(base, cur, DiffOptions{MaxRegress: 0.35, AllocSlack: 0.005})
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 (growth +11 exceeds the 10-alloc budget)", failures)
+	}
+}
+
 func TestDiffExemptMissingDoesNotFail(t *testing.T) {
 	base := &Run{Results: []Result{{Name: "parallel_w8", NsPerOp: 100}}}
 	cur := &Run{Results: []Result{}}

@@ -1,11 +1,27 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 
 	"olgapro/internal/kernel"
+)
+
+// Snapshot file format: a fixed magic string, a little-endian uint32 format
+// version, then the gob-encoded Snapshot. The version gates decoding — a
+// server restored from a snapshot written by a newer build fails loudly
+// instead of silently misreading state — while files from before the header
+// existed (bare gob) are still accepted by Load for migration.
+const (
+	snapshotMagic = "olgapro-snap\n"
+	// SnapshotVersion is the current snapshot format version. Version 1 is
+	// the headerless gob of PR ≤ 4; version 2 added the header and the
+	// Noise field.
+	SnapshotVersion = 2
 )
 
 // Snapshot is the serializable state of a trained evaluator: the training
@@ -14,6 +30,8 @@ import (
 // where the saved one left off — letting a long-running service persist an
 // emulator it paid UDF calls to learn.
 type Snapshot struct {
+	// Version is the format version the snapshot was written with.
+	Version int
 	// KernelName identifies the kernel family ("sqexp", "matern32",
 	// "matern52", "sqexp-ard").
 	KernelName string
@@ -21,6 +39,9 @@ type Snapshot struct {
 	KernelParams []float64
 	// ARDDim is the input dimensionality for "sqexp-ard" (0 otherwise).
 	ARDDim int
+	// Noise is the GP jitter variance the model was trained with; restoring
+	// under a different noise would change every prediction bit.
+	Noise float64
 	// X and Y are the training pairs.
 	X [][]float64
 	Y []float64
@@ -79,9 +100,11 @@ func (e *Evaluator) Snapshot() (*Snapshot, error) {
 		return nil, err
 	}
 	s := &Snapshot{
+		Version:      SnapshotVersion,
 		KernelName:   name,
 		KernelParams: e.cfg.Kernel.Params(nil),
 		ARDDim:       ardDim,
+		Noise:        e.g.Noise(),
 	}
 	for i := 0; i < e.g.Len(); i++ {
 		x := e.g.X(i)
@@ -93,16 +116,63 @@ func (e *Evaluator) Snapshot() (*Snapshot, error) {
 	return s, nil
 }
 
-// Save writes the evaluator's model state to w (gob encoding).
+// Save writes the evaluator's model state to w in the versioned snapshot
+// format (magic + version + gob).
 func (e *Evaluator) Save(w io.Writer) error {
 	s, err := e.Snapshot()
 	if err != nil {
 		return err
 	}
+	return WriteSnapshot(w, s)
+}
+
+// WriteSnapshot encodes s to w in the versioned format. The snapshot's
+// Version field is stamped to the current format version.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	s.Version = SnapshotVersion
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], uint32(SnapshotVersion))
+	if _, err := w.Write(ver[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
 	if err := gob.NewEncoder(w).Encode(s); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
+}
+
+// ReadSnapshot decodes a snapshot from r. It accepts the current versioned
+// format (rejecting versions newer than this build understands) and, for
+// migration, the headerless bare-gob files written before the header
+// existed, which decode as Version 1.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(snapshotMagic))
+	versioned := err == nil && bytes.Equal(head, []byte(snapshotMagic))
+	var version = 1
+	if versioned {
+		if _, err := br.Discard(len(snapshotMagic)); err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		var ver [4]byte
+		if _, err := io.ReadFull(br, ver[:]); err != nil {
+			return nil, fmt.Errorf("core: load: truncated snapshot header: %w", err)
+		}
+		version = int(binary.LittleEndian.Uint32(ver[:]))
+		if version < 1 || version > SnapshotVersion {
+			return nil, fmt.Errorf("core: load: snapshot version %d not supported (this build reads ≤ %d)",
+				version, SnapshotVersion)
+		}
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	s.Version = version
+	return &s, nil
 }
 
 // Restore builds an evaluator for the UDF from a snapshot: the saved kernel
@@ -117,6 +187,9 @@ func Restore(f interface {
 		return nil, err
 	}
 	cfg.Kernel = k
+	if s.Noise > 0 {
+		cfg.Noise = s.Noise
+	}
 	ev, err := NewEvaluator(f, cfg)
 	if err != nil {
 		return nil, err
@@ -150,9 +223,9 @@ func Load(f interface {
 	Dim() int
 	Eval(x []float64) float64
 }, cfg Config, r io.Reader) (*Evaluator, error) {
-	var s Snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+	s, err := ReadSnapshot(r)
+	if err != nil {
+		return nil, err
 	}
-	return Restore(f, cfg, &s)
+	return Restore(f, cfg, s)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"strings"
@@ -106,6 +107,65 @@ func TestSnapshotKernelFamilies(t *testing.T) {
 		if !strings.HasPrefix(got, strings.SplitN(k.String(), "(", 2)[0]) {
 			t.Fatalf("restored kernel %q for saved %q", got, k.String())
 		}
+	}
+}
+
+// The on-disk snapshot format is versioned: the current writer emits
+// magic+version+gob, the reader rejects future versions, and bare-gob files
+// from before the header existed still load (as version 1).
+func TestSnapshotVersioning(t *testing.T) {
+	f := udf.FuncOf{D: 1, F: func(x []float64) float64 { return 2 * x[0] }}
+	ev, err := NewEvaluator(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.AddTrainingAt([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ev.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte("olgapro-snap\n")) {
+		t.Fatalf("saved snapshot missing magic header: %q", raw[:16])
+	}
+	s, err := ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != SnapshotVersion {
+		t.Fatalf("read version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.Noise <= 0 {
+		t.Fatalf("snapshot noise %g, want the model's positive jitter", s.Noise)
+	}
+
+	// A future version must be rejected, not misread.
+	future := append([]byte(nil), raw...)
+	future[len("olgapro-snap\n")] = 0xEE // little-endian low byte of version
+	if _, err := ReadSnapshot(bytes.NewReader(future)); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+
+	// A legacy headerless gob (the PR ≤ 4 on-disk form) still loads.
+	var legacy bytes.Buffer
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&legacy)
+	if err != nil {
+		t.Fatalf("legacy gob rejected: %v", err)
+	}
+	if got.Version != 1 {
+		t.Fatalf("legacy snapshot read as version %d, want 1", got.Version)
+	}
+	if len(got.X) != len(snap.X) {
+		t.Fatalf("legacy snapshot lost training points: %d vs %d", len(got.X), len(snap.X))
 	}
 }
 

@@ -142,6 +142,14 @@ type envScratch struct {
 	permN               int       // sample count the permutations cover
 	mergeV              []float64 // natural-merge value scratch
 	mergeP              []int     // natural-merge permutation scratch
+
+	// The three ECDF structs the returned envelope points into. Reusing
+	// them (ecdf.SetSorted) instead of allocating fresh ones per call is
+	// what makes the greedy trial loop — one envelopeOf per candidate —
+	// allocation-free in the steady state; it also means an envelope from a
+	// previous call is repointed, which the aliasing contract (valid only
+	// until the next envelopeOf on the same scratch) already forbade using.
+	meanE, lowerE, upperE ecdf.ECDF
 }
 
 // syncPerms sizes the three permutations to n samples. A grown range is
@@ -173,9 +181,9 @@ func (s *envScratch) envelopeOf(means, vars []float64, zAlpha float64, n int) ec
 	upper := resizeFloats(&s.upper, n)
 	if n == 0 {
 		return ecdf.Envelope{
-			Mean:  ecdf.FromSorted(mean),
-			Lower: ecdf.FromSorted(lower),
-			Upper: ecdf.FromSorted(upper),
+			Mean:  s.meanE.SetSorted(mean),
+			Lower: s.lowerE.SetSorted(lower),
+			Upper: s.upperE.SetSorted(upper),
 		}
 	}
 	s.syncPerms(n)
@@ -196,9 +204,9 @@ func (s *envScratch) envelopeOf(means, vars []float64, zAlpha float64, n int) ec
 	if uniform {
 		off := zAlpha * math.Sqrt(vars[0])
 		return ecdf.Envelope{
-			Mean:  ecdf.FromSorted(mean),
-			Lower: ecdf.FromSortedShifted(lower, mean, -off),
-			Upper: ecdf.FromSortedShifted(upper, mean, off),
+			Mean:  s.meanE.SetSorted(mean),
+			Lower: s.lowerE.SetSortedShifted(lower, mean, -off),
+			Upper: s.upperE.SetSortedShifted(upper, mean, off),
 		}
 	}
 	for k, i := range s.permL[:n] {
@@ -210,9 +218,9 @@ func (s *envScratch) envelopeOf(means, vars []float64, zAlpha float64, n int) ec
 	}
 	sortWithPerm(upper, s.permU[:n], &s.mergeV, &s.mergeP)
 	return ecdf.Envelope{
-		Mean:  ecdf.FromSorted(mean),
-		Lower: ecdf.FromSorted(lower),
-		Upper: ecdf.FromSorted(upper),
+		Mean:  s.meanE.SetSorted(mean),
+		Lower: s.lowerE.SetSorted(lower),
+		Upper: s.upperE.SetSorted(upper),
 	}
 }
 

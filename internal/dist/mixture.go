@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mixture is a finite mixture of scalar distributions: with probability
+// Weights[i]/ΣWeights a draw comes from Components[i]. It models multimodal
+// uncertain attributes (e.g. a photometric redshift with two plausible
+// solutions) that none of the single-family distributions can express, and
+// is part of the network wire surface: the serving layer accepts
+// {"type":"mixture", ...} input specs.
+type Mixture struct {
+	comps   []Dist
+	weights []float64 // normalized to sum 1
+	cum     []float64 // cumulative weights for O(log k) inverse sampling
+}
+
+// NewMixture builds a mixture from parallel weight/component slices. Weights
+// need not be normalized but must be positive; an empty weights slice means
+// equal weights. At least one component is required.
+func NewMixture(weights []float64, comps ...Dist) (*Mixture, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	if len(weights) == 0 {
+		weights = make([]float64, len(comps))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(comps) {
+		return nil, fmt.Errorf("dist: mixture has %d weights but %d components", len(weights), len(comps))
+	}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: mixture weight %d is %g, want positive and finite", i, w)
+		}
+		if comps[i] == nil {
+			return nil, fmt.Errorf("dist: mixture component %d is nil", i)
+		}
+		total += w
+	}
+	m := &Mixture{
+		comps:   append([]Dist(nil), comps...),
+		weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)),
+	}
+	var acc float64
+	for i, w := range weights {
+		m.weights[i] = w / total
+		acc += w / total
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // absorb rounding so the last bucket is closed
+	return m, nil
+}
+
+// Components returns the number of mixture components.
+func (m *Mixture) Components() int { return len(m.comps) }
+
+// Component returns component i and its normalized weight.
+func (m *Mixture) Component(i int) (Dist, float64) { return m.comps[i], m.weights[i] }
+
+// Sample draws a component by weight (binary search over the cumulative
+// weights), then a value from it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.comps) {
+		i = len(m.comps) - 1
+	}
+	return m.comps[i].Sample(rng)
+}
+
+// PDF returns the weighted component-density sum.
+func (m *Mixture) PDF(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.PDF(x)
+	}
+	return s
+}
+
+// CDF returns the weighted component-CDF sum.
+func (m *Mixture) CDF(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.CDF(x)
+	}
+	return s
+}
+
+// Mean returns Σ wᵢ μᵢ.
+func (m *Mixture) Mean() float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.Mean()
+	}
+	return s
+}
+
+// Variance returns the law-of-total-variance form Σ wᵢ(σᵢ² + μᵢ²) − μ².
+func (m *Mixture) Variance() float64 {
+	mu := m.Mean()
+	var s float64
+	for i, c := range m.comps {
+		ci := c.Mean()
+		s += m.weights[i] * (c.Variance() + ci*ci)
+	}
+	return s - mu*mu
+}
+
+// Support returns the union hull of the component supports.
+func (m *Mixture) Support() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, c := range m.comps {
+		clo, chi := c.Support()
+		lo = math.Min(lo, clo)
+		hi = math.Max(hi, chi)
+	}
+	return lo, hi
+}

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil); err == nil {
+		t.Fatal("empty mixture accepted")
+	}
+	if _, err := NewMixture([]float64{1, 2}, Normal{Mu: 0, Sigma: 1}); err == nil {
+		t.Fatal("weight/component length mismatch accepted")
+	}
+	if _, err := NewMixture([]float64{-1}, Normal{Mu: 0, Sigma: 1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewMixture([]float64{1}, nil); err == nil {
+		t.Fatal("nil component accepted")
+	}
+}
+
+func TestMixtureMoments(t *testing.T) {
+	m, err := NewMixture([]float64{1, 3},
+		Normal{Mu: -2, Sigma: 0.5}, Normal{Mu: 2, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights normalize to 1/4, 3/4.
+	wantMean := 0.25*-2 + 0.75*2
+	if got := m.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Fatalf("mean %g, want %g", got, wantMean)
+	}
+	wantVar := 0.25*(0.25+4) + 0.75*(1+4) - wantMean*wantMean
+	if got := m.Variance(); math.Abs(got-wantVar) > 1e-12 {
+		t.Fatalf("variance %g, want %g", got, wantVar)
+	}
+	// CDF is the weighted sum: at 0 the first component has passed nearly
+	// all its mass (w₁ ≈ 0.25) and the second contributes 0.75·Φ(−2).
+	mid := m.CDF(0)
+	want := 0.25*(Normal{Mu: -2, Sigma: 0.5}).CDF(0) + 0.75*(Normal{Mu: 2, Sigma: 1}).CDF(0)
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("CDF(0) = %g, want %g", mid, want)
+	}
+	if m.CDF(math.Inf(1)) != 1 || m.CDF(math.Inf(-1)) != 0 {
+		t.Fatal("CDF tails wrong")
+	}
+}
+
+func TestMixtureSampleAgreesWithCDF(t *testing.T) {
+	m, err := NewMixture([]float64{0.3, 0.7},
+		Uniform{A: 0, B: 1}, Gamma{K: 2, Theta: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	for _, q := range []float64{0.5, 1.0, 2.0, 5.0} {
+		count := 0
+		rng2 := rand.New(rand.NewSource(7))
+		for i := 0; i < n; i++ {
+			if m.Sample(rng2) <= q {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if diff := math.Abs(emp - m.CDF(q)); diff > 0.01 {
+			t.Fatalf("at %g: empirical CDF %g vs analytic %g (diff %g)", q, emp, m.CDF(q), diff)
+		}
+	}
+	_ = rng
+}
+
+func TestMixtureSupport(t *testing.T) {
+	m, err := NewMixture(nil, Uniform{A: -3, B: -1}, Uniform{A: 2, B: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Support()
+	if lo != -3 || hi != 5 {
+		t.Fatalf("support (%g,%g), want (-3,5)", lo, hi)
+	}
+	if m.PDF(0) != 0 {
+		t.Fatalf("PDF in the gap = %g, want 0", m.PDF(0))
+	}
+	if m.PDF(-2) <= 0 || m.PDF(3) <= 0 {
+		t.Fatal("PDF zero inside a component")
+	}
+}
+
+func TestMixtureEqualWeightsDefault(t *testing.T) {
+	m, err := NewMixture(nil, Constant{V: 1}, Constant{V: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mean(); got != 2 {
+		t.Fatalf("equal-weight mean %g, want 2", got)
+	}
+	if _, w := m.Component(0); w != 0.5 {
+		t.Fatalf("weight %g, want 0.5", w)
+	}
+}

@@ -277,7 +277,9 @@ func (e Envelope) discrepancyBoundNaive(lambda float64) float64 {
 	var best float64
 	for _, a := range as {
 		for _, b := range bs {
-			if b-a < lambda {
+			// Same floating-point admissibility expression as the fast
+			// path (see discLambdaNaive): b ≥ fl(a+λ).
+			if b < a+lambda {
 				continue
 			}
 			lo, mid, hi := e.IntervalBounds(a, b)

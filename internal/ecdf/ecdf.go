@@ -32,12 +32,37 @@ func New(samples []float64) *ECDF {
 // It panics if the slice is not sorted, since a mis-sorted ECDF silently
 // corrupts every downstream metric.
 func FromSorted(xs []float64) *ECDF {
+	return new(ECDF).SetSorted(xs)
+}
+
+// SetSorted repoints e at the already-ascending slice xs (with FromSorted's
+// sortedness check) and returns e. It is the struct-reusing form of
+// FromSorted for scratch-owned ECDFs on hot paths: a loop that rebuilds an
+// envelope per iteration can keep three ECDF structs alive across
+// iterations instead of heap-allocating three per call.
+func (e *ECDF) SetSorted(xs []float64) *ECDF {
 	for i := 1; i < len(xs); i++ {
 		if xs[i] < xs[i-1] {
 			panic(fmt.Sprintf("ecdf: FromSorted input not sorted at %d", i))
 		}
 	}
-	return &ECDF{xs: xs}
+	e.xs = xs
+	return e
+}
+
+// SetSortedShifted is FromSortedShifted into a reused struct: dst is filled
+// with base[i]+shift and e is repointed at it. Like FromSortedShifted it
+// skips the sortedness re-check — a constant shift of an ascending base is
+// ascending by construction.
+func (e *ECDF) SetSortedShifted(dst, base []float64, shift float64) *ECDF {
+	if len(dst) != len(base) {
+		panic(fmt.Sprintf("ecdf: FromSortedShifted dst length %d ≠ %d", len(dst), len(base)))
+	}
+	for i, v := range base {
+		dst[i] = v + shift
+	}
+	e.xs = dst
+	return e
 }
 
 // FromSortedShifted builds an ECDF whose support is base[i] + shift, filling
@@ -50,13 +75,7 @@ func FromSorted(xs []float64) *ECDF {
 // prior-only regime before any local training point is selected, and any
 // workload with homoscedastic predictions. base must be ascending.
 func FromSortedShifted(dst, base []float64, shift float64) *ECDF {
-	if len(dst) != len(base) {
-		panic(fmt.Sprintf("ecdf: FromSortedShifted dst length %d ≠ %d", len(dst), len(base)))
-	}
-	for i, v := range base {
-		dst[i] = v + shift
-	}
-	return &ECDF{xs: dst}
+	return new(ECDF).SetSortedShifted(dst, base, shift)
 }
 
 // Len returns the number of samples.

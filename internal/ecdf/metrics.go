@@ -116,7 +116,12 @@ func discLambdaNaive(f, g *ECDF, lambda float64) float64 {
 	var best float64
 	for _, a := range as {
 		for _, b := range bs {
-			if b-a < lambda {
+			// Admissibility must use the same floating-point expression as
+			// the fast path (b ≥ fl(a+λ)): a candidate constructed as
+			// fl(v+λ) represents an interval of width exactly λ, and
+			// re-deriving the width as b−a can round the other way and
+			// reject the pair the fast path legitimately scores.
+			if b < a+lambda {
 				continue
 			}
 			d := math.Abs((f.CDF(b) - f.CDF(a)) - (g.CDF(b) - g.CDF(a)))

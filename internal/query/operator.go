@@ -365,7 +365,14 @@ func AttachResult(t *Tuple, out *core.Output, name string, pred *mc.Predicate) *
 		}
 		d, tep = truncated, mass
 	}
-	return t.With(name, Result(d, tep))
+	v := Result(d, tep)
+	// Carry the engine metadata, but not the full three-CDF envelope: a
+	// materialized relation of result tuples would otherwise retain ~3× the
+	// distribution memory for fields only the bound computation needed.
+	meta := *out
+	meta.Envelope = nil
+	v.Out = &meta
+	return t.With(name, v)
 }
 
 // --- Catalog helpers ---

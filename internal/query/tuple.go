@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"olgapro/internal/core"
 	"olgapro/internal/dist"
 	"olgapro/internal/ecdf"
 )
@@ -57,6 +58,13 @@ type Value struct {
 	D    dist.Dist  // KindUncertain
 	R    *ecdf.ECDF // KindResult: the output distribution
 	TEP  float64    // KindResult: tuple existence probability estimate
+	// Out is the engine output behind a KindResult value (error bounds,
+	// engine, cost counters); nil for results built directly from an ECDF.
+	// AttachResult populates it — with Out.Envelope stripped, so a retained
+	// relation doesn't pin the lower/upper CDFs — letting downstream
+	// consumers (the serving layer's response encoder in particular) see
+	// the (ε, δ) metadata, not just the distribution.
+	Out *core.Output
 }
 
 // Float wraps a certain float.

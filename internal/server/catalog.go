@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"olgapro/internal/astro"
+	"olgapro/internal/kernel"
+	"olgapro/internal/udf"
+)
+
+// CatalogEntry describes one built-in UDF clients can register. The service
+// cannot accept arbitrary code over the wire — a UDF is a black-box *Go
+// function* — so the catalog is the nameable function space: the paper's
+// astrophysics case-study UDFs plus the §6.1 analytic test family. The
+// catalog name is also what snapshot metadata records, which is how a
+// restarted server reconnects persisted GP state to executable code.
+type CatalogEntry struct {
+	// Name is the registry key, e.g. "astro/galage".
+	Name string `json:"name"`
+	// Dim is the UDF's input dimensionality.
+	Dim int `json:"dim"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+}
+
+// catalogDef couples a CatalogEntry with its constructors. Kernels are
+// constructed per registration — evaluators tune hyperparameters in place,
+// so two registrations must never share a kernel.
+type catalogDef struct {
+	entry  CatalogEntry
+	mkUDF  func() udf.Func
+	kernel func() kernel.Kernel
+}
+
+// builtins returns the catalog definitions. A function value is built per
+// call, so entries carry no shared mutable state.
+func builtins() map[string]catalogDef {
+	cosmo := astro.Default()
+	defs := map[string]catalogDef{
+		"astro/galage": {
+			entry: CatalogEntry{Name: "astro/galage", Dim: 1,
+				Description: "galaxy age from redshift (paper query Q1)"},
+			mkUDF:  func() udf.Func { return astro.GalAgeFunc(cosmo) },
+			kernel: func() kernel.Kernel { return kernel.NewSqExp(4, 0.3) },
+		},
+		"astro/comovevol": {
+			entry: CatalogEntry{Name: "astro/comovevol", Dim: 2,
+				Description: "comoving volume between two redshifts over 100 deg² (query Q2)"},
+			mkUDF:  func() udf.Func { return astro.ComoveVolFunc(cosmo, 100) },
+			kernel: func() kernel.Kernel { return kernel.NewSqExp(5e7, 0.3) },
+		},
+		"astro/angdist4": {
+			entry: CatalogEntry{Name: "astro/angdist4", Dim: 4,
+				Description: "angular distance between two uncertain sky positions (query Q2 predicate)"},
+			mkUDF:  func() udf.Func { return astro.AngDistFunc4() },
+			kernel: func() kernel.Kernel { return kernel.NewSqExp(20, 15) },
+		},
+		"poly/smooth2d": {
+			entry: CatalogEntry{Name: "poly/smooth2d", Dim: 2,
+				Description: "smooth analytic test function x₀² + 0.5x₁ + 0.3x₀x₁"},
+			mkUDF: func() udf.Func {
+				return udf.FuncOf{D: 2, F: func(x []float64) float64 {
+					return x[0]*x[0] + 0.5*x[1] + 0.3*x[0]*x[1]
+				}}
+			},
+			kernel: func() kernel.Kernel { return kernel.NewSqExp(1, 0.5) },
+		},
+	}
+	for fam, desc := range map[udf.Family]string{
+		udf.F1: "Funct1: one bump, large spread (flattest of §6.1-A)",
+		udf.F2: "Funct2: one bump, small spread (single spike)",
+		udf.F3: "Funct3: five bumps, large spread",
+		udf.F4: "Funct4: five bumps, small spread (bumpiest)",
+	} {
+		fam := fam
+		name := fmt.Sprintf("mix/f%d", int(fam))
+		defs[name] = catalogDef{
+			entry:  CatalogEntry{Name: name, Dim: 2, Description: desc},
+			mkUDF:  func() udf.Func { return udf.Standard(fam, 1) },
+			kernel: func() kernel.Kernel { return kernel.NewSqExp(0.5, 1.5) },
+		}
+	}
+	return defs
+}
+
+// Catalog returns the built-in UDF entries, sorted by name.
+func Catalog() []CatalogEntry {
+	defs := builtins()
+	out := make([]CatalogEntry, 0, len(defs))
+	for _, d := range defs {
+		out = append(out, d.entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookupCatalog resolves a catalog name to its definition.
+func lookupCatalog(name string) (catalogDef, error) {
+	d, ok := builtins()[name]
+	if !ok {
+		return catalogDef{}, fmt.Errorf("server: unknown catalog UDF %q (see GET /catalog)", name)
+	}
+	return d, nil
+}

@@ -1,0 +1,483 @@
+// Package server is the network serving layer: a stdlib-only HTTP/JSON
+// service exposing the full evaluation pipeline — register a UDF from the
+// built-in catalog, submit single tuples or NDJSON streams of uncertain
+// inputs, and receive output distributions with their (ε, δ) error bounds —
+// so one learned GP emulator is reused across many requests instead of
+// living and dying inside one process invocation.
+//
+// # Concurrency model
+//
+// A core.Evaluator is single-goroutine by design (it owns a mutable model
+// and a scratch workspace), so each registered UDF gets:
+//
+//   - one warm, tuning-enabled evaluator owned by a single-writer loop: all
+//     learning traffic, snapshots, and clone construction are closures
+//     executed serially by that goroutine;
+//   - a fixed set of frozen-clone slots (core.CloneFrozen) for read
+//     traffic: frozen evaluation is a pure function of (input, rng), so
+//     borrowed clones may run concurrently, and a stream request can fan
+//     its tuples across several slots through the existing exec.Pool
+//     executor with bit-deterministic per-tuple seeding (exec.TupleSeed).
+//
+// Slots record the training-set size their clone was built at and are
+// transparently rebuilt when the writer has learned since, so read traffic
+// always sees the latest knowledge without ever blocking behind a learning
+// tuple.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/exec"
+	"olgapro/internal/mc"
+	"olgapro/internal/query"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// errDraining: the server is shutting down.
+	errDraining = errors.New("server: draining")
+	// errNotWarm: frozen (read) traffic requires a model with ≥ 2 training
+	// points; stream with learn=true (the default) first.
+	errNotWarm = errors.New("server: model not warm yet — run learning traffic or restore a snapshot first")
+	// errAlreadyRegistered: the instance name is taken (HTTP 409).
+	errAlreadyRegistered = errors.New("already registered")
+)
+
+// nameRe restricts registered UDF names: they appear in URL paths and
+// snapshot file names, so no separators or dots-only segments.
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// RegisterSpec describes one UDF registration. It doubles as the snapshot
+// metadata record: together with a snapshot file it reconstructs the entry
+// on boot.
+type RegisterSpec struct {
+	// Name is the instance name; defaults to the catalog name with "/"
+	// replaced by "-".
+	Name string `json:"name,omitempty"`
+	// UDF is the catalog function to serve (see Catalog).
+	UDF string `json:"udf"`
+	// Eps and Delta are the (ε, δ) accuracy contract for this instance.
+	// Zero selects the paper defaults (0.1, 0.05).
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+}
+
+func (s RegisterSpec) withDefaults() (RegisterSpec, error) {
+	if s.UDF == "" {
+		return s, errors.New("server: register needs \"udf\" (a catalog name; see GET /catalog)")
+	}
+	if s.Name == "" {
+		s.Name = strings.ReplaceAll(s.UDF, "/", "-")
+	}
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("server: invalid name %q (want %s)", s.Name, nameRe)
+	}
+	if s.Eps < 0 || s.Delta < 0 {
+		return s, fmt.Errorf("server: negative eps/delta (%g, %g)", s.Eps, s.Delta)
+	}
+	return s, nil
+}
+
+// writerReq is one closure travelling to an entry's single-writer loop.
+type writerReq struct {
+	fn   func(ev *core.Evaluator) error
+	resp chan error // buffered: the writer never blocks on an abandoned caller
+}
+
+// cloneSlot is one frozen-clone capacity unit. eng is nil until first use;
+// points is the training-set size the clone was built at, compared against
+// the entry's live counter to detect staleness.
+type cloneSlot struct {
+	eng    query.Engine
+	points int
+}
+
+// udfEntry is one registered UDF instance.
+type udfEntry struct {
+	spec      RegisterSpec
+	def       catalogDef
+	cfg       core.Config
+	mcSamples int // per-input UDF calls Monte Carlo would need at (ε, δ)
+
+	reqs chan writerReq
+	quit chan struct{}
+	done chan struct{}
+	// stopOnce guards close(quit): Registry.Close and the registration
+	// rollback path (remove) can race on the same entry during shutdown,
+	// and a double close would panic the process.
+	stopOnce sync.Once
+
+	trainPts atomic.Int64 // training-set size, maintained by the writer side
+	served   atomic.Int64 // tuples served (learning + frozen)
+
+	slots chan *cloneSlot
+}
+
+// stop shuts the entry's writer loop down, idempotently, and waits for it.
+func (e *udfEntry) stop() {
+	e.stopOnce.Do(func() { close(e.quit) })
+	<-e.done
+}
+
+// Spec returns the registration record (used as snapshot metadata).
+func (e *udfEntry) Spec() RegisterSpec { return e.spec }
+
+// startWriter runs the single-writer loop that owns ev.
+func (e *udfEntry) startWriter(ev *core.Evaluator) {
+	e.trainPts.Store(int64(ev.GP().Len()))
+	go func() {
+		defer close(e.done)
+		for {
+			select {
+			case <-e.quit:
+				return
+			case req := <-e.reqs:
+				req.resp <- req.fn(ev)
+				e.trainPts.Store(int64(ev.GP().Len()))
+			}
+		}
+	}()
+}
+
+// withWriter runs fn on the entry's evaluator from the single-writer loop,
+// honoring ctx while queued (a deadline that fires before the writer gets
+// to the closure cancels it without running).
+func (e *udfEntry) withWriter(ctx context.Context, fn func(ev *core.Evaluator) error) error {
+	req := writerReq{resp: make(chan error, 1)}
+	req.fn = func(ev *core.Evaluator) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(ev)
+	}
+	select {
+	case e.reqs <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.quit:
+		return errDraining
+	}
+	select {
+	case err := <-req.resp:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.quit:
+		return errDraining
+	}
+}
+
+// learnEval evaluates one input on the learning evaluator (online tuning
+// and retraining enabled) with the given deterministic seed.
+func (e *udfEntry) learnEval(ctx context.Context, input dist.Vector, seed int64) (*core.Output, error) {
+	var out *core.Output
+	err := e.withWriter(ctx, func(ev *core.Evaluator) error {
+		rng := rand.New(rand.NewSource(seed))
+		o, err := ev.Eval(input, rng)
+		if err != nil {
+			return err
+		}
+		out = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.served.Add(1)
+	return out, nil
+}
+
+// borrowFrozen takes one frozen-clone slot, rebuilding its clone if the
+// writer has learned since it was last built. Blocks (under ctx) when all
+// slots are in use — the read path's intrinsic backpressure.
+func (e *udfEntry) borrowFrozen(ctx context.Context) (*cloneSlot, error) {
+	select {
+	case s := <-e.slots:
+		if err := e.ensureFresh(ctx, s); err != nil {
+			e.slots <- s
+			return nil, err
+		}
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.quit:
+		return nil, errDraining
+	}
+}
+
+// borrowMore opportunistically takes up to extra additional slots without
+// blocking, for stream fan-out. Slots that fail to refresh are returned.
+func (e *udfEntry) borrowMore(ctx context.Context, extra int) []*cloneSlot {
+	var out []*cloneSlot
+	for len(out) < extra {
+		select {
+		case s := <-e.slots:
+			if err := e.ensureFresh(ctx, s); err != nil {
+				e.slots <- s
+				return out
+			}
+			out = append(out, s)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// returnSlot gives a borrowed slot back. Never blocks: slot capacity is
+// fixed at construction.
+func (e *udfEntry) returnSlot(s *cloneSlot) { e.slots <- s }
+
+// ensureFresh rebuilds the slot's clone when missing or stale.
+func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
+	if s.eng != nil && int64(s.points) == e.trainPts.Load() {
+		return nil
+	}
+	return e.withWriter(ctx, func(ev *core.Evaluator) error {
+		if ev.GP().Len() < 2 {
+			return errNotWarm
+		}
+		c, err := ev.CloneFrozen()
+		if err != nil {
+			return err
+		}
+		s.eng = query.EvaluatorEngine{E: c}
+		s.points = ev.GP().Len()
+		return nil
+	})
+}
+
+// frozenEval evaluates one input on a frozen clone with the given seed —
+// bit-identical to the same input appearing as the first line of a frozen
+// stream with the same base seed.
+func (e *udfEntry) frozenEval(ctx context.Context, input dist.Vector, seed int64) (*core.Output, error) {
+	s, err := e.borrowFrozen(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.returnSlot(s)
+	rng := rand.New(rand.NewSource(seed))
+	out, err := s.eng.EvalInput(input, rng)
+	if err != nil {
+		return nil, err
+	}
+	e.served.Add(1)
+	return out, nil
+}
+
+// frozenPool borrows up to max slots and wraps them as an exec.Pool for a
+// stream request. The caller must call the returned release exactly once.
+func (e *udfEntry) frozenPool(ctx context.Context, max int) (*exec.Pool, func(), error) {
+	first, err := e.borrowFrozen(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	slots := append([]*cloneSlot{first}, e.borrowMore(ctx, max-1)...)
+	engines := make([]query.Engine, len(slots))
+	for i, s := range slots {
+		engines[i] = s.eng
+	}
+	pool, err := exec.NewPool(engines...)
+	if err != nil {
+		for _, s := range slots {
+			e.returnSlot(s)
+		}
+		return nil, nil, err
+	}
+	release := func() {
+		for _, s := range slots {
+			e.returnSlot(s)
+		}
+	}
+	return pool, release, nil
+}
+
+// snapshot serializes the current model state.
+func (e *udfEntry) snapshot(ctx context.Context, w io.Writer) (points int, err error) {
+	err = e.withWriter(ctx, func(ev *core.Evaluator) error {
+		points = ev.GP().Len()
+		return ev.Save(w)
+	})
+	return points, err
+}
+
+// UDFStats is the per-UDF /stats record; the savings fields quantify the
+// paper's core economics: UDF calls actually paid vs what plain Monte Carlo
+// would have cost for the same served traffic at the same (ε, δ).
+type UDFStats struct {
+	Name              string  `json:"name"`
+	UDF               string  `json:"udf"`
+	Eps               float64 `json:"eps"`
+	Delta             float64 `json:"delta"`
+	Inputs            int64   `json:"inputs"`
+	TrainingPoints    int     `json:"training_points"`
+	UDFCalls          int     `json:"udf_calls"`
+	Retrainings       int     `json:"retrainings"`
+	Filtered          int     `json:"filtered"`
+	MCSamplesPerInput int     `json:"mc_samples_per_input"`
+	MCEquivalentCalls int64   `json:"mc_equivalent_calls"`
+	SavedCalls        int64   `json:"saved_calls"`
+	SavingsRatio      float64 `json:"savings_ratio"`
+}
+
+// stats gathers the entry's counters (core counters via the writer loop).
+func (e *udfEntry) stats(ctx context.Context) (UDFStats, error) {
+	st := UDFStats{
+		Name:              e.spec.Name,
+		UDF:               e.spec.UDF,
+		Eps:               e.cfg.Eps,
+		Delta:             e.cfg.Delta,
+		Inputs:            e.served.Load(),
+		MCSamplesPerInput: e.mcSamples,
+	}
+	err := e.withWriter(ctx, func(ev *core.Evaluator) error {
+		s := ev.Stats()
+		st.TrainingPoints = s.TrainingPoints
+		st.UDFCalls = s.UDFCalls
+		st.Retrainings = s.Retrainings
+		st.Filtered = s.Filtered
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	st.MCEquivalentCalls = st.Inputs * int64(st.MCSamplesPerInput)
+	st.SavedCalls = st.MCEquivalentCalls - int64(st.UDFCalls)
+	if st.MCEquivalentCalls > 0 {
+		st.SavingsRatio = float64(st.SavedCalls) / float64(st.MCEquivalentCalls)
+	}
+	return st, nil
+}
+
+// Registry maps instance names to registered UDF entries.
+type Registry struct {
+	workers int
+
+	mu      sync.Mutex
+	entries map[string]*udfEntry
+	closed  bool
+}
+
+// NewRegistry builds an empty registry; workers is the frozen-clone slot
+// count per UDF (≤ 0 means 1).
+func NewRegistry(workers int) *Registry {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Registry{workers: workers, entries: make(map[string]*udfEntry)}
+}
+
+// Register creates a UDF instance. With a non-nil snapshot reader, the
+// evaluator is restored from it (boot-time restore) instead of starting
+// empty.
+func (r *Registry) Register(spec RegisterSpec, snapshot io.Reader) (*udfEntry, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	def, err := lookupCatalog(spec.UDF)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Eps: spec.Eps, Delta: spec.Delta, Kernel: def.kernel()}
+	var ev *core.Evaluator
+	if snapshot != nil {
+		ev, err = core.Load(def.mkUDF(), cfg, snapshot)
+	} else {
+		ev, err = core.NewEvaluator(def.mkUDF(), cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ncfg := ev.Config() // normalized: defaults applied
+	e := &udfEntry{
+		spec:      spec,
+		def:       def,
+		cfg:       ncfg,
+		mcSamples: mc.SampleSize(ncfg.Eps, ncfg.Delta, mc.MetricDiscrepancy),
+		reqs:      make(chan writerReq),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		slots:     make(chan *cloneSlot, r.workers),
+	}
+	for i := 0; i < r.workers; i++ {
+		e.slots <- &cloneSlot{}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errDraining
+	}
+	if _, dup := r.entries[spec.Name]; dup {
+		return nil, fmt.Errorf("server: UDF %q %w", spec.Name, errAlreadyRegistered)
+	}
+	e.startWriter(ev)
+	r.entries[spec.Name] = e
+	return e, nil
+}
+
+// remove deregisters and stops an entry — the rollback path when a
+// registration's warm-up fails after the entry was installed.
+func (r *Registry) remove(name string) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	if ok {
+		e.stop()
+	}
+}
+
+// Get returns the named entry.
+func (r *Registry) Get(name string) (*udfEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*udfEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*udfEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.Name < out[j].spec.Name })
+	return out
+}
+
+// Close stops every writer loop and marks the registry draining. In-flight
+// writer closures finish; queued and future ones fail with errDraining.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	entries := make([]*udfEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.stop()
+	}
+}

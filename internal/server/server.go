@@ -1,0 +1,831 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"olgapro/internal/core"
+	"olgapro/internal/exec"
+	"olgapro/internal/query"
+	"olgapro/internal/server/wire"
+)
+
+// Config parameterizes a Server. The zero value is usable.
+type Config struct {
+	// SnapshotDir is where POST /snapshot persists trained GP state and
+	// where boot-time restore looks. Empty disables persistence.
+	SnapshotDir string
+	// MaxInFlight bounds the number of tuples being evaluated or queued
+	// across all requests; admission beyond it is refused with 429 and a
+	// Retry-After. Default 256.
+	MaxInFlight int
+	// RequestTimeout is the per-request context deadline; a request may
+	// lower (never raise) it with ?timeout_ms=N. Default 30s.
+	RequestTimeout time.Duration
+	// Workers is the number of frozen-clone slots per UDF — the read path's
+	// maximum concurrency and a stream's maximum fan-out. Default
+	// GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the olgaprod HTTP service: an evaluator registry behind a JSON
+// API with admission control and snapshot persistence. Build one with New,
+// mount Handler on an http.Server, and Close it after draining.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	mux      *http.ServeMux
+	inflight chan struct{}
+	start    time.Time
+	draining atomic.Bool
+}
+
+// New builds a server and, when cfg.SnapshotDir holds snapshot metadata
+// from a previous run, restores every persisted UDF so the new process
+// skips re-learning.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Workers),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		start:    time.Now(),
+	}
+	s.routes()
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: snapshot dir: %w", err)
+		}
+		if err := s.restoreAll(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close drains the registry: every writer loop stops and subsequent
+// requests fail with 503.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.reg.Close()
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
+
+// serve applies the cross-cutting policies (drain refusal, per-request
+// deadline) and dispatches to the mux.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.error(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	timeout := s.cfg.RequestTimeout
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 && time.Duration(v)*time.Millisecond < timeout {
+			timeout = time.Duration(v) * time.Millisecond
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /udfs", s.handleListUDFs)
+	s.mux.HandleFunc("POST /udfs", s.handleRegister)
+	s.mux.HandleFunc("POST /udfs/{name}/eval", s.handleEval)
+	s.mux.HandleFunc("POST /udfs/{name}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /udfs/{name}/snapshot", s.handleSnapshotOne)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotAll)
+}
+
+// --- admission control ---
+
+// tryAdmit takes one in-flight-tuple token without blocking; callers refuse
+// the request with 429 when it fails.
+func (s *Server) tryAdmit() bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit blocks for a token under ctx — the backpressure used for the later
+// tuples of an already-admitted stream.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.inflight <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+// --- error & JSON plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps evaluation-path errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errNotWarm):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeStrict decodes one JSON document, rejecting unknown fields and
+// trailing garbage — malformed requests fail loudly instead of silently
+// dropping a mistyped parameter.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// --- results ---
+
+// EvalResult is the wire form of one evaluated tuple. Floats are encoded by
+// encoding/json's shortest-round-trip formatting, so equal bits produce
+// equal text: two results are bit-identical iff their JSON lines are equal.
+// SupportHash additionally digests every sample of the full output
+// distribution, making line equality a strong bit-replay check without
+// shipping thousands of floats.
+type EvalResult struct {
+	Seq       int64   `json:"seq"`
+	Engine    string  `json:"engine"`
+	Eps       float64 `json:"eps"`
+	Bound     float64 `json:"bound"`
+	BoundGP   float64 `json:"bound_gp"`
+	BoundMC   float64 `json:"bound_mc"`
+	MetBudget bool    `json:"met_budget"`
+
+	Mean        float64            `json:"mean"`
+	Quantiles   map[string]float64 `json:"quantiles"`
+	SupportHash string             `json:"support_hash"`
+
+	Samples     int  `json:"samples"`
+	UDFCalls    int  `json:"udf_calls"`
+	PointsAdded int  `json:"points_added"`
+	LocalPoints int  `json:"local_points"`
+	Filtered    bool `json:"filtered,omitempty"`
+}
+
+// supportHash digests the raw float64 bits of the output support (FNV-64a).
+func supportHash(vals []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// resultOf flattens a core.Output into the wire form.
+func resultOf(seq int64, out *core.Output, eps float64) EvalResult {
+	r := EvalResult{
+		Seq:       seq,
+		Engine:    out.Engine.String(),
+		Eps:       eps,
+		Bound:     out.Bound,
+		BoundGP:   out.BoundGP,
+		BoundMC:   out.BoundMC,
+		MetBudget: out.MetBudget,
+		Samples:   out.Samples,
+		UDFCalls:  out.UDFCalls,
+
+		PointsAdded: out.PointsAdded,
+		LocalPoints: out.LocalPoints,
+		Filtered:    out.Filtered,
+	}
+	if out.Dist != nil {
+		r.Mean = out.Dist.Mean()
+		r.Quantiles = map[string]float64{
+			"p05": out.Dist.Quantile(0.05),
+			"p25": out.Dist.Quantile(0.25),
+			"p50": out.Dist.Quantile(0.50),
+			"p75": out.Dist.Quantile(0.75),
+			"p95": out.Dist.Quantile(0.95),
+		}
+		r.SupportHash = supportHash(out.Dist.Values())
+	}
+	return r
+}
+
+// --- basic endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.start).Seconds(),
+		"udfs":       len(s.reg.List()),
+		"inflight":   len(s.inflight),
+		"capacity":   cap(s.inflight),
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"udfs": Catalog()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	stats := make([]UDFStats, 0, len(entries))
+	var totalSaved, totalMC int64
+	for _, e := range entries {
+		st, err := e.stats(r.Context())
+		if err != nil {
+			s.error(w, errStatus(err), "stats for %q: %v", e.Spec().Name, err)
+			return
+		}
+		totalSaved += st.SavedCalls
+		totalMC += st.MCEquivalentCalls
+		stats = append(stats, st)
+	}
+	resp := map[string]any{"udfs": stats, "total_saved_calls": totalSaved}
+	if totalMC > 0 {
+		resp["total_savings_ratio"] = float64(totalSaved) / float64(totalMC)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- registration ---
+
+// registerRequest is the POST /udfs body: a RegisterSpec plus optional
+// warm-up inputs evaluated in learn mode before the registration returns,
+// so read traffic can start immediately.
+type registerRequest struct {
+	Name       string           `json:"name,omitempty"`
+	UDF        string           `json:"udf"`
+	Eps        float64          `json:"eps,omitempty"`
+	Delta      float64          `json:"delta,omitempty"`
+	Warmup     []wire.InputSpec `json:"warmup,omitempty"`
+	WarmupSeed int64            `json:"warmup_seed,omitempty"`
+}
+
+type udfInfo struct {
+	Name           string  `json:"name"`
+	UDF            string  `json:"udf"`
+	Dim            int     `json:"dim"`
+	Eps            float64 `json:"eps"`
+	Delta          float64 `json:"delta"`
+	TrainingPoints int64   `json:"training_points"`
+	MCSamples      int     `json:"mc_samples_per_input"`
+}
+
+func infoOf(e *udfEntry) udfInfo {
+	return udfInfo{
+		Name:           e.spec.Name,
+		UDF:            e.spec.UDF,
+		Dim:            e.def.entry.Dim,
+		Eps:            e.cfg.Eps,
+		Delta:          e.cfg.Delta,
+		TrainingPoints: e.trainPts.Load(),
+		MCSamples:      e.mcSamples,
+	}
+}
+
+func (s *Server) handleListUDFs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	infos := make([]udfInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = infoOf(e)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"udfs": infos})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.error(w, http.StatusBadRequest, "bad register request: %v", err)
+		return
+	}
+	e, err := s.reg.Register(RegisterSpec{
+		Name: req.Name, UDF: req.UDF, Eps: req.Eps, Delta: req.Delta,
+	}, nil)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errAlreadyRegistered) {
+			status = http.StatusConflict
+		} else if errors.Is(err, errDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		s.error(w, status, "%v", err)
+		return
+	}
+	for i, in := range req.Warmup {
+		vec, verr := in.Vector()
+		if verr == nil && vec.Dim() != e.def.entry.Dim {
+			verr = fmt.Errorf("dim %d ≠ UDF dim %d", vec.Dim(), e.def.entry.Dim)
+		}
+		if verr != nil {
+			// Roll the registration back: a half-warmed instance the client
+			// thinks failed must not squat on the name.
+			s.reg.remove(e.spec.Name)
+			s.error(w, http.StatusBadRequest, "warmup[%d]: %v", i, verr)
+			return
+		}
+		// Warm-up tuples are in-flight tuples like any other: they take an
+		// admission token each, so concurrent registrations cannot run
+		// unbounded learning work past MaxInFlight.
+		if err := s.admit(r.Context()); err != nil {
+			s.reg.remove(e.spec.Name)
+			s.error(w, errStatus(err), "warmup[%d]: %v", i, err)
+			return
+		}
+		_, err := e.learnEval(r.Context(), vec, exec.TupleSeed(req.WarmupSeed, int64(i)))
+		s.release()
+		if err != nil {
+			s.reg.remove(e.spec.Name)
+			s.error(w, errStatus(err), "warmup[%d]: %v", i, err)
+			return
+		}
+	}
+	s.cfg.Logf("registered UDF %q (catalog %s, ε=%g δ=%g, %d warm-up tuples)",
+		e.spec.Name, e.spec.UDF, e.cfg.Eps, e.cfg.Delta, len(req.Warmup))
+	s.writeJSON(w, http.StatusCreated, infoOf(e))
+}
+
+// --- evaluation ---
+
+// evalRequest is the POST /udfs/{name}/eval body. Learn defaults to true
+// (the input contributes to the model); learn=false serves from a frozen
+// clone, making the response a pure, bit-replayable function of
+// (model state, input, seed) — identical to line 0 of a frozen stream with
+// the same seed.
+type evalRequest struct {
+	Input wire.InputSpec `json:"input"`
+	Seed  int64          `json:"seed,omitempty"`
+	Learn *bool          `json:"learn,omitempty"`
+}
+
+func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*udfEntry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		s.error(w, http.StatusNotFound, "no UDF %q registered", name)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req evalRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.error(w, http.StatusBadRequest, "bad eval request: %v", err)
+		return
+	}
+	if len(req.Input) != e.def.entry.Dim {
+		s.error(w, http.StatusBadRequest, "input has %d attributes, UDF %q wants %d",
+			len(req.Input), e.spec.Name, e.def.entry.Dim)
+		return
+	}
+	vec, err := req.Input.Vector()
+	if err != nil {
+		s.error(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.tryAdmit() {
+		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		return
+	}
+	defer s.release()
+	seed := exec.TupleSeed(req.Seed, 0)
+	var out *core.Output
+	if req.Learn == nil || *req.Learn {
+		out, err = e.learnEval(r.Context(), vec, seed)
+	} else {
+		out, err = e.frozenEval(r.Context(), vec, seed)
+	}
+	if err != nil {
+		s.error(w, errStatus(err), "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resultOf(0, out, e.cfg.Eps))
+}
+
+// --- streaming ---
+
+// streamLine is one NDJSON request line of POST /udfs/{name}/stream.
+type streamLine struct {
+	Input wire.InputSpec `json:"input"`
+}
+
+// streamResult is one NDJSON response line: either a result or a terminal
+// error (after which the stream ends).
+type streamResult struct {
+	EvalResult
+	Error string `json:"error,omitempty"`
+}
+
+// handleStream evaluates an NDJSON stream of tuples. ?learn=false serves
+// the whole stream from frozen clones fanned out over the exec executor —
+// per-tuple seeding (exec.TupleSeed over ?seed=S and the line number) makes
+// the response bytes a deterministic function of the model state, so a
+// snapshot-restored server replays a session bit-identically. The default
+// learn mode routes every tuple through the single-writer loop with the
+// same per-line seed derivation.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	learn := q.Get("learn") != "false"
+	var seed int64
+	if sv := q.Get("seed"); sv != "" {
+		v, err := strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "bad seed %q", sv)
+			return
+		}
+		seed = v
+	}
+	// Admission probe: a stream is refused up front when the server is at
+	// capacity, but the probe token is returned immediately — the stream's
+	// real footprint is accounted per tuple (decode → emission) by both
+	// modes below, so a stream never holds a standing token on top of its
+	// tuples' tokens. (With a standing token, -max-inflight 1 would
+	// deadlock every stream against its own first tuple.)
+	if !s.tryAdmit() {
+		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		return
+	}
+	s.release()
+
+	// Results stream back while the request body is still being read, so
+	// the connection must be full-duplex — without this, net/http may
+	// discard the unread request body once the first response line is
+	// written, truncating the stream mid-session.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("stream: full duplex unavailable: %v", err)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fail := func(seq int64, err error) {
+		enc.Encode(streamResult{EvalResult: EvalResult{Seq: seq}, Error: err.Error()})
+	}
+	if learn {
+		s.streamLearn(r.Context(), e, r.Body, seed, enc, fail)
+	} else {
+		s.streamFrozen(r.Context(), e, r.Body, seed, enc, fail)
+	}
+}
+
+// streamLearn runs the stream sequentially through the writer loop, taking
+// one in-flight token per tuple for the duration of its evaluation.
+func (s *Server) streamLearn(ctx context.Context, e *udfEntry, body io.Reader,
+	seed int64, enc *json.Encoder, fail func(int64, error)) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var seq int64
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		spec, err := decodeStreamLine(line, e.def.entry.Dim)
+		if err != nil {
+			fail(seq, err)
+			return
+		}
+		vec, err := spec.Vector()
+		if err != nil {
+			fail(seq, err)
+			return
+		}
+		if err := s.admit(ctx); err != nil {
+			fail(seq, err)
+			return
+		}
+		out, err := e.learnEval(ctx, vec, exec.TupleSeed(seed, seq))
+		s.release()
+		if err != nil {
+			fail(seq, err)
+			return
+		}
+		enc.Encode(streamResult{EvalResult: resultOf(seq, out, e.cfg.Eps)})
+		seq++
+	}
+	if err := sc.Err(); err != nil {
+		fail(seq, err)
+	}
+}
+
+// decodeStreamLine parses one request line and validates its arity — the
+// single definition of stream-line semantics, shared by the learn path and
+// the frozen pipeline source so both reject malformed lines identically.
+func decodeStreamLine(line []byte, dim int) (wire.InputSpec, error) {
+	var sl streamLine
+	if err := decodeStrict(bytes.NewReader(line), &sl); err != nil {
+		return nil, fmt.Errorf("bad stream line: %w", err)
+	}
+	if len(sl.Input) != dim {
+		return nil, fmt.Errorf("input has %d attributes, UDF wants %d", len(sl.Input), dim)
+	}
+	return sl.Input, nil
+}
+
+// streamFrozen fans the stream over frozen clones via the exec executor.
+// The NDJSON decode is itself the pipeline source: tuples are pulled
+// lazily, each one holding an in-flight admission token from decode to
+// emission, so a stream cannot queue unbounded work.
+func (s *Server) streamFrozen(ctx context.Context, e *udfEntry, body io.Reader,
+	seed int64, enc *json.Encoder, fail func(int64, error)) {
+	pool, release, err := e.frozenPool(ctx, s.cfg.Workers)
+	if err != nil {
+		fail(0, err)
+		return
+	}
+	defer release()
+
+	src := &lineIter{
+		sc:  bufio.NewScanner(body),
+		dim: e.def.entry.Dim,
+		srv: s,
+		ctx: ctx,
+	}
+	src.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	pe := pool.Apply(src, wire.AttrNames(e.def.entry.Dim), "y", exec.Options{
+		Ctx:  ctx,
+		Seed: seed,
+	})
+	defer pe.Close()
+	var emitted int64
+	defer func() {
+		// Release the admission tokens of tuples decoded but never emitted
+		// (error/cancellation teardown).
+		for n := src.decoded.Load() - emitted; n > 0; n-- {
+			s.release()
+		}
+	}()
+	for {
+		t, err := pe.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fail(emitted, err)
+			return
+		}
+		v := t.MustGet("y")
+		seq := t.MustGet("id").I
+		enc.Encode(streamResult{EvalResult: resultOf(seq, v.Out, e.cfg.Eps)})
+		emitted++
+		s.release()
+		e.served.Add(1)
+	}
+}
+
+// lineIter adapts the NDJSON request body to a query.Iterator. Next is
+// called only by the executor's feeder goroutine; the decoded counter is
+// read by the handler during teardown, after the executor has quiesced
+// (ParallelEval.Close waits for the feeder), plus concurrently for token
+// bookkeeping — hence atomic.
+type lineIter struct {
+	sc      *bufio.Scanner
+	dim     int
+	srv     *Server
+	ctx     context.Context
+	seq     int64
+	decoded atomic.Int64
+}
+
+func (it *lineIter) Next() (*query.Tuple, error) {
+	for {
+		if !it.sc.Scan() {
+			if err := it.sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		line := bytes.TrimSpace(it.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// One admission token per in-flight tuple, held until its result is
+		// emitted (released by the drain loop).
+		if err := it.srv.admit(it.ctx); err != nil {
+			return nil, err
+		}
+		it.decoded.Add(1)
+		spec, err := decodeStreamLine(line, it.dim)
+		if err != nil {
+			return nil, err
+		}
+		t, err := spec.Tuple(it.seq)
+		if err != nil {
+			return nil, err
+		}
+		it.seq++
+		return t, nil
+	}
+}
+
+// --- snapshots ---
+
+// snapName returns the snapshot and metadata paths for a UDF instance.
+func (s *Server) snapName(name string) (snap, meta string) {
+	return filepath.Join(s.cfg.SnapshotDir, name+".snap"),
+		filepath.Join(s.cfg.SnapshotDir, name+".meta.json")
+}
+
+// persist writes one entry's snapshot and metadata atomically.
+func (s *Server) persist(ctx context.Context, e *udfEntry) (points int, err error) {
+	if s.cfg.SnapshotDir == "" {
+		return 0, errors.New("server: no -snapshot-dir configured")
+	}
+	var buf bytes.Buffer
+	points, err = e.snapshot(ctx, &buf)
+	if err != nil {
+		return 0, err
+	}
+	snap, meta := s.snapName(e.spec.Name)
+	if err := atomicWrite(snap, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	mb, err := json.MarshalIndent(e.spec, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := atomicWrite(meta, append(mb, '\n')); err != nil {
+		return 0, err
+	}
+	s.cfg.Logf("snapshot %q: %d training points → %s", e.spec.Name, points, snap)
+	return points, nil
+}
+
+// atomicWrite writes via a uniquely-named temp file + rename, so a crash
+// mid-write never leaves a truncated snapshot for the next boot to trip
+// over, and two concurrent snapshot requests for the same UDF cannot
+// interleave bytes in a shared temp file — the loser's rename just
+// replaces the winner's whole file.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+type snapshotInfo struct {
+	Name           string `json:"name"`
+	TrainingPoints int    `json:"training_points"`
+	Path           string `json:"path"`
+}
+
+func (s *Server) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	points, err := s.persist(r.Context(), e)
+	if err != nil {
+		s.error(w, errStatus(err), "%v", err)
+		return
+	}
+	snap, _ := s.snapName(e.spec.Name)
+	s.writeJSON(w, http.StatusOK, snapshotInfo{Name: e.spec.Name, TrainingPoints: points, Path: snap})
+}
+
+func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	var infos []snapshotInfo
+	for _, e := range s.reg.List() {
+		points, err := s.persist(r.Context(), e)
+		if err != nil {
+			s.error(w, errStatus(err), "snapshot %q: %v", e.Spec().Name, err)
+			return
+		}
+		snap, _ := s.snapName(e.spec.Name)
+		infos = append(infos, snapshotInfo{Name: e.spec.Name, TrainingPoints: points, Path: snap})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"snapshots": infos})
+}
+
+// restoreAll re-registers every persisted UDF from the snapshot directory.
+func (s *Server) restoreAll() error {
+	metas, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.meta.json"))
+	if err != nil {
+		return err
+	}
+	for _, meta := range metas {
+		mb, err := os.ReadFile(meta)
+		if err != nil {
+			return fmt.Errorf("server: restore %s: %w", meta, err)
+		}
+		var spec RegisterSpec
+		if err := json.Unmarshal(mb, &spec); err != nil {
+			return fmt.Errorf("server: restore %s: %w", meta, err)
+		}
+		snap, _ := s.snapName(spec.Name)
+		f, err := os.Open(snap)
+		if err != nil {
+			return fmt.Errorf("server: restore %q: %w", spec.Name, err)
+		}
+		e, err := s.reg.Register(spec, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("server: restore %q: %w", spec.Name, err)
+		}
+		s.cfg.Logf("restored UDF %q from snapshot (%d training points)", spec.Name, e.trainPts.Load())
+	}
+	return nil
+}

@@ -45,6 +45,7 @@ import (
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
 	"olgapro/internal/sdss"
+	"olgapro/internal/server"
 	"olgapro/internal/udf"
 )
 
@@ -338,7 +339,38 @@ func SqExpARDKernel(sigmaF float64, lengthscales []float64) Kernel {
 // LoadEvaluator restores a saved evaluator for the UDF from r; save with
 // (*Evaluator).Save. The snapshot carries the training pairs and learned
 // hyperparameters, so the restored evaluator keeps its accumulated knowledge
-// without re-paying UDF calls.
+// without re-paying UDF calls. Snapshots are versioned on disk
+// (core.SnapshotVersion); files from older builds load transparently.
 func LoadEvaluator(f UDF, cfg Config, r io.Reader) (*Evaluator, error) {
 	return core.Load(f, cfg, r)
 }
+
+// MixtureDist returns a finite mixture of scalar distributions with the
+// given (unnormalized) weights — the model for multimodal uncertain
+// attributes. Empty weights means equal weights.
+func MixtureDist(weights []float64, components ...Dist) (Dist, error) {
+	return dist.NewMixture(weights, components...)
+}
+
+// Serving layer (internal/server): the olgaprod network service. A Server
+// owns an evaluator registry — one warm, tuning-enabled evaluator per
+// registered UDF behind a single-writer loop, with frozen clones fanned out
+// for deterministic read traffic — plus snapshot persistence and admission
+// control. cmd/olgaprod is the runnable daemon; embedders can mount
+// Server.Handler on their own http.Server.
+type (
+	// Server is the olgaprod HTTP service.
+	Server = server.Server
+	// ServerConfig parameterizes a Server (snapshot dir, admission bound,
+	// request deadline, frozen-clone fan-out).
+	ServerConfig = server.Config
+	// ServerCatalogEntry describes one built-in UDF clients can register.
+	ServerCatalogEntry = server.CatalogEntry
+)
+
+// NewServer builds the olgaprod service, restoring any GP snapshots found
+// in cfg.SnapshotDir so a restarted server skips re-learning.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ServerCatalog lists the built-in UDFs the service can register.
+func ServerCatalog() []ServerCatalogEntry { return server.Catalog() }
