@@ -5,8 +5,8 @@ GO ?= go
 
 # Perf-trajectory knobs: where the fresh bench run lands, which committed
 # entry it is gated against, and how much ns/op drift the gate allows.
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR5.json
 BENCH_MAX_REGRESS ?= 0.35
 
 # Coverage gate: these packages carry the statistical-guarantee machinery
@@ -90,8 +90,7 @@ e2e:
 
 # lint runs staticcheck + govulncheck when installed and skips (with a
 # notice) when not, so `make ci` works on boxes without the tools; the CI
-# lint job installs both. Non-blocking in CI while the fleet burns down
-# findings — flip the job's continue-on-error to graduate it.
+# lint job installs both and is blocking.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \

@@ -44,6 +44,7 @@ import (
 	"olgapro/internal/benchfmt"
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
+	"olgapro/internal/ecdf"
 	"olgapro/internal/exec"
 	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
@@ -345,7 +346,7 @@ func ioUDF() udf.Func {
 // the worker count even on one core.
 func benchParallelIOTable(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
-		eng := query.MCEngine{F: ioUDF(), Cfg: mc.Config{Eps: 0.3, Delta: 0.3, Metric: mc.MetricDiscrepancy}}
+		eng := query.NewMCEngine(ioUDF(), mc.Config{Eps: 0.3, Delta: 0.3, Metric: mc.MetricDiscrepancy})
 		engines := make([]query.Engine, workers)
 		for i := range engines {
 			engines[i] = eng
@@ -364,6 +365,108 @@ func benchParallelIOTable(workers int) func(b *testing.B) {
 			}
 			if len(out) != len(rel) {
 				b.Fatalf("drained %d of %d tuples", len(out), len(rel))
+			}
+		}
+	}
+}
+
+// boundedRelation builds an n-tuple relation whose "y" attribute is a UDF
+// result with a synthetic confidence envelope — the input shape of the
+// bounded relational operators — plus a 4-way group label. Deterministic;
+// built once outside the timed loop.
+func boundedRelation(n int) []*query.Tuple {
+	rng := rand.New(rand.NewSource(33))
+	rel := make([]*query.Tuple, n)
+	for i := range rel {
+		mid := rng.NormFloat64() * 3
+		gap := 0.2 + rng.Float64()
+		samples := make([]float64, 32)
+		for j := range samples {
+			samples[j] = mid + rng.NormFloat64()*0.4
+		}
+		lower := make([]float64, len(samples))
+		upper := make([]float64, len(samples))
+		for j, s := range samples {
+			lower[j], upper[j] = s-gap, s+gap
+		}
+		y := query.Result(ecdf.New(samples), 0)
+		y.Out = &core.Output{Envelope: &ecdf.Envelope{
+			Mean:  ecdf.New(samples),
+			Lower: ecdf.New(lower),
+			Upper: ecdf.New(upper),
+		}}
+		rel[i] = query.MustTuple(
+			[]string{"id", "g", "y"},
+			[]query.Value{
+				query.Int(int64(i)),
+				query.Str(fmt.Sprintf("g%d", i%4)),
+				y,
+			},
+		)
+	}
+	return rel
+}
+
+// benchQueryTopK measures the bounded top-k operator: per op, rank the
+// n-tuple relation on the mean envelope bounds and materialize the possible
+// top-k answer set with rank intervals. Single-core and deterministic, so
+// non-exempt under the cmd/benchdiff gate.
+func benchQueryTopK(n, k int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rel := boundedRelation(n)
+		spec := query.RankSpec{By: "y", K: k, Desc: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := query.Drain(query.NewTopK(query.NewScan(rel), spec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) < k {
+				b.Fatalf("possible answer set %d < k=%d", len(out), k)
+			}
+		}
+	}
+}
+
+// benchQueryWindow measures the sliding-window bounded aggregates: per op,
+// slide a 16-tuple window by 4 over the relation computing count/avg/max
+// intervals. Single-core and deterministic, non-exempt under the gate.
+func benchQueryWindow(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rel := boundedRelation(n)
+		spec := query.WindowSpec{Size: 16, Step: 4, Aggs: []query.Agg{
+			query.Count(), query.Avg("y"), query.Max("y"),
+		}}
+		want := (n-spec.Size)/4 + 1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := query.Drain(query.NewWindow(query.NewScan(rel), spec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != want {
+				b.Fatalf("%d windows, want %d", len(out), want)
+			}
+		}
+	}
+}
+
+// benchQueryGroupBy measures grouped bounded aggregates over the 4-way
+// group label. Single-core and deterministic, non-exempt under the gate.
+func benchQueryGroupBy(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rel := boundedRelation(n)
+		spec := query.GroupBySpec{Keys: []string{"g"}, Aggs: []query.Agg{
+			query.Count(), query.Sum("y"), query.Min("y"),
+		}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := query.Drain(query.NewGroupBy(query.NewScan(rel), spec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != 4 {
+				b.Fatalf("%d groups", len(out))
 			}
 		}
 	}
@@ -495,6 +598,14 @@ func main() {
 		run.Results = append(run.Results, measureThroughput(
 			fmt.Sprintf("parallel_udfio_table_w%d", w), throughputTuples, benchParallelIOTable(w)))
 	}
+	// Bounded relational operators (PR 6): single-core, deterministic, and
+	// therefore fully gated by cmd/benchdiff (no exemption pattern matches).
+	run.Results = append(run.Results,
+		measure("query_topk_n512_k16", benchQueryTopK(512, 16)),
+		measure("query_topk_n4096_k64", benchQueryTopK(4096, 64)),
+		measure("query_window_n512", benchQueryWindow(512)),
+		measure("query_groupby_n512", benchQueryGroupBy(512)),
+	)
 	// Serving layer: requests/sec through the real HTTP handler. Like the
 	// parallel_* family these depend on host cores and scheduler, so they
 	// are trajectory-reported but exempt from the regression gate (the

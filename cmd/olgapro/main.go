@@ -84,67 +84,69 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, worker
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// builtEngine pairs the opaque query engine with the GP evaluator
+	// behind it (nil for MC), which poolFor needs for warm-and-freeze.
+	type builtEngine struct {
+		eng query.Engine
+		ev  *core.Evaluator
+	}
 	mkEngine := func(f interface {
 		Dim() int
 		Eval([]float64) float64
-	}, kern kernel.Kernel, pred *mc.Predicate) (query.Engine, error) {
+	}, kern kernel.Kernel, pred *mc.Predicate) (builtEngine, error) {
 		switch engine {
 		case "mc":
-			return query.MCEngine{F: f, Cfg: mc.Config{
+			return builtEngine{eng: query.NewMCEngine(f, mc.Config{
 				Eps: eps, Delta: delta, Metric: mc.MetricDiscrepancy, Predicate: pred,
-			}}, nil
+			})}, nil
 		case "gp":
 			ev, err := core.NewEvaluator(f, core.Config{
 				Eps: eps, Delta: delta, Kernel: kern, Predicate: pred,
 			})
 			if err != nil {
-				return nil, err
+				return builtEngine{}, err
 			}
-			return query.EvaluatorEngine{E: ev}, nil
+			return builtEngine{eng: query.NewEvaluatorEngine(ev), ev: ev}, nil
 		default:
-			return nil, fmt.Errorf("unknown engine %q (want gp or mc)", engine)
+			return builtEngine{}, fmt.Errorf("unknown engine %q (want gp or mc)", engine)
 		}
 	}
 
 	// poolFor turns one engine into a worker pool: a GP engine is warmed on
 	// the given tuples, then frozen and cloned per worker; a stateless MC
 	// engine is replicated as-is.
-	poolFor := func(eng query.Engine, warm []*query.Tuple, inputs []string) (*exec.Pool, error) {
-		switch e := eng.(type) {
-		case query.EvaluatorEngine:
+	poolFor := func(be builtEngine, warm []*query.Tuple, inputs []string) (*exec.Pool, error) {
+		if be.ev != nil {
 			for _, t := range warm {
 				input, err := query.InputVectorFor(t, inputs)
 				if err != nil {
 					return nil, err
 				}
-				if _, err := e.E.Eval(input, rng); err != nil {
+				if _, err := be.ev.Eval(input, rng); err != nil {
 					return nil, fmt.Errorf("warm-up: %w", err)
 				}
 			}
-			return exec.NewEvaluatorPool(e.E, workers)
-		case query.MCEngine:
-			engines := make([]query.Engine, workers)
-			for i := range engines {
-				engines[i] = e
-			}
-			return exec.NewPool(engines...)
-		default:
-			return nil, fmt.Errorf("engine %T cannot be pooled", eng)
+			return exec.NewEvaluatorPool(be.ev, workers)
 		}
+		engines := make([]query.Engine, workers)
+		for i := range engines {
+			engines[i] = be.eng
+		}
+		return exec.NewPool(engines...)
 	}
 
 	// applyStage builds the UDF-application operator: the classic serial
 	// ApplyUDF at -workers 1, the parallel executor otherwise.
-	applyStage := func(in query.Iterator, inputs []string, out string, eng query.Engine,
+	applyStage := func(in query.Iterator, inputs []string, out string, be builtEngine,
 		pred *mc.Predicate, warm []*query.Tuple) (query.Iterator, func() int, error) {
 		// With nothing to warm a GP pool on (empty relation), the serial
 		// path handles the stream — it drains to zero results where a
 		// frozen pool could not even be built.
 		if workers == 1 || len(warm) == 0 {
-			a := &query.ApplyUDF{In: in, Inputs: inputs, Out: out, Engine: eng, Rng: rng, Predicate: pred}
+			a := &query.ApplyUDF{In: in, Inputs: inputs, Out: out, Engine: be.eng, Rng: rng, Predicate: pred}
 			return a, func() int { return a.Dropped }, nil
 		}
-		pool, err := poolFor(eng, warm, inputs)
+		pool, err := poolFor(be, warm, inputs)
 		if err != nil {
 			return nil, nil, err
 		}

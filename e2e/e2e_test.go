@@ -250,6 +250,25 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 		}
 	}
 
+	// A bounded query — TEP filter, then top-k on the result — served from
+	// the same frozen clones; its bytes must also survive the restart.
+	queryReq := map[string]any{
+		"udf": "smooth", "seed": 55,
+		"rows": func() []map[string]any {
+			rows := make([]map[string]any, 12)
+			for i := range rows {
+				rows[i] = map[string]any{"input": inputs[i]}
+			}
+			return rows
+		}(),
+		"predicate": map[string]any{"a": 0.0, "b": 1.5, "theta": 0.05},
+		"topk":      map[string]any{"k": 4, "by": "y", "desc": true},
+	}
+	status, queryBefore := p1.postJSON(t, "/v1/query", queryReq)
+	if status != 200 {
+		t.Fatalf("query: %d %s", status, queryBefore)
+	}
+
 	if status, body := p1.postJSON(t, "/snapshot", nil); status != 200 {
 		t.Fatalf("snapshot: %d %s", status, body)
 	}
@@ -300,6 +319,16 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 
 	replayAfter, frozen2 := p2.stream(t, "/udfs/smooth/stream?learn=false&seed=7", inputs)
 	assertContract(t, "frozen replay (after restart)", frozen2, len(inputs))
+
+	// The bounded-query surface replays byte-identically too.
+	status, queryAfter := p2.postJSON(t, "/v1/query", queryReq)
+	if status != 200 {
+		t.Fatalf("query after restart: %d %s", status, queryAfter)
+	}
+	if !bytes.Equal(queryBefore, queryAfter) {
+		t.Fatalf("bounded query not bit-identical across restart:\n%s\nvs\n%s",
+			queryBefore, queryAfter)
+	}
 
 	// The heart of the gate: the restored server replays the exact bytes.
 	if replayBefore != replayAfter {

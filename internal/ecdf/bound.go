@@ -17,6 +17,23 @@ type Envelope struct {
 	Upper *ECDF // Y′_L, from the upper envelope function f_L
 }
 
+// MeanBounds returns the range the output mean can take over functions
+// inside the confidence envelope. Because Lower's samples are pointwise ≤
+// Mean's ≤ Upper's, the mean of any enveloped function's output lies in
+// [Lower.Mean(), Upper.Mean()]. This is the value interval the uncertain
+// relational algebra (internal/query) ranks and aggregates on.
+func (e Envelope) MeanBounds() (lo, hi float64) {
+	return e.Lower.Mean(), e.Upper.Mean()
+}
+
+// QuantileBounds returns the range the output p-quantile can take over
+// functions inside the confidence envelope. F_S ≥ F̂ ≥ F_L pointwise implies
+// the inverse CDFs are ordered the other way, so the p-quantile of any
+// enveloped output lies in [Lower.Quantile(p), Upper.Quantile(p)].
+func (e Envelope) QuantileBounds(p float64) (lo, hi float64) {
+	return e.Lower.Quantile(p), e.Upper.Quantile(p)
+}
+
 // IntervalBounds returns the envelope bounds (ρ′_L, ρ̂′, ρ′_U) for the
 // probability that the output falls in [a, b] (Eqs. 3–4):
 //

@@ -1,0 +1,45 @@
+package ecdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStatBoundsBracketMean checks that MeanBounds and QuantileBounds are
+// ordered intervals that bracket the mean curve's statistic — the envelope
+// contract the bounded relational operators build on.
+func TestStatBoundsBracketMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		env := makeEnvelope(rng, 2+rng.Intn(40))
+		lo, hi := env.MeanBounds()
+		if !(lo <= hi) {
+			t.Fatalf("trial %d: mean bounds inverted [%g, %g]", trial, lo, hi)
+		}
+		if m := env.Mean.Mean(); m < lo || m > hi {
+			t.Fatalf("trial %d: mean %g outside [%g, %g]", trial, m, lo, hi)
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			qlo, qhi := env.QuantileBounds(p)
+			if !(qlo <= qhi) {
+				t.Fatalf("trial %d: q%.2f bounds inverted [%g, %g]", trial, p, qlo, qhi)
+			}
+			if q := env.Mean.Quantile(p); q < qlo || q > qhi {
+				t.Fatalf("trial %d: q%.2f = %g outside [%g, %g]", trial, p, q, qlo, qhi)
+			}
+		}
+	}
+}
+
+// TestStatBoundsDegenerate pins the exact-knowledge case: identical curves
+// yield zero-width intervals.
+func TestStatBoundsDegenerate(t *testing.T) {
+	e := New([]float64{1, 2, 3})
+	env := Envelope{Mean: e, Lower: e, Upper: e}
+	if lo, hi := env.MeanBounds(); lo != hi || lo != e.Mean() {
+		t.Fatalf("mean bounds [%g, %g], want both %g", lo, hi, e.Mean())
+	}
+	if lo, hi := env.QuantileBounds(0.5); lo != hi {
+		t.Fatalf("median bounds [%g, %g]", lo, hi)
+	}
+}

@@ -50,19 +50,10 @@ import (
 )
 
 // TupleSeed derives the deterministic RNG seed for the tuple at stream
-// ordinal seq from the pipeline's base seed, using the splitmix64 finalizer
-// so adjacent ordinals yield statistically independent streams. Exposed so
-// serial reference implementations (tests, benchmarks) can reproduce the
-// executor's sampling exactly.
-func TupleSeed(base, seq int64) int64 {
-	z := uint64(base) ^ (uint64(seq)+1)*0x9e3779b97f4a7c15
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
-}
+// ordinal seq from the pipeline's base seed. It is query.TupleSeed — the
+// one seeding discipline shared with the serial planner — re-exported at
+// its historical name for executor call sites.
+func TupleSeed(base, seq int64) int64 { return query.TupleSeed(base, seq) }
 
 // Pool is a set of per-worker engines sharing one trained model. Build one
 // with NewEvaluatorPool (frozen clones of a warmed-up OLGAPRO evaluator) or
@@ -104,7 +95,7 @@ func NewEvaluatorPool(ev *core.Evaluator, workers int) (*Pool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exec: worker %d: %w", i, err)
 		}
-		engines[i] = query.EvaluatorEngine{E: c}
+		engines[i] = query.NewEvaluatorEngine(c)
 	}
 	return &Pool{engines: engines}, nil
 }
@@ -131,6 +122,9 @@ type Options struct {
 	// Predicate, when non-nil, truncates surviving result distributions to
 	// [A, B] with the realized mass as TEP, exactly as query.ApplyUDF does.
 	Predicate *mc.Predicate
+	// KeepEnvelope retains each result's confidence envelope (see
+	// query.AttachResult) for downstream bounded operators.
+	KeepEnvelope bool
 }
 
 // Apply returns an order-preserving parallel equivalent of query.ApplyUDF:
@@ -260,7 +254,7 @@ func (p *ParallelEval) run() {
 					if !ok {
 						return
 					}
-					r := evalOne(eng, j, p.inputs, p.out, p.opt.Seed, p.opt.Predicate)
+					r := evalOne(eng, j, p.inputs, p.out, p.opt)
 					select {
 					case p.results <- r:
 					case <-p.ctx.Done():
@@ -277,8 +271,8 @@ func (p *ParallelEval) run() {
 }
 
 // evalOne evaluates one tuple with its own deterministically seeded RNG.
-func evalOne(eng query.Engine, j job, inputs []string, out string, seed int64, pred *mc.Predicate) result {
-	rng := rand.New(rand.NewSource(TupleSeed(seed, j.seq)))
+func evalOne(eng query.Engine, j job, inputs []string, out string, opt Options) result {
+	rng := rand.New(rand.NewSource(TupleSeed(opt.Seed, j.seq)))
 	input, err := query.InputVectorFor(j.tuple, inputs)
 	if err != nil {
 		return result{seq: j.seq, err: err}
@@ -287,7 +281,7 @@ func evalOne(eng query.Engine, j job, inputs []string, out string, seed int64, p
 	if err != nil {
 		return result{seq: j.seq, err: err}
 	}
-	return result{seq: j.seq, tuple: query.AttachResult(j.tuple, o, out, pred)}
+	return result{seq: j.seq, tuple: query.AttachResult(j.tuple, o, out, opt.Predicate, opt.KeepEnvelope)}
 }
 
 // Next returns the next surviving tuple in input order.

@@ -122,7 +122,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := query.EvaluatorEngine{E: serialClone}
+	eng := query.NewEvaluatorEngine(serialClone)
 	var serial []query.Value
 	for seq, tp := range tuples {
 		rng := rand.New(rand.NewSource(TupleSeed(seed, int64(seq))))
@@ -134,7 +134,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := query.AttachResult(tp, out, "y", nil)
+		res := query.AttachResult(tp, out, "y", nil, false)
 		if res == nil {
 			t.Fatalf("tuple %d unexpectedly filtered", seq)
 		}

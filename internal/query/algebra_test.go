@@ -1,0 +1,731 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"olgapro/internal/core"
+	"olgapro/internal/dist"
+	"olgapro/internal/ecdf"
+	"olgapro/internal/kernel"
+	"olgapro/internal/mc"
+	"olgapro/internal/udf"
+)
+
+// envResult builds a KindResult value whose envelope pins the statistic
+// interval to exactly [lo, hi] (degenerate one-sample CDFs), as AttachResult
+// with KeepEnvelope would. The bounds the operators see therefore come only
+// from the envelope, never from raw samples.
+func envResult(lo, hi float64) Value {
+	v := Result(ecdf.New([]float64{(lo + hi) / 2}), 0)
+	v.Out = &core.Output{Envelope: &ecdf.Envelope{
+		Mean:  ecdf.New([]float64{(lo + hi) / 2}),
+		Lower: ecdf.New([]float64{lo}),
+		Upper: ecdf.New([]float64{hi}),
+	}}
+	return v
+}
+
+// maybeResult is envResult for a TEP-filtered maybe-tuple: existence
+// probability bounded away from both 0 and 1.
+func maybeResult(lo, hi float64) Value {
+	v := envResult(lo, hi)
+	v.Out.TEPLower, v.Out.TEPUpper = 0.3, 0.8
+	v.TEP = 0.5
+	return v
+}
+
+func TestBoundedBasics(t *testing.T) {
+	b := Exact(2)
+	if !b.Certain || b.Lo != 2 || b.Hi != 2 || b.Width() != 0 {
+		t.Fatalf("Exact: %+v", b)
+	}
+	if b.String() != "=2" {
+		t.Errorf("Exact string: %q", b.String())
+	}
+	w := Bounded{Lo: 1, Hi: 3}
+	if w.Width() != 2 || !w.Contains(1) || !w.Contains(3) || w.Contains(3.5) {
+		t.Fatalf("interval ops: %+v", w)
+	}
+	if w.String() != "[1, 3]" {
+		t.Errorf("interval string: %q", w.String())
+	}
+	if s := (Bounded{Lo: 1, Hi: 1}).String(); s != "[1, 1]" {
+		t.Errorf("degenerate uncertain string: %q", s)
+	}
+}
+
+func TestStatValidation(t *testing.T) {
+	if err := MeanStat().validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuantileStat(0.9).validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuantileStat(1.5).validate(); err == nil {
+		t.Error("quantile level out of range should fail")
+	}
+	if err := (Stat{Kind: StatKind(9)}).validate(); err == nil {
+		t.Error("unknown stat kind should fail")
+	}
+	if MeanStat().String() != "mean" || QuantileStat(0.5).String() != "q0.50" {
+		t.Errorf("stat names: %s, %s", MeanStat(), QuantileStat(0.5))
+	}
+}
+
+func TestIntervalOf(t *testing.T) {
+	if b, err := IntervalOf(Float(3), MeanStat()); err != nil || b != Exact(3) {
+		t.Fatalf("float: %+v, %v", b, err)
+	}
+	if b, err := IntervalOf(Int(4), QuantileStat(0.5)); err != nil || b != Exact(4) {
+		t.Fatalf("int: %+v, %v", b, err)
+	}
+	want := Bounded{Lo: 1, Hi: 2}
+	if b, err := IntervalOf(BoundedVal(want), MeanStat()); err != nil || b != want {
+		t.Fatalf("bounded passthrough: %+v, %v", b, err)
+	}
+	u := Uncertain(dist.Normal{Mu: 5, Sigma: 1})
+	if b, err := IntervalOf(u, MeanStat()); err != nil || b != Exact(5) {
+		t.Fatalf("uncertain mean: %+v, %v", b, err)
+	}
+	if _, err := IntervalOf(u, QuantileStat(0.9)); err == nil {
+		t.Error("quantile of uncertain input should fail")
+	}
+	r := envResult(1, 3)
+	if b, err := IntervalOf(r, MeanStat()); err != nil || b.Lo != 1 || b.Hi != 3 || b.Certain {
+		t.Fatalf("result mean: %+v, %v", b, err)
+	}
+	if b, err := IntervalOf(r, QuantileStat(0.5)); err != nil || b.Lo != 1 || b.Hi != 3 {
+		t.Fatalf("result quantile: %+v, %v", b, err)
+	}
+	// Missing envelope must point at the fix, not just fail.
+	if _, err := IntervalOf(Result(ecdf.New([]float64{1}), 0), MeanStat()); err == nil ||
+		!strings.Contains(err.Error(), "KeepEnvelope") {
+		t.Errorf("envelope-less result error: %v", err)
+	}
+	if _, err := IntervalOf(Str("x"), MeanStat()); err == nil {
+		t.Error("string statistic should fail")
+	}
+	if _, err := IntervalOf(Float(1), QuantileStat(-1)); err == nil {
+		t.Error("invalid stat should fail before value dispatch")
+	}
+}
+
+func TestExistenceCertain(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Value
+		want bool
+	}{
+		{"certain float", Float(1), true},
+		{"no predicate ran", envResult(0, 1), true},
+		{"maybe", maybeResult(0, 1), false},
+		{"proved present", func() Value {
+			v := envResult(0, 1)
+			v.Out.TEPLower, v.Out.TEPUpper = 1, 1
+			v.TEP = 1
+			return v
+		}(), true},
+		{"bare result no TEP", Result(ecdf.New([]float64{1}), 0), true},
+		{"bare result sure TEP", Result(ecdf.New([]float64{1}), 1), true},
+		{"bare result maybe TEP", Result(ecdf.New([]float64{1}), 0.4), false},
+	}
+	for _, c := range cases {
+		if got := existenceCertain(c.v); got != c.want {
+			t.Errorf("%s: existenceCertain = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// --- Brute-force possible-worlds references ---
+//
+// A possible world of a set of aggItems picks, independently per item,
+// whether each maybe-item exists and which value in its interval it takes.
+// Every aggregate here is monotone in each included value, so the extreme
+// worlds sit at interval endpoints: enumerating {lo, hi} per item times
+// existence subsets covers the exact min and max of the aggregate.
+
+// worlds enumerates endpoint worlds of items and calls f with each realized
+// multiset of values.
+func worlds(items []aggItem, f func(vals []float64)) {
+	n := len(items)
+	vals := make([]float64, 0, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			f(vals)
+			return
+		}
+		choices := []float64{items[i].val.Lo, items[i].val.Hi}
+		if items[i].val.Lo == items[i].val.Hi {
+			choices = choices[:1]
+		}
+		for _, v := range choices {
+			vals = append(vals, v)
+			rec(i + 1)
+			vals = vals[:len(vals)-1]
+		}
+		if !items[i].sure { // world where the maybe-item is absent
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// refAggBounds is the brute-force [min, max] of the aggregate over endpoint
+// worlds; NaN bounds when no world yields an answer.
+func refAggBounds(kind AggKind, items []aggItem) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	any := false
+	worlds(items, func(vals []float64) {
+		var v float64
+		switch kind {
+		case AggCount:
+			v = float64(len(vals))
+		case AggSum:
+			for _, x := range vals {
+				v += x
+			}
+		case AggAvg, AggMin, AggMax:
+			if len(vals) == 0 {
+				return // conditional on a nonempty realized set
+			}
+			switch kind {
+			case AggAvg:
+				for _, x := range vals {
+					v += x
+				}
+				v /= float64(len(vals))
+			case AggMin:
+				v = math.Inf(1)
+				for _, x := range vals {
+					v = math.Min(v, x)
+				}
+			case AggMax:
+				v = math.Inf(-1)
+				for _, x := range vals {
+					v = math.Max(v, x)
+				}
+			}
+		}
+		any = true
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	})
+	if !any {
+		return math.NaN(), math.NaN()
+	}
+	return lo, hi
+}
+
+func randItems(rng *rand.Rand, n int) []aggItem {
+	items := make([]aggItem, n)
+	for i := range items {
+		// Small integer grid forces ties and sign changes.
+		a := float64(rng.Intn(9) - 4)
+		b := a + float64(rng.Intn(4))
+		items[i] = aggItem{val: Bounded{Lo: a, Hi: b, Certain: a == b}, sure: rng.Intn(2) == 0}
+	}
+	return items
+}
+
+func TestAggBoundsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	for trial := 0; trial < 300; trial++ {
+		items := randItems(rng, rng.Intn(6))
+		for _, kind := range kinds {
+			got := aggBounds(kind, items)
+			wantLo, wantHi := refAggBounds(kind, items)
+			if math.IsNaN(wantLo) {
+				if !math.IsNaN(got.Lo) || !math.IsNaN(got.Hi) {
+					t.Fatalf("trial %d %s: got %+v, want NaN bounds (items %+v)", trial, kind, got, items)
+				}
+				continue
+			}
+			if math.Abs(got.Lo-wantLo) > 1e-12 || math.Abs(got.Hi-wantHi) > 1e-12 {
+				t.Fatalf("trial %d %s: got [%g, %g], want [%g, %g] (items %+v)",
+					trial, kind, got.Lo, got.Hi, wantLo, wantHi, items)
+			}
+			if got.Certain != (got.Lo == got.Hi) {
+				t.Fatalf("trial %d %s: Certain flag %v for [%g, %g]", trial, kind, got.Certain, got.Lo, got.Hi)
+			}
+		}
+	}
+}
+
+// refTopK returns the top-k index set of one world: tuples ranked by value
+// descending, ties broken by smaller ordinal.
+func refTopK(vals []float64, ords []int64, k int) map[int64]int {
+	type entry struct {
+		v   float64
+		ord int64
+	}
+	entries := make([]entry, len(vals))
+	for i := range vals {
+		entries[i] = entry{vals[i], ords[i]}
+	}
+	for i := 0; i < len(entries); i++ { // tiny n: selection sort is clearest
+		best := i
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].v > entries[best].v ||
+				(entries[j].v == entries[best].v && entries[j].ord < entries[best].ord) {
+				best = j
+			}
+		}
+		entries[i], entries[best] = entries[best], entries[i]
+	}
+	if k > len(entries) {
+		k = len(entries)
+	}
+	ranks := map[int64]int{}
+	for i := 0; i < k; i++ {
+		ranks[entries[i].ord] = i + 1
+	}
+	return ranks
+}
+
+// topKWorlds enumerates endpoint worlds of the rank keys: per tuple, an
+// endpoint value plus (for maybe-tuples) absence.
+func topKWorlds(keys []rankKey, f func(vals []float64, ords []int64)) {
+	var vals []float64
+	var ords []int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(keys) {
+			f(vals, ords)
+			return
+		}
+		choices := []float64{keys[i].lo, keys[i].hi}
+		if keys[i].lo == keys[i].hi {
+			choices = choices[:1]
+		}
+		for _, v := range choices {
+			vals = append(vals, v)
+			ords = append(ords, keys[i].ord)
+			rec(i + 1)
+			vals, ords = vals[:len(vals)-1], ords[:len(ords)-1]
+		}
+		if !keys[i].sure {
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestTopKContainmentBruteForce is the possible-worlds property test for
+// ranking: in every endpoint world, certain members ⊆ the world's true
+// top-k ⊆ possible members, and each present tuple's true rank falls inside
+// its emitted [best, worst] interval.
+func TestTopKContainmentBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 250; trial++ {
+		n := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(n)
+		desc := rng.Intn(2) == 0
+		tuples := make([]*Tuple, n)
+		keys := make([]rankKey, n)
+		for i := range tuples {
+			a := float64(rng.Intn(7) - 3)
+			b := a + float64(rng.Intn(3))
+			sure := rng.Intn(3) > 0
+			v := envResult(a, b)
+			if !sure {
+				v = maybeResult(a, b)
+			}
+			tuples[i] = MustTuple([]string{"id", "y"}, []Value{Int(int64(i)), v})
+			keys[i] = rankKey{lo: a, hi: b, ord: int64(i), sure: sure}
+			if !desc {
+				keys[i].lo, keys[i].hi = -b, -a
+			}
+		}
+
+		out, err := Drain(NewTopK(NewScan(tuples), RankSpec{By: "y", K: k, Desc: desc}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		possible := map[int64]Bounded{}
+		certain := map[int64]bool{}
+		for _, tp := range out {
+			ord := tp.MustGet("id").I
+			b := tp.MustGet("rank").B
+			possible[ord] = b
+			if b.Certain {
+				certain[ord] = true
+			}
+		}
+
+		topKWorlds(keys, func(vals []float64, ords []int64) {
+			truth := refTopK(vals, ords, k)
+			for ord, rank := range truth {
+				b, ok := possible[ord]
+				if !ok {
+					t.Fatalf("trial %d (k=%d desc=%v): world member %d missing from possible set %v (keys %+v)",
+						trial, k, desc, ord, possible, keys)
+				}
+				if float64(rank) < b.Lo || float64(rank) > b.Hi {
+					t.Fatalf("trial %d: tuple %d world rank %d outside bounds %v (keys %+v)",
+						trial, ord, rank, b, keys)
+				}
+			}
+			for ord := range certain {
+				present := false
+				for _, o := range ords {
+					if o == ord {
+						present = true
+						break
+					}
+				}
+				if !present {
+					return // certain member is a sure tuple; absent only in impossible worlds
+				}
+				if _, ok := truth[ord]; !ok {
+					t.Fatalf("trial %d (k=%d desc=%v): certain member %d outside world top-k %v (world %v %v, keys %+v)",
+						trial, k, desc, ord, truth, vals, ords, keys)
+				}
+			}
+		})
+	}
+}
+
+func TestTopKCertainInput(t *testing.T) {
+	rel := []*Tuple{
+		MustTuple([]string{"id", "v"}, []Value{Int(0), Float(10)}),
+		MustTuple([]string{"id", "v"}, []Value{Int(1), Float(30)}),
+		MustTuple([]string{"id", "v"}, []Value{Int(2), Float(20)}),
+	}
+	out, err := Drain(NewTopK(NewScan(rel), RankSpec{By: "v", K: 2, Desc: true, As: "r"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("certain top-2 emitted %d tuples", len(out))
+	}
+	if out[0].MustGet("id").I != 1 || out[1].MustGet("id").I != 2 {
+		t.Fatalf("order: %v", out)
+	}
+	for i, tp := range out {
+		b := tp.MustGet("r").B
+		if !b.Certain || b.Lo != float64(i+1) || b.Hi != float64(i+1) {
+			t.Fatalf("rank %d: %+v", i, b)
+		}
+	}
+	// K ≤ 0 ranks everything (OrderBy), ascending.
+	all, err := Drain(NewTopK(NewScan(rel), RankSpec{By: "v"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].MustGet("id").I != 0 || all[2].MustGet("id").I != 1 {
+		t.Fatalf("order-by asc: %v", all)
+	}
+}
+
+func windowTuples(items []aggItem) []*Tuple {
+	out := make([]*Tuple, len(items))
+	for i, it := range items {
+		v := envResult(it.val.Lo, it.val.Hi)
+		if !it.sure {
+			v = maybeResult(it.val.Lo, it.val.Hi)
+		}
+		out[i] = MustTuple([]string{"y"}, []Value{v})
+	}
+	return out
+}
+
+func TestWindowMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	aggs := []Agg{Count(), Sum("y"), Avg("y"), Min("y"), Max("y")}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		size := 1 + rng.Intn(4)
+		step := 1 + rng.Intn(3)
+		items := randItems(rng, n)
+		it := NewWindow(NewScan(windowTuples(items)), WindowSpec{Size: size, Step: step, Aggs: aggs})
+		out, err := Drain(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantWindows int
+		if n >= size {
+			wantWindows = (n-size)/step + 1
+		}
+		if len(out) != wantWindows {
+			t.Fatalf("trial %d: %d windows, want %d (n=%d size=%d step=%d)", trial, len(out), wantWindows, n, size, step)
+		}
+		for w, tp := range out {
+			start := w * step
+			if tp.MustGet("win_start").I != int64(start) || tp.MustGet("win_end").I != int64(start+size) {
+				t.Fatalf("trial %d window %d: position [%v, %v), want [%d, %d)", trial, w,
+					tp.MustGet("win_start").I, tp.MustGet("win_end").I, start, start+size)
+			}
+			slice := items[start : start+size]
+			for _, agg := range aggs {
+				got := tp.MustGet(agg.name()).B
+				wantLo, wantHi := refAggBounds(agg.Kind, slice)
+				if math.Abs(got.Lo-wantLo) > 1e-12 || math.Abs(got.Hi-wantHi) > 1e-12 {
+					t.Fatalf("trial %d window %d %s: got [%g, %g], want [%g, %g]",
+						trial, w, agg.name(), got.Lo, got.Hi, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupByMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	aggs := []Agg{Count(), Sum("y"), Avg("y"), Min("y"), Max("y")}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		items := randItems(rng, n)
+		labels := make([]string, n)
+		byGroup := map[string][]aggItem{}
+		var rel []*Tuple
+		for i, tp := range windowTuples(items) {
+			labels[i] = fmt.Sprintf("g%d", rng.Intn(3))
+			byGroup[labels[i]] = append(byGroup[labels[i]], items[i])
+			rel = append(rel, tp.With("g", Str(labels[i])))
+		}
+		out, err := Drain(NewGroupBy(NewScan(rel), GroupBySpec{Keys: []string{"g"}, Aggs: aggs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(byGroup) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(out), len(byGroup))
+		}
+		seen := map[string]bool{}
+		for _, tp := range out {
+			g := tp.MustGet("g").S
+			if seen[g] {
+				t.Fatalf("trial %d: duplicate group %q", trial, g)
+			}
+			seen[g] = true
+			for _, agg := range aggs {
+				got := tp.MustGet(agg.name()).B
+				wantLo, wantHi := refAggBounds(agg.Kind, byGroup[g])
+				if math.Abs(got.Lo-wantLo) > 1e-12 || math.Abs(got.Hi-wantHi) > 1e-12 {
+					t.Fatalf("trial %d group %q %s: got [%g, %g], want [%g, %g]",
+						trial, g, agg.name(), got.Lo, got.Hi, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupByFirstSeenOrderAndKeyKinds(t *testing.T) {
+	rel := []*Tuple{
+		MustTuple([]string{"g", "i", "y"}, []Value{Str("b"), Int(1), Float(1)}),
+		MustTuple([]string{"g", "i", "y"}, []Value{Str("a"), Int(2), Float(2)}),
+		MustTuple([]string{"g", "i", "y"}, []Value{Str("b"), Int(1), Float(3)}),
+	}
+	out, err := Drain(NewGroupBy(NewScan(rel), GroupBySpec{Keys: []string{"g", "i"}, Aggs: []Agg{Count()}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].MustGet("g").S != "b" || out[1].MustGet("g").S != "a" {
+		t.Fatalf("first-seen order: %v", out)
+	}
+	if b := out[0].MustGet("count").B; b != Exact(2) {
+		t.Fatalf("count: %+v", b)
+	}
+	// Uncertain grouping keys are out of scope and must fail loudly.
+	bad := []*Tuple{MustTuple([]string{"g", "y"}, []Value{Uncertain(dist.Normal{Mu: 0, Sigma: 1}), Float(1)})}
+	_, err = Drain(NewGroupBy(NewScan(bad), GroupBySpec{Keys: []string{"g"}, Aggs: []Agg{Count()}}))
+	if err == nil || !strings.Contains(err.Error(), "group-by") {
+		t.Fatalf("uncertain key error: %v", err)
+	}
+}
+
+// --- Error convention (PR 3 rule) for the bounded operators ---
+
+// errAfter yields n good tuples, then a fixed error forever.
+type errAfter struct {
+	n   int
+	err error
+	pos int
+}
+
+func (e *errAfter) Next() (*Tuple, error) {
+	if e.pos < e.n {
+		e.pos++
+		return MustTuple([]string{"y"}, []Value{Float(float64(e.pos))}), nil
+	}
+	return nil, e.err
+}
+
+func TestBoundedOperatorsErrorConvention(t *testing.T) {
+	upstream := errors.New("upstream exploded")
+	cases := []struct {
+		name  string
+		build func(in Iterator) Iterator
+		// 0-based ordinal the operator reports for the offending tuple; the
+		// blocking window reports its consumption position (tuples buffered).
+		ordinal int
+	}{
+		{"top-k", func(in Iterator) Iterator { return NewTopK(in, RankSpec{By: "y"}) }, 1},
+		{"window", func(in Iterator) Iterator {
+			return NewWindow(in, WindowSpec{Size: 2, Aggs: []Agg{Sum("y")}})
+		}, 2},
+		{"group-by", func(in Iterator) Iterator {
+			return NewGroupBy(in, GroupBySpec{Keys: []string{"y"}, Aggs: []Agg{Count()}})
+		}, 1},
+	}
+	for _, c := range cases {
+		// Upstream errors propagate unmodified and stick. The streaming
+		// window may emit complete windows first; drain to the error.
+		it := c.build(&errAfter{n: 3, err: upstream})
+		var err error
+		for err == nil {
+			_, err = it.Next()
+		}
+		if !errors.Is(err, upstream) || err.Error() != upstream.Error() {
+			t.Fatalf("%s: upstream error modified: %v", c.name, err)
+		}
+		if _, err2 := it.Next(); err2 != err {
+			t.Fatalf("%s: error not sticky: %v then %v", c.name, err, err2)
+		}
+
+		// The operator's own failure is wrapped exactly once, with the
+		// operator name and tuple ordinal.
+		bad := []*Tuple{
+			MustTuple([]string{"y"}, []Value{Float(1)}),
+			MustTuple([]string{"z"}, []Value{Float(2)}), // missing "y"
+		}
+		it = c.build(NewScan(bad))
+		var ferr error
+		for ferr == nil {
+			_, ferr = it.Next()
+		}
+		if ferr == io.EOF {
+			t.Fatalf("%s: bad input drained without error", c.name)
+		}
+		// Wrapped exactly once: one "tuple #" marker, added by this operator.
+		// (The inner cause may carry its own package prefix, e.g. Tuple.Get.)
+		prefix := fmt.Sprintf("query: %s: tuple #%d: ", c.name, c.ordinal)
+		if !strings.HasPrefix(ferr.Error(), prefix) || strings.Count(ferr.Error(), "tuple #") != 1 {
+			t.Fatalf("%s: wrapping %q, want single %q prefix", c.name, ferr, prefix)
+		}
+		if _, again := it.Next(); again != ferr {
+			t.Fatalf("%s: own failure not sticky", c.name)
+		}
+	}
+}
+
+func TestWindowSpecValidation(t *testing.T) {
+	in := NewScan(nil)
+	if _, err := Drain(NewWindow(in, WindowSpec{Size: 0, Aggs: []Agg{Count()}})); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := Drain(NewWindow(in, WindowSpec{Size: 2})); err == nil {
+		t.Error("no aggregates should fail")
+	}
+	dup := WindowSpec{Size: 2, Aggs: []Agg{Count(), Sum("y").Named("count")}}
+	if _, err := Drain(NewWindow(in, dup)); err == nil {
+		t.Error("duplicate output names should fail")
+	}
+	reserved := WindowSpec{Size: 2, Aggs: []Agg{Sum("y").Named("win_start")}}
+	if _, err := Drain(NewWindow(in, reserved)); err == nil {
+		t.Error("reserved output name should fail")
+	}
+}
+
+func TestAggDefaults(t *testing.T) {
+	if Count().name() != "count" || Sum("y").name() != "sum_y" || Avg("y").Named("a").name() != "a" {
+		t.Error("agg naming defaults")
+	}
+	if err := (Agg{Kind: AggSum}).validate(); err == nil {
+		t.Error("sum without attribute should fail")
+	}
+	if err := (Agg{Kind: AggKind(9)}).validate(); err == nil {
+		t.Error("unknown aggregate kind should fail")
+	}
+	if got := Max("y").WithStat(QuantileStat(0.9)).Stat; got != QuantileStat(0.9) {
+		t.Errorf("WithStat: %+v", got)
+	}
+}
+
+func TestPlanEndToEnd(t *testing.T) {
+	rel := make([]*Tuple, 8)
+	for i := range rel {
+		rel[i] = MustTuple([]string{"id", "x0"},
+			[]Value{Int(int64(i)), Uncertain(dist.Normal{Mu: float64(i), Sigma: 0.05})})
+	}
+	identity := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
+	eval, err := core.NewEvaluator(identity, core.Config{Kernel: kernel.NewSqExp(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := From(rel).
+		Where(func(t *Tuple) (bool, error) { return t.MustGet("id").I != 0, nil }).
+		Apply(NewEvaluatorEngine(eval), ApplySpec{Inputs: []string{"x0"}, As: "y", Seed: 5, KeepEnvelope: true}).
+		TopK(RankSpec{By: "y", K: 3, Desc: true}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 3 {
+		t.Fatalf("top-3 emitted %d tuples", len(out))
+	}
+	// The best possible member must be the largest input (id 7) with a rank
+	// interval starting at 1.
+	if out[0].MustGet("id").I != 7 || out[0].MustGet("rank").B.Lo != 1 {
+		t.Fatalf("head of ranking: %v", out[0])
+	}
+	// Apply is serial but per-tuple-seeded: rerunning the plan is
+	// bit-identical.
+	again, err := From(rel).
+		Where(func(t *Tuple) (bool, error) { return t.MustGet("id").I != 0, nil }).
+		Apply(NewEvaluatorEngine(eval), ApplySpec{Inputs: []string{"x0"}, As: "y", Seed: 5, KeepEnvelope: true}).
+		TopK(RankSpec{By: "y", K: 3, Desc: true}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(out) {
+		t.Fatalf("replay size %d vs %d", len(again), len(out))
+	}
+	for i := range out {
+		a, b := out[i], again[i]
+		if a.MustGet("id").I != b.MustGet("id").I || a.MustGet("rank").B != b.MustGet("rank").B {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPlanBuilderErrors(t *testing.T) {
+	identity := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
+	eng := NewMCEngine(identity, mc.Config{Eps: 0.2, Delta: 0.2})
+	cases := map[string]*Plan{
+		"nil iterator":     FromIterator(nil),
+		"nil where":        From(nil).Where(nil),
+		"empty projection": From(nil).Project(),
+		"nil engine":       From(nil).Apply(nil, ApplySpec{Inputs: []string{"x"}, As: "y"}),
+		"apply no inputs":  From(nil).Apply(eng, ApplySpec{As: "y"}),
+		"topk no by":       From(nil).TopK(RankSpec{K: 1}),
+		"nil pipe":         From(nil).Pipe(nil),
+		"pipe nil result":  From(nil).Pipe(func(Iterator) Iterator { return nil }),
+	}
+	for name, p := range cases {
+		if _, err := p.Run(); err == nil {
+			t.Errorf("%s: expected construction error", name)
+		}
+		// Construction errors are retained: later stages don't panic.
+		if _, err := p.Project("x").Run(); err == nil {
+			t.Errorf("%s: error not retained through later stages", name)
+		}
+	}
+
+	// MC results carry no envelope, so ranking on them must fail with the
+	// KeepEnvelope hint at run time.
+	rel := []*Tuple{MustTuple([]string{"x0"}, []Value{Uncertain(dist.Normal{Mu: 1, Sigma: 0.1})})}
+	_, err := From(rel).
+		Apply(eng, ApplySpec{Inputs: []string{"x0"}, As: "y", Seed: 1, KeepEnvelope: true}).
+		OrderBy("y", true).
+		Run()
+	if err == nil || !strings.Contains(err.Error(), "KeepEnvelope") {
+		t.Fatalf("ranking on MC result: %v", err)
+	}
+}

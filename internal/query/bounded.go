@@ -1,0 +1,153 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounded is a [certain, possible] interval answer in the style of
+// range-annotated values (AU-DBs): the true answer — under every possible
+// world consistent with the inputs' uncertainty — lies in [Lo, Hi].
+// Certain records whether the interval is tight enough to pin the answer
+// exactly; for TopK rank attributes it instead records certain *membership*
+// in the answer set (the rank itself may still be a nondegenerate interval).
+type Bounded struct {
+	Lo, Hi  float64
+	Certain bool
+}
+
+// Exact wraps a certainly known value.
+func Exact(v float64) Bounded { return Bounded{Lo: v, Hi: v, Certain: true} }
+
+// Width returns Hi − Lo.
+func (b Bounded) Width() float64 { return b.Hi - b.Lo }
+
+// Contains reports whether x lies in [Lo, Hi].
+func (b Bounded) Contains(x float64) bool { return b.Lo <= x && x <= b.Hi }
+
+// String renders the interval compactly.
+func (b Bounded) String() string {
+	if b.Lo == b.Hi {
+		if b.Certain {
+			return fmt.Sprintf("=%g", b.Lo)
+		}
+		return fmt.Sprintf("[%g, %g]", b.Lo, b.Hi)
+	}
+	return fmt.Sprintf("[%g, %g]", b.Lo, b.Hi)
+}
+
+// StatKind selects the summary statistic a rank or aggregate operator
+// extracts from an uncertain value.
+type StatKind int
+
+const (
+	// StatMean ranks/aggregates on the output mean.
+	StatMean StatKind = iota
+	// StatQuantile ranks/aggregates on the output p-quantile.
+	StatQuantile
+)
+
+// Stat is a summary statistic over an uncertain value: the quantity whose
+// [certain, possible] interval IntervalOf derives from the lower/upper
+// confidence envelopes. The zero value is StatMean.
+type Stat struct {
+	Kind StatKind
+	P    float64 // quantile level, for StatQuantile
+}
+
+// MeanStat is the mean statistic.
+func MeanStat() Stat { return Stat{Kind: StatMean} }
+
+// QuantileStat is the p-quantile statistic.
+func QuantileStat(p float64) Stat { return Stat{Kind: StatQuantile, P: p} }
+
+func (s Stat) validate() error {
+	switch s.Kind {
+	case StatMean:
+		return nil
+	case StatQuantile:
+		if !(s.P >= 0 && s.P <= 1) {
+			return fmt.Errorf("quantile level %g outside [0, 1]", s.P)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown statistic kind %d", int(s.Kind))
+	}
+}
+
+// String names the statistic ("mean", "q0.50").
+func (s Stat) String() string {
+	if s.Kind == StatQuantile {
+		return fmt.Sprintf("q%.2f", s.P)
+	}
+	return "mean"
+}
+
+// IntervalOf derives the [certain, possible] interval of the statistic of
+// one attribute value. The bounds come exclusively from the lower/upper
+// confidence envelopes (never from raw output samples):
+//
+//   - certain numerics are exact points;
+//   - a Bounded value is already an interval;
+//   - an uncertain input attribute's mean is known exactly from its
+//     distribution (only UDF outputs carry emulator uncertainty);
+//   - a UDF result uses ecdf.Envelope.MeanBounds / QuantileBounds, so it
+//     needs the envelope retained — evaluate with KeepEnvelope set (see
+//     ApplyUDF / exec.Options), otherwise IntervalOf reports how to fix the
+//     plan. MC-only results have no envelope and are rejected for the same
+//     reason: their samples carry no per-function bound.
+func IntervalOf(v Value, s Stat) (Bounded, error) {
+	if err := s.validate(); err != nil {
+		return Bounded{}, err
+	}
+	switch v.Kind {
+	case KindFloat:
+		return Exact(v.F), nil
+	case KindInt:
+		return Exact(float64(v.I)), nil
+	case KindBounded:
+		return v.B, nil
+	case KindUncertain:
+		if s.Kind != StatMean {
+			return Bounded{}, fmt.Errorf("statistic %s unsupported on uncertain input attributes (only mean)", s)
+		}
+		return Exact(v.D.Mean()), nil
+	case KindResult:
+		if v.Out == nil || v.Out.Envelope == nil {
+			return Bounded{}, fmt.Errorf("result value carries no confidence envelope; evaluate with KeepEnvelope to rank or aggregate on it")
+		}
+		env := v.Out.Envelope
+		var lo, hi float64
+		switch s.Kind {
+		case StatMean:
+			lo, hi = env.MeanBounds()
+		default:
+			lo, hi = env.QuantileBounds(s.P)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return Bounded{}, fmt.Errorf("envelope %s bounds are NaN", s)
+		}
+		return Bounded{Lo: lo, Hi: hi, Certain: lo == hi}, nil
+	default:
+		return Bounded{}, fmt.Errorf("cannot take %s of a %s value", s, v.Kind)
+	}
+}
+
+// existenceCertain reports whether a value's tuple certainly exists in
+// every possible world. Non-result values always do. A result value is a
+// maybe-tuple only when a TEP predicate was applied and its envelope lower
+// bound on the existence probability is below 1; AttachResult leaves
+// TEPLower/TEPUpper/TEP all zero when no predicate ran, which is the
+// certain-existence sentinel here.
+func existenceCertain(v Value) bool {
+	if v.Kind != KindResult {
+		return true
+	}
+	if v.Out != nil {
+		if v.Out.TEPLower >= 1 {
+			return true
+		}
+		return v.Out.TEPLower == 0 && v.Out.TEPUpper == 0 && v.TEP == 0
+	}
+	return v.TEP == 0 || v.TEP >= 1
+}

@@ -1,0 +1,178 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// GroupBySpec configures a grouped aggregation.
+type GroupBySpec struct {
+	// Keys name the grouping attributes; they must hold certain values
+	// (int, float, or string) — grouping on uncertain keys is out of scope.
+	Keys []string
+	// Aggs are the aggregate columns computed per group.
+	Aggs []Agg
+}
+
+func (s GroupBySpec) validate() error {
+	if len(s.Keys) == 0 {
+		return fmt.Errorf("group-by needs at least one key")
+	}
+	if len(s.Aggs) == 0 {
+		return fmt.Errorf("group-by needs at least one aggregate")
+	}
+	seen := map[string]bool{}
+	for _, k := range s.Keys {
+		if seen[k] {
+			return fmt.Errorf("duplicate group-by key %q", k)
+		}
+		seen[k] = true
+	}
+	for _, a := range s.Aggs {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		if seen[a.name()] {
+			return fmt.Errorf("duplicate group-by output attribute %q", a.name())
+		}
+		seen[a.name()] = true
+	}
+	return nil
+}
+
+// GroupBy is the grouped bounded-aggregate operator: input tuples are
+// partitioned by their certain key attributes, and each group emits one
+// fresh tuple holding the keys plus one Bounded attribute per aggregate —
+// the [certain, possible] interval of the aggregate over every possible
+// world of the group's tuples (see aggBounds). A TEP-filtered maybe-tuple
+// is a maybe-member of its group, so counts get [certain, possible] bounds
+// and value aggregates are conditional on the group being realized
+// nonempty. GroupBy is blocking; output order is deterministic — ascending
+// by the groups' first-seen input ordinal — and the operator follows the
+// package error convention.
+type GroupBy struct {
+	In   Iterator
+	Spec GroupBySpec
+
+	state   opErr
+	started bool
+	out     []*Tuple
+	pos     int
+}
+
+// NewGroupBy builds the operator.
+func NewGroupBy(in Iterator, spec GroupBySpec) *GroupBy {
+	return &GroupBy{In: in, Spec: spec}
+}
+
+// Next returns the next group's aggregate tuple.
+func (g *GroupBy) Next() (*Tuple, error) {
+	if err := g.state.sticky(); err != nil {
+		return nil, err
+	}
+	if !g.started {
+		g.started = true
+		if err := g.build(); err != nil {
+			return nil, err
+		}
+	}
+	if g.pos >= len(g.out) {
+		return nil, g.state.upstream(io.EOF)
+	}
+	t := g.out[g.pos]
+	g.pos++
+	return t, nil
+}
+
+// build drains the input, partitions, and aggregates.
+func (g *GroupBy) build() error {
+	if err := g.Spec.validate(); err != nil {
+		return g.state.fail("group-by", err)
+	}
+	type group struct {
+		keyVals []Value
+		tuples  []*Tuple
+	}
+	groups := map[string]*group{}
+	var order []string // group keys in first-seen order
+	for {
+		t, err := g.In.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return g.state.upstream(err)
+		}
+		key, keyVals, err := groupKey(t, g.Spec.Keys)
+		if err != nil {
+			return g.state.fail("group-by", err)
+		}
+		gr, ok := groups[key]
+		if !ok {
+			gr = &group{keyVals: keyVals}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		gr.tuples = append(gr.tuples, t)
+		g.state.seq++
+	}
+	for _, key := range order {
+		gr := groups[key]
+		names := make([]string, 0, len(g.Spec.Keys)+len(g.Spec.Aggs))
+		vals := make([]Value, 0, len(g.Spec.Keys)+len(g.Spec.Aggs))
+		names = append(names, g.Spec.Keys...)
+		vals = append(vals, gr.keyVals...)
+		items := make([]aggItem, len(gr.tuples))
+		for _, agg := range g.Spec.Aggs {
+			for i, t := range gr.tuples {
+				it, err := itemOf(t, agg)
+				if err != nil {
+					return g.state.fail("group-by", fmt.Errorf("group %s: %w", key, err))
+				}
+				items[i] = it
+			}
+			names = append(names, agg.name())
+			vals = append(vals, BoundedVal(aggBounds(agg.Kind, items)))
+		}
+		t, err := NewTuple(names, vals)
+		if err != nil {
+			return g.state.fail("group-by", err)
+		}
+		g.out = append(g.out, t)
+	}
+	return nil
+}
+
+// groupKey encodes the certain key attributes of t into a collision-free
+// string and returns the key values for the output tuple.
+func groupKey(t *Tuple, keys []string) (string, []Value, error) {
+	var sb strings.Builder
+	vals := make([]Value, len(keys))
+	for i, name := range keys {
+		v, err := t.Get(name)
+		if err != nil {
+			return "", nil, err
+		}
+		vals[i] = v
+		switch v.Kind {
+		case KindInt:
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(v.I, 10))
+		case KindFloat:
+			sb.WriteByte('f')
+			sb.WriteString(strconv.FormatUint(math.Float64bits(v.F), 16))
+		case KindString:
+			sb.WriteByte('s')
+			sb.WriteString(strconv.Itoa(len(v.S)))
+			sb.WriteByte(':')
+			sb.WriteString(v.S)
+		default:
+			return "", nil, fmt.Errorf("key %q has kind %s, want a certain value", name, v.Kind)
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String(), vals, nil
+}

@@ -8,7 +8,6 @@ import (
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
 	"olgapro/internal/mc"
-	"olgapro/internal/udf"
 )
 
 // Iterator is the Volcano-model pull interface. Next returns io.EOF after
@@ -25,7 +24,10 @@ type Iterator interface {
 	Next() (*Tuple, error)
 }
 
-// Drain pulls every tuple from it.
+// Drain pulls every tuple from it until io.EOF. On error the partial
+// prefix is discarded: Drain returns (nil, err) with the first error in
+// stream order, already wrapped once at its source per the Iterator error
+// convention — Drain itself adds no wrapping.
 func Drain(it Iterator) ([]*Tuple, error) {
 	var out []*Tuple
 	for {
@@ -204,61 +206,6 @@ func (c *CrossJoin) Next() (*Tuple, error) {
 
 // --- UDF application ---
 
-// Engine evaluates a UDF on one uncertain input vector; implemented by
-// *core.Evaluator, MCEngine, and HybridEngine. Every Output carries
-// Output.Engine, stamped at the producing engine, so routing decisions
-// survive into query results.
-type Engine interface {
-	EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error)
-}
-
-// EvaluatorEngine adapts *core.Evaluator to the Engine interface.
-type EvaluatorEngine struct{ E *core.Evaluator }
-
-// EvalInput runs OLGAPRO on the input.
-func (e EvaluatorEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
-	return e.E.Eval(input, rng)
-}
-
-// MCEngine evaluates UDFs with direct Monte-Carlo simulation.
-type MCEngine struct {
-	F   udf.Func
-	Cfg mc.Config
-}
-
-// EvalInput runs Algorithm 1 on the input.
-func (e MCEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
-	res, err := mc.Evaluate(e.F, input, e.Cfg, rng)
-	if err != nil {
-		return nil, err
-	}
-	return &core.Output{
-		Dist:      res.Dist,
-		Bound:     e.Cfg.Eps,
-		BoundMC:   e.Cfg.Eps,
-		Samples:   res.Samples,
-		UDFCalls:  res.UDFCalls,
-		Filtered:  res.Filtered,
-		TEPLower:  res.TEP,
-		TEPUpper:  res.TEP,
-		MetBudget: true,
-		Engine:    core.EngineMC,
-	}, nil
-}
-
-// HybridEngine adapts *core.Hybrid to the Engine interface. The engine the
-// hybrid routed each input to is recorded on Output.Engine rather than
-// discarded, so callers can audit the routing decisions.
-type HybridEngine struct{ H *core.Hybrid }
-
-// EvalInput routes the input through the hybrid chooser.
-func (e HybridEngine) EvalInput(input dist.Vector, rng *rand.Rand) (*core.Output, error) {
-	out, _, err := e.H.Eval(input, rng)
-	// The routed engine is not discarded: Hybrid.Eval stamps it on
-	// out.Engine for both paths.
-	return out, err
-}
-
 // ApplyUDF evaluates a UDF over the named input attributes of each tuple and
 // appends the output distribution as a new attribute. Tuples the engine
 // filters (predicate TEP below threshold) are dropped from the stream —
@@ -277,13 +224,23 @@ type ApplyUDF struct {
 	Out string
 	// Engine evaluates the UDF.
 	Engine Engine
-	// Rng drives sampling.
+	// Rng drives sampling when SeedPerTuple is false.
 	Rng *rand.Rand
+	// SeedPerTuple switches sampling to the parallel executor's seeding
+	// discipline: each input tuple is evaluated with a fresh rand.Rand
+	// seeded by TupleSeed(Seed, ordinal), so a serial plan reproduces
+	// exec.Pool output bit-for-bit at any worker count.
+	SeedPerTuple bool
+	// Seed is the base of the per-tuple seeds when SeedPerTuple is set.
+	Seed int64
 	// Predicate, when non-nil, truncates surviving result distributions to
 	// [A, B]. It should match the predicate configured on the engine (the
 	// engine's own predicate drives the drop decision; this one drives the
 	// truncation of kept tuples).
 	Predicate *mc.Predicate
+	// KeepEnvelope retains Out.Envelope on attached results, which the
+	// bounded operators (TopK/Window/GroupBy) require to derive intervals.
+	KeepEnvelope bool
 
 	// Dropped counts tuples removed by filtering.
 	Dropped int
@@ -305,12 +262,16 @@ func (a *ApplyUDF) Next() (*Tuple, error) {
 		if err != nil {
 			return nil, a.state.fail(fmt.Sprintf("apply %q", a.Out), err)
 		}
-		out, err := a.Engine.EvalInput(input, a.Rng)
+		rng := a.Rng
+		if a.SeedPerTuple {
+			rng = rand.New(rand.NewSource(TupleSeed(a.Seed, a.state.seq)))
+		}
+		out, err := a.Engine.EvalInput(input, rng)
 		if err != nil {
 			return nil, a.state.fail(fmt.Sprintf("apply %q", a.Out), err)
 		}
 		a.state.seq++
-		result := AttachResult(t, out, a.Out, a.Predicate)
+		result := AttachResult(t, out, a.Out, a.Predicate, a.KeepEnvelope)
 		if result == nil {
 			a.Dropped++
 			continue
@@ -352,7 +313,16 @@ func InputVectorFor(t *Tuple, inputs []string) (dist.Vector, error) {
 // below θ also drops the tuple, for consistency with the engine's own
 // filtering. Shared by ApplyUDF and the parallel executor so serial and
 // parallel plans agree tuple-for-tuple.
-func AttachResult(t *Tuple, out *core.Output, name string, pred *mc.Predicate) *Tuple {
+//
+// keepEnvelope retains Out.Envelope on the attached value. By default the
+// envelope is stripped — a materialized relation of result tuples would
+// otherwise retain ~3× the distribution memory for fields only the bound
+// computation needed — but the bounded operators (TopK/Window/GroupBy)
+// derive their intervals from it, so plans feeding those must keep it.
+// Under a predicate the retained envelope stays the untruncated one: the
+// enveloped statistic bounds it yields are computed before conditioning,
+// which keeps them sound for every function in the envelope.
+func AttachResult(t *Tuple, out *core.Output, name string, pred *mc.Predicate, keepEnvelope bool) *Tuple {
 	if out.Filtered {
 		return nil
 	}
@@ -366,11 +336,10 @@ func AttachResult(t *Tuple, out *core.Output, name string, pred *mc.Predicate) *
 		d, tep = truncated, mass
 	}
 	v := Result(d, tep)
-	// Carry the engine metadata, but not the full three-CDF envelope: a
-	// materialized relation of result tuples would otherwise retain ~3× the
-	// distribution memory for fields only the bound computation needed.
 	meta := *out
-	meta.Envelope = nil
+	if !keepEnvelope {
+		meta.Envelope = nil
+	}
 	v.Out = &meta
 	return t.With(name, v)
 }

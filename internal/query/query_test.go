@@ -172,7 +172,7 @@ func TestApplyUDFWithMCEngine(t *testing.T) {
 		In:     NewScan(rel),
 		Inputs: []string{"redshift"},
 		Out:    "z_copy",
-		Engine: MCEngine{F: identity, Cfg: mc.Config{Eps: 0.05, Delta: 0.05}},
+		Engine: NewMCEngine(identity, mc.Config{Eps: 0.05, Delta: 0.05}),
 		Rng:    rng,
 	}
 	got, err := Drain(apply)
@@ -204,7 +204,7 @@ func TestApplyUDFMixedCertainInputs(t *testing.T) {
 		In:     NewScan(rel),
 		Inputs: []string{"z", "area"},
 		Out:    "sum",
-		Engine: MCEngine{F: sum, Cfg: mc.Config{Eps: 0.05, Delta: 0.05}},
+		Engine: NewMCEngine(sum, mc.Config{Eps: 0.05, Delta: 0.05}),
 		Rng:    rng,
 	}
 	got, err := Drain(apply)
@@ -222,14 +222,14 @@ func TestApplyUDFRejectsBadAttribute(t *testing.T) {
 	identity := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
 	apply := &ApplyUDF{
 		In: NewScan(rel), Inputs: []string{"s"}, Out: "y",
-		Engine: MCEngine{F: identity, Cfg: mc.Config{}}, Rng: rng,
+		Engine: NewMCEngine(identity, mc.Config{}), Rng: rng,
 	}
 	if _, err := Drain(apply); err == nil {
 		t.Fatal("string attribute should be rejected")
 	}
 	apply2 := &ApplyUDF{
 		In: NewScan(rel), Inputs: []string{"missing"}, Out: "y",
-		Engine: MCEngine{F: identity, Cfg: mc.Config{}}, Rng: rng,
+		Engine: NewMCEngine(identity, mc.Config{}), Rng: rng,
 	}
 	if _, err := Drain(apply2); err == nil {
 		t.Fatal("missing attribute should be rejected")
@@ -251,10 +251,10 @@ func TestApplyUDFFiltering(t *testing.T) {
 		In:     NewScan(rel),
 		Inputs: []string{"redshift"},
 		Out:    "z",
-		Engine: MCEngine{F: identity, Cfg: mc.Config{
+		Engine: NewMCEngine(identity, mc.Config{
 			Eps: 0.05, Delta: 0.05,
 			Predicate: &mc.Predicate{A: 0.3, B: 0.5, Theta: 0.1},
-		}},
+		}),
 		Rng: rng,
 	}
 	got, err := Drain(apply)
@@ -292,7 +292,7 @@ func TestQ1WithGPEngine(t *testing.T) {
 		In:     NewScan(rel),
 		Inputs: []string{"redshift"},
 		Out:    "age",
-		Engine: EvaluatorEngine{E: eval},
+		Engine: NewEvaluatorEngine(eval),
 		Rng:    rng,
 	}
 	got, err := Drain(apply)
@@ -331,7 +331,7 @@ func TestApplyUDFTruncatesSurvivors(t *testing.T) {
 		In:        NewScan(rel),
 		Inputs:    []string{"v"},
 		Out:       "y",
-		Engine:    MCEngine{F: identity, Cfg: mc.Config{Eps: 0.05, Delta: 0.05, Predicate: pred}},
+		Engine:    NewMCEngine(identity, mc.Config{Eps: 0.05, Delta: 0.05, Predicate: pred}),
 		Rng:       rng,
 		Predicate: pred,
 	}
@@ -445,7 +445,7 @@ func TestOutputEngineStamped(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	f := udf.FuncOf{D: 1, F: func(x []float64) float64 { return x[0] }}
 
-	mcOut, err := MCEngine{F: f, Cfg: mc.Config{Eps: 0.3, Delta: 0.3}}.EvalInput(in, rng)
+	mcOut, err := NewMCEngine(f, mc.Config{Eps: 0.3, Delta: 0.3}).EvalInput(in, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +457,7 @@ func TestOutputEngineStamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpOut, err := EvaluatorEngine{E: ev}.EvalInput(in, rng)
+	gpOut, err := NewEvaluatorEngine(ev).EvalInput(in, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestOutputEngineStamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hOut, err := HybridEngine{H: h}.EvalInput(in, rng)
+	hOut, err := NewHybridEngine(h).EvalInput(in, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// RankSpec configures a TopK (or full OrderBy) over an uncertain attribute.
+type RankSpec struct {
+	// By names the attribute whose statistic ranks the tuples.
+	By string
+	// Stat is the statistic ranked on (zero value: mean).
+	Stat Stat
+	// K is the answer-set size; K ≤ 0 ranks the whole input (OrderBy).
+	K int
+	// Desc ranks largest-first when true.
+	Desc bool
+	// As names the appended bounded-rank attribute (default "rank").
+	As string
+}
+
+func (s RankSpec) rankAttr() string {
+	if s.As == "" {
+		return "rank"
+	}
+	return s.As
+}
+
+// TopK is the bounded top-k/order-by operator over uncertain rank keys, in
+// the certain-and-possible-answers semantics for ranking over uncertain
+// data: each input tuple's rank key is the [lo, hi] interval of its
+// statistic (IntervalOf), a possible world picks one key value per tuple
+// inside its interval (and decides existence of TEP-filtered maybe-tuples),
+// and ranking within a world breaks key ties by input ordinal, smaller
+// first — so every world yields a total order.
+//
+// Pairwise envelope dominance then gives, per tuple, the number of rivals
+// that beat it in every world (certAbove) and in some world (possAbove):
+//
+//   - a tuple POSSIBLY belongs to the top k iff certAbove < k;
+//   - a tuple CERTAINLY belongs iff it certainly exists and possAbove < k;
+//   - its rank lies in [certAbove+1, possAbove+1].
+//
+// TopK emits exactly the possible members — the possible answer set — each
+// extended with a Bounded rank attribute whose Certain flag records certain
+// membership. Output order is deterministic: ascending best rank, then
+// input ordinal. The operator is blocking (it drains its input on the first
+// Next) and follows the package error convention.
+type TopK struct {
+	In   Iterator
+	Spec RankSpec
+
+	state   opErr
+	started bool
+	out     []*Tuple
+	pos     int
+}
+
+// NewTopK builds the operator.
+func NewTopK(in Iterator, spec RankSpec) *TopK {
+	return &TopK{In: in, Spec: spec}
+}
+
+// rankKey is one tuple's interval rank key, oriented so that LARGER is
+// better (ascending specs are negated on entry). Rival j beats tuple i in
+// every world iff lo_j > hi_i (or lo_j == hi_i with the smaller ordinal),
+// and in some world iff hi_j > lo_i (or hi_j == lo_i with the smaller
+// ordinal); rankedMembers counts both via sorted projections.
+type rankKey struct {
+	lo, hi float64
+	ord    int64
+	sure   bool
+}
+
+// Next returns the next possible member.
+func (t *TopK) Next() (*Tuple, error) {
+	if err := t.state.sticky(); err != nil {
+		return nil, err
+	}
+	if !t.started {
+		t.started = true
+		if err := t.build(); err != nil {
+			return nil, err
+		}
+	}
+	if t.pos >= len(t.out) {
+		return nil, t.state.upstream(io.EOF)
+	}
+	tp := t.out[t.pos]
+	t.pos++
+	return tp, nil
+}
+
+// build drains the input and materializes the possible answer set.
+func (t *TopK) build() error {
+	var tuples []*Tuple
+	var keys []rankKey
+	for {
+		tp, err := t.In.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t.state.upstream(err)
+		}
+		v, err := tp.Get(t.Spec.By)
+		if err != nil {
+			return t.state.fail("top-k", err)
+		}
+		b, err := IntervalOf(v, t.Spec.Stat)
+		if err != nil {
+			return t.state.fail("top-k", fmt.Errorf("attribute %q: %w", t.Spec.By, err))
+		}
+		k := rankKey{lo: b.Lo, hi: b.Hi, ord: t.state.seq, sure: existenceCertain(v)}
+		if !t.Spec.Desc {
+			k.lo, k.hi = -b.Hi, -b.Lo
+		}
+		if math.IsNaN(k.lo) || math.IsNaN(k.hi) {
+			return t.state.fail("top-k", fmt.Errorf("attribute %q: NaN rank key", t.Spec.By))
+		}
+		tuples = append(tuples, tp)
+		keys = append(keys, k)
+		t.state.seq++
+	}
+	t.out = rankedMembers(tuples, keys, t.Spec.K, t.Spec.rankAttr())
+	return nil
+}
+
+// rankedMembers computes per-tuple rank bounds by counting dominating
+// rivals against two sorted key projections (O(n log n)), then keeps and
+// orders the possible members.
+func rankedMembers(tuples []*Tuple, keys []rankKey, k int, rankAttr string) []*Tuple {
+	n := len(tuples)
+	if k <= 0 || k > n {
+		k = n
+	}
+	// Lexicographic projections (value, then smaller ordinal wins ties):
+	// sureLos for certAbove — only certainly existing rivals beat a tuple
+	// in EVERY world; allHis for possAbove — any rival may beat it in SOME
+	// world where it exists.
+	var sureLos, allHis []lexKey
+	for _, key := range keys {
+		if key.sure {
+			sureLos = append(sureLos, lexKey{v: key.lo, ord: key.ord})
+		}
+		allHis = append(allHis, lexKey{v: key.hi, ord: key.ord})
+	}
+	sort.Sort(lexKeys(sureLos))
+	sort.Sort(lexKeys(allHis))
+
+	type member struct {
+		tuple   *Tuple
+		best    int // certAbove + 1
+		worst   int // possAbove + 1
+		ord     int64
+		certMem bool
+	}
+	var members []member
+	for i, key := range keys {
+		// certAbove: sure rivals j with (lo_j, ord_j) lexicographically
+		// beating (hi_i, ord_i). Self never qualifies (lo ≤ hi, same ord).
+		certAbove := countBeating(sureLos, lexKey{v: key.hi, ord: key.ord})
+		// possAbove: rivals j with (hi_j, ord_j) beating (lo_i, ord_i);
+		// a nondegenerate self-interval counts itself — remove it.
+		possAbove := countBeating(allHis, lexKey{v: key.lo, ord: key.ord})
+		if key.hi > key.lo {
+			possAbove--
+		}
+		if certAbove >= k {
+			continue // certainly outside the top k in every world
+		}
+		members = append(members, member{
+			tuple:   tuples[i],
+			best:    certAbove + 1,
+			worst:   possAbove + 1,
+			ord:     key.ord,
+			certMem: key.sure && possAbove < k,
+		})
+	}
+	sort.Slice(members, func(a, b int) bool {
+		if members[a].best != members[b].best {
+			return members[a].best < members[b].best
+		}
+		return members[a].ord < members[b].ord
+	})
+	out := make([]*Tuple, len(members))
+	for i, m := range members {
+		out[i] = m.tuple.With(rankAttr, BoundedVal(Bounded{
+			Lo:      float64(m.best),
+			Hi:      float64(m.worst),
+			Certain: m.certMem,
+		}))
+	}
+	return out
+}
+
+// lexKey orders by value descending strength: a key (v, ord) beats a
+// threshold (tv, tord) when v > tv, or v == tv and ord < tord.
+type lexKey struct {
+	v   float64
+	ord int64
+}
+
+type lexKeys []lexKey
+
+func (s lexKeys) Len() int      { return len(s) }
+func (s lexKeys) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s lexKeys) Less(i, j int) bool {
+	if s[i].v != s[j].v {
+		return s[i].v < s[j].v
+	}
+	return s[i].ord > s[j].ord // larger ordinal sorts first → weaker
+}
+
+// countBeating returns how many sorted keys beat the threshold.
+func countBeating(sorted []lexKey, th lexKey) int {
+	// Keys are ascending in "strength"; find the first index whose key
+	// beats th, everything after it beats too.
+	i := sort.Search(len(sorted), func(i int) bool {
+		k := sorted[i]
+		return k.v > th.v || (k.v == th.v && k.ord < th.ord)
+	})
+	return len(sorted) - i
+}

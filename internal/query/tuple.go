@@ -29,6 +29,10 @@ const (
 	KindUncertain
 	// KindResult is a computed output distribution (e.g. a UDF result).
 	KindResult
+	// KindBounded is a [certain, possible] interval answer — the output of
+	// the bounded relational operators (TopK ranks, windowed and grouped
+	// aggregates).
+	KindBounded
 )
 
 // String names the kind.
@@ -44,6 +48,8 @@ func (k Kind) String() string {
 		return "uncertain"
 	case KindResult:
 		return "result"
+	case KindBounded:
+		return "bounded"
 	default:
 		return "null"
 	}
@@ -57,6 +63,7 @@ type Value struct {
 	S    string
 	D    dist.Dist  // KindUncertain
 	R    *ecdf.ECDF // KindResult: the output distribution
+	B    Bounded    // KindBounded
 	TEP  float64    // KindResult: tuple existence probability estimate
 	// Out is the engine output behind a KindResult value (error bounds,
 	// engine, cost counters); nil for results built directly from an ECDF.
@@ -84,6 +91,9 @@ func Result(r *ecdf.ECDF, tep float64) Value {
 	return Value{Kind: KindResult, R: r, TEP: tep}
 }
 
+// BoundedVal wraps a [certain, possible] interval answer.
+func BoundedVal(b Bounded) Value { return Value{Kind: KindBounded, B: b} }
+
 // String renders the value compactly.
 func (v Value) String() string {
 	switch v.Kind {
@@ -100,6 +110,8 @@ func (v Value) String() string {
 			return "result(filtered)"
 		}
 		return fmt.Sprintf("result(μ=%.4g n=%d)", v.R.Mean(), v.R.Len())
+	case KindBounded:
+		return v.B.String()
 	default:
 		return "null"
 	}

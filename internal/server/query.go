@@ -1,0 +1,226 @@
+package server
+
+// This file is the bounded-query endpoint: POST /v1/query runs a whole
+// uncertain-algebra plan — UDF application with optional §5.5 TEP filter,
+// then optional window / group-by / top-k stages with [certain, possible]
+// answers — against one registered UDF's frozen clones. Responses are a
+// deterministic function of (model state, request): per-tuple seeding plus
+// the deterministic bounded operators make the bytes replayable across
+// snapshot→restart, exactly like ?learn=false streams.
+
+import (
+	"fmt"
+	"net/http"
+
+	"olgapro/internal/core"
+	"olgapro/internal/exec"
+	"olgapro/internal/mc"
+	"olgapro/internal/query"
+	"olgapro/internal/server/wire"
+)
+
+// maxQueryRows caps one /v1/query relation; larger queries should stream.
+const maxQueryRows = 4096
+
+// queryRow is one input tuple of the request relation: the UDF input spec
+// plus an optional group label (exposed as certain attribute "g").
+type queryRow struct {
+	Input wire.InputSpec `json:"input"`
+	Group string         `json:"group,omitempty"`
+}
+
+// queryRequest is the wire form of one bounded query.
+type queryRequest struct {
+	UDF       string              `json:"udf"`
+	Rows      []queryRow          `json:"rows"`
+	Seed      int64               `json:"seed"`
+	Predicate *wire.PredicateSpec `json:"predicate,omitempty"`
+	Window    *wire.WindowSpec    `json:"window,omitempty"`
+	GroupBy   *wire.GroupBySpec   `json:"group_by,omitempty"`
+	TopK      *wire.TopKSpec      `json:"topk,omitempty"`
+}
+
+// queryValue is the deterministic wire form of one output attribute.
+// Exactly one payload field is set, matching Kind.
+type queryValue struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Int     *int64            `json:"int,omitempty"`
+	Float   *float64          `json:"float,omitempty"`
+	Str     *string           `json:"str,omitempty"`
+	Dist    *wire.DistSpec    `json:"dist,omitempty"`
+	Bounded *wire.BoundedJSON `json:"bounded,omitempty"`
+	Result  *EvalResult       `json:"result,omitempty"`
+	TEP     *float64          `json:"tep,omitempty"`
+}
+
+// queryResponse is the wire form of the answer relation. Field order is
+// fixed by the struct, so equal results marshal to equal bytes.
+type queryResponse struct {
+	UDF     string         `json:"udf"`
+	Rows    [][]queryValue `json:"rows"`
+	Dropped int            `json:"dropped"`
+}
+
+// handleQuery runs one bounded query on frozen clones.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.error(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	e, ok := s.reg.Get(req.UDF)
+	if !ok {
+		s.error(w, http.StatusNotFound, "no UDF %q registered", req.UDF)
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.error(w, http.StatusBadRequest, "query needs at least one row")
+		return
+	}
+	if len(req.Rows) > maxQueryRows {
+		s.error(w, http.StatusBadRequest, "query has %d rows, cap is %d (use /udfs/{name}/stream for bulk evaluation)",
+			len(req.Rows), maxQueryRows)
+		return
+	}
+	dim := e.def.entry.Dim
+	tuples := make([]*query.Tuple, len(req.Rows))
+	for i, row := range req.Rows {
+		if len(row.Input) != dim {
+			s.error(w, http.StatusBadRequest, "row %d has %d attributes, UDF %q wants %d",
+				i, len(row.Input), e.spec.Name, dim)
+			return
+		}
+		t, err := row.Input.Tuple(int64(i))
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "row %d: %v", i, err)
+			return
+		}
+		tuples[i] = t.With("g", query.Str(row.Group))
+	}
+
+	// One admission token covers the whole plan: the request is a single
+	// bounded unit of work (≤ maxQueryRows evaluations on frozen clones),
+	// and per-row tokens could deadlock against the pool's own fan-out.
+	if !s.tryAdmit() {
+		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		return
+	}
+	defer s.release()
+
+	var pred *mc.Predicate
+	if req.Predicate != nil {
+		p, err := req.Predicate.Predicate()
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pred = p
+	}
+
+	pool, release, err := e.frozenPool(r.Context(), s.cfg.Workers)
+	if err != nil {
+		s.error(w, errStatus(err), "%v", err)
+		return
+	}
+	defer release()
+
+	opts := exec.Options{Ctx: r.Context(), Seed: req.Seed, Predicate: pred, KeepEnvelope: true}
+	pe := pool.Apply(query.NewScan(tuples), wire.AttrNames(dim), "y", opts)
+	defer pe.Close()
+
+	plan := query.FromIterator(pe)
+	if req.Window != nil {
+		spec, err := req.Window.Spec()
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		plan = plan.Window(spec)
+	}
+	if req.GroupBy != nil {
+		spec, err := req.GroupBy.Spec()
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		plan = plan.GroupBy(spec)
+	}
+	if req.TopK != nil {
+		spec, err := req.TopK.Spec()
+		if err != nil {
+			s.error(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		plan = plan.TopK(spec)
+	}
+	out, err := plan.Run()
+	if err != nil {
+		s.error(w, errStatus(err), "%v", err)
+		return
+	}
+	e.served.Add(int64(len(req.Rows)))
+
+	resp := queryResponse{UDF: req.UDF, Dropped: pe.Dropped, Rows: make([][]queryValue, len(out))}
+	for i, t := range out {
+		row, err := encodeQueryTuple(t, e.cfg.Eps)
+		if err != nil {
+			s.error(w, http.StatusInternalServerError, "encode row %d: %v", i, err)
+			return
+		}
+		resp.Rows[i] = row
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// encodeQueryTuple flattens one answer tuple into ordered wire values.
+func encodeQueryTuple(t *query.Tuple, eps float64) ([]queryValue, error) {
+	row := make([]queryValue, 0, t.Len())
+	for _, name := range t.Names() {
+		v := t.MustGet(name)
+		qv := queryValue{Name: name, Kind: v.Kind.String()}
+		switch v.Kind {
+		case query.KindInt:
+			i := v.I
+			qv.Int = &i
+		case query.KindFloat:
+			f := v.F
+			qv.Float = &f
+		case query.KindString:
+			s := v.S
+			qv.Str = &s
+		case query.KindUncertain:
+			spec, err := wire.SpecOf(v.D)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %q: %w", name, err)
+			}
+			qv.Dist = &spec
+		case query.KindBounded:
+			b := wire.BoundedOf(v.B)
+			qv.Bounded = &b
+		case query.KindResult:
+			res := resultForValue(v, eps)
+			qv.Result = &res
+			tep := v.TEP
+			qv.TEP = &tep
+		default:
+			return nil, fmt.Errorf("attribute %q: cannot encode kind %s", name, v.Kind)
+		}
+		row = append(row, qv)
+	}
+	return row, nil
+}
+
+// resultForValue is resultOf over a query result value: the engine metadata
+// comes from Value.Out, but the distribution summarized is Value.R — the
+// predicate-truncated one the relational layer carries — not the raw engine
+// output.
+func resultForValue(v query.Value, eps float64) EvalResult {
+	var meta core.Output
+	if v.Out != nil {
+		meta = *v.Out
+	}
+	meta.Dist = v.R
+	meta.Envelope = nil
+	return resultOf(0, &meta, eps)
+}

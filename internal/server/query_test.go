@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"olgapro/internal/server/wire"
+)
+
+// queryRows builds n deterministic query rows over the smooth 2-D UDF's
+// input space, labeled round-robin into nGroups groups.
+func queryRows(n, nGroups int) []map[string]any {
+	rng := rand.New(rand.NewSource(9))
+	rows := make([]map[string]any, n)
+	for i := range rows {
+		rows[i] = map[string]any{
+			"input": wire.InputSpec{
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.1},
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.1},
+			},
+		}
+		if nGroups > 0 {
+			rows[i]["group"] = string(rune('a' + i%nGroups))
+		}
+	}
+	return rows
+}
+
+func TestQueryTopKDeterministicReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	req := map[string]any{
+		"udf": name, "rows": queryRows(10, 0), "seed": 21,
+		"topk": map[string]any{"k": 3, "by": "y", "desc": true},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.UDF != name || qr.Dropped != 0 {
+		t.Fatalf("header: %+v", qr)
+	}
+	if len(qr.Rows) < 3 {
+		t.Fatalf("top-3 possible answer set has %d rows", len(qr.Rows))
+	}
+	for _, row := range qr.Rows {
+		var rank *queryValue
+		for i := range row {
+			if row[i].Name == "rank" {
+				rank = &row[i]
+			}
+		}
+		if rank == nil || rank.Kind != "bounded" || rank.Bounded == nil {
+			t.Fatalf("row missing bounded rank: %+v", row)
+		}
+		if rank.Bounded.Lo < 1 || rank.Bounded.Hi < rank.Bounded.Lo {
+			t.Fatalf("rank interval: %+v", rank.Bounded)
+		}
+	}
+
+	// Frozen clones + per-tuple seeding: replaying the query is
+	// byte-identical.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/query", req)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", body, body2)
+	}
+}
+
+func TestQueryWindowThenTopK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"udf": name, "rows": queryRows(9, 0), "seed": 4,
+		"window": map[string]any{
+			"size": 4, "step": 2,
+			"aggs": []map[string]any{{"kind": "count"}, {"kind": "avg", "attr": "y"}},
+		},
+		"topk": map[string]any{"k": 2, "by": "avg_y", "desc": true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	// 3 complete windows ([0,4) [2,6) [4,8)) ranked top-2: at least 2 rows.
+	if len(qr.Rows) < 2 {
+		t.Fatalf("%d rows", len(qr.Rows))
+	}
+	got := map[string]bool{}
+	for _, v := range qr.Rows[0] {
+		got[v.Name] = true
+		switch v.Name {
+		case "count":
+			if v.Bounded == nil || v.Bounded.Lo != 4 || v.Bounded.Hi != 4 || !v.Bounded.Certain {
+				t.Fatalf("window count: %+v", v.Bounded)
+			}
+		case "avg_y":
+			if v.Bounded == nil || v.Bounded.Lo > v.Bounded.Hi {
+				t.Fatalf("avg bounds: %+v", v.Bounded)
+			}
+		}
+	}
+	for _, want := range []string{"win_start", "win_end", "count", "avg_y", "rank"} {
+		if !got[want] {
+			t.Fatalf("row misses %q: %v", want, qr.Rows[0])
+		}
+	}
+}
+
+func TestQueryGroupByWithPredicate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"udf": name, "rows": queryRows(12, 3), "seed": 8,
+		// Wide range keeps most tuples, but TEP bounds make group counts
+		// intervals rather than exact values.
+		"predicate": map[string]any{"a": 0.0, "b": 1.2, "theta": 0.05},
+		"group_by": map[string]any{
+			"keys": []string{"g"},
+			"aggs": []map[string]any{{"kind": "count"}, {"kind": "max", "attr": "y"}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows)+qr.Dropped == 0 || len(qr.Rows) > 3 {
+		t.Fatalf("groups: %d rows, %d dropped", len(qr.Rows), qr.Dropped)
+	}
+	for _, row := range qr.Rows {
+		byName := map[string]queryValue{}
+		for _, v := range row {
+			byName[v.Name] = v
+		}
+		if byName["g"].Kind != "string" {
+			t.Fatalf("group key: %+v", byName["g"])
+		}
+		cnt := byName["count"].Bounded
+		if cnt == nil || cnt.Lo < 0 || cnt.Hi < cnt.Lo || cnt.Hi > 12 {
+			t.Fatalf("count bounds: %+v", cnt)
+		}
+		mx := byName["max_y"].Bounded
+		if mx == nil || mx.Lo > mx.Hi {
+			t.Fatalf("max bounds: %+v", mx)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	cases := []struct {
+		label string
+		req   map[string]any
+		code  int
+	}{
+		{"unknown udf", map[string]any{"udf": "nope", "rows": queryRows(1, 0)}, http.StatusNotFound},
+		{"no rows", map[string]any{"udf": name}, http.StatusBadRequest},
+		{"dim mismatch", map[string]any{"udf": name, "rows": []map[string]any{
+			{"input": wire.InputSpec{{Type: "normal", Mu: 0.5, Sigma: 0.1}}},
+		}}, http.StatusBadRequest},
+		{"bad predicate", map[string]any{"udf": name, "rows": queryRows(1, 0),
+			"predicate": map[string]any{"a": 2.0, "b": 1.0, "theta": 0.1}}, http.StatusBadRequest},
+		{"bad topk", map[string]any{"udf": name, "rows": queryRows(1, 0),
+			"topk": map[string]any{"k": 2}}, http.StatusBadRequest},
+		{"bad window", map[string]any{"udf": name, "rows": queryRows(1, 0),
+			"window": map[string]any{"size": 0}}, http.StatusBadRequest},
+		{"bad group-by", map[string]any{"udf": name, "rows": queryRows(1, 0),
+			"group_by": map[string]any{"keys": []string{}}}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"udf": name, "rows": queryRows(1, 0),
+			"bogus": 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/query", c.req)
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: %d (want %d): %s", c.label, resp.StatusCode, c.code, body)
+		}
+	}
+}

@@ -253,7 +253,7 @@ func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
 		if err != nil {
 			return err
 		}
-		s.eng = query.EvaluatorEngine{E: c}
+		s.eng = query.NewEvaluatorEngine(c)
 		s.points = ev.GP().Len()
 		return nil
 	})

@@ -134,6 +134,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /udfs/{name}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /udfs/{name}/snapshot", s.handleSnapshotOne)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotAll)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 }
 
 // --- admission control ---

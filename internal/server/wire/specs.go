@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"fmt"
+
+	"olgapro/internal/mc"
+	"olgapro/internal/query"
+)
+
+// PredicateSpec is the wire form of the §5.5 TEP-filter predicate
+// f(X) ∈ [A, B] with existence threshold θ:
+//
+//	{"a": 0, "b": 25, "theta": 0.2}
+type PredicateSpec struct {
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Theta float64 `json:"theta"`
+}
+
+// Predicate validates the spec and builds the predicate.
+func (s PredicateSpec) Predicate() (*mc.Predicate, error) {
+	if !(s.B > s.A) {
+		return nil, fmt.Errorf("wire: predicate needs b > a, got [%g, %g]", s.A, s.B)
+	}
+	if s.Theta < 0 || s.Theta > 1 {
+		return nil, fmt.Errorf("wire: predicate theta %g outside [0, 1]", s.Theta)
+	}
+	return &mc.Predicate{A: s.A, B: s.B, Theta: s.Theta}, nil
+}
+
+// SpecOfPredicate is the inverse of Predicate.
+func SpecOfPredicate(p *mc.Predicate) PredicateSpec {
+	return PredicateSpec{A: p.A, B: p.B, Theta: p.Theta}
+}
+
+// StatSpec is the wire form of the statistic bounded operators rank and
+// aggregate on:
+//
+//	{"kind": "mean"}
+//	{"kind": "quantile", "p": 0.9}
+type StatSpec struct {
+	Kind string  `json:"kind"`
+	P    float64 `json:"p,omitempty"`
+}
+
+// Stat validates the spec and builds the statistic. An empty kind is the
+// mean, mirroring query.Stat's zero value.
+func (s StatSpec) Stat() (query.Stat, error) {
+	switch s.Kind {
+	case "", "mean":
+		return query.MeanStat(), nil
+	case "quantile":
+		if !(s.P >= 0 && s.P <= 1) {
+			return query.Stat{}, fmt.Errorf("wire: quantile level %g outside [0, 1]", s.P)
+		}
+		return query.QuantileStat(s.P), nil
+	default:
+		return query.Stat{}, fmt.Errorf("wire: unknown statistic kind %q (want mean or quantile)", s.Kind)
+	}
+}
+
+// SpecOfStat is the inverse of Stat.
+func SpecOfStat(s query.Stat) StatSpec {
+	if s.Kind == query.StatQuantile {
+		return StatSpec{Kind: "quantile", P: s.P}
+	}
+	return StatSpec{Kind: "mean"}
+}
+
+// AggSpec is the wire form of one aggregate column:
+//
+//	{"kind": "count"}
+//	{"kind": "avg", "attr": "y", "stat": {"kind": "mean"}, "as": "avg_y"}
+type AggSpec struct {
+	Kind string    `json:"kind"`
+	Attr string    `json:"attr,omitempty"`
+	Stat *StatSpec `json:"stat,omitempty"`
+	As   string    `json:"as,omitempty"`
+}
+
+var aggKinds = map[string]query.AggKind{
+	"count": query.AggCount,
+	"sum":   query.AggSum,
+	"avg":   query.AggAvg,
+	"min":   query.AggMin,
+	"max":   query.AggMax,
+}
+
+// Agg validates the spec and builds the aggregate column.
+func (s AggSpec) Agg() (query.Agg, error) {
+	kind, ok := aggKinds[s.Kind]
+	if !ok {
+		return query.Agg{}, fmt.Errorf("wire: unknown aggregate kind %q (want count, sum, avg, min, or max)", s.Kind)
+	}
+	a := query.Agg{Kind: kind, Attr: s.Attr, As: s.As}
+	if s.Stat != nil {
+		st, err := s.Stat.Stat()
+		if err != nil {
+			return query.Agg{}, err
+		}
+		a.Stat = st
+	}
+	if kind != query.AggCount && s.Attr == "" {
+		return query.Agg{}, fmt.Errorf("wire: aggregate %q needs \"attr\"", s.Kind)
+	}
+	return a, nil
+}
+
+// SpecOfAgg is the inverse of Agg.
+func SpecOfAgg(a query.Agg) AggSpec {
+	s := AggSpec{Kind: a.Kind.String(), Attr: a.Attr, As: a.As}
+	if a.Kind != query.AggCount {
+		st := SpecOfStat(a.Stat)
+		s.Stat = &st
+	}
+	return s
+}
+
+// TopKSpec is the wire form of a bounded top-k / order-by stage:
+//
+//	{"k": 5, "by": "y", "stat": {"kind": "mean"}, "desc": true, "as": "rank"}
+//
+// k ≤ 0 ranks the whole input.
+type TopKSpec struct {
+	K    int       `json:"k"`
+	By   string    `json:"by"`
+	Stat *StatSpec `json:"stat,omitempty"`
+	Desc bool      `json:"desc,omitempty"`
+	As   string    `json:"as,omitempty"`
+}
+
+// Spec validates and builds the rank spec.
+func (s TopKSpec) Spec() (query.RankSpec, error) {
+	if s.By == "" {
+		return query.RankSpec{}, fmt.Errorf("wire: top-k needs \"by\"")
+	}
+	r := query.RankSpec{By: s.By, K: s.K, Desc: s.Desc, As: s.As}
+	if s.Stat != nil {
+		st, err := s.Stat.Stat()
+		if err != nil {
+			return query.RankSpec{}, err
+		}
+		r.Stat = st
+	}
+	return r, nil
+}
+
+// SpecOfTopK is the inverse of Spec.
+func SpecOfTopK(r query.RankSpec) TopKSpec {
+	st := SpecOfStat(r.Stat)
+	return TopKSpec{K: r.K, By: r.By, Stat: &st, Desc: r.Desc, As: r.As}
+}
+
+// WindowSpec is the wire form of a sliding-window aggregate stage:
+//
+//	{"size": 10, "step": 5, "aggs": [{"kind": "avg", "attr": "y"}]}
+type WindowSpec struct {
+	Size int       `json:"size"`
+	Step int       `json:"step,omitempty"`
+	Aggs []AggSpec `json:"aggs"`
+}
+
+// Spec validates and builds the window spec.
+func (s WindowSpec) Spec() (query.WindowSpec, error) {
+	if s.Size <= 0 {
+		return query.WindowSpec{}, fmt.Errorf("wire: window size %d, want > 0", s.Size)
+	}
+	if len(s.Aggs) == 0 {
+		return query.WindowSpec{}, fmt.Errorf("wire: window needs at least one aggregate")
+	}
+	w := query.WindowSpec{Size: s.Size, Step: s.Step}
+	for i, as := range s.Aggs {
+		a, err := as.Agg()
+		if err != nil {
+			return query.WindowSpec{}, fmt.Errorf("wire: window agg %d: %w", i, err)
+		}
+		w.Aggs = append(w.Aggs, a)
+	}
+	return w, nil
+}
+
+// SpecOfWindow is the inverse of Spec.
+func SpecOfWindow(w query.WindowSpec) WindowSpec {
+	s := WindowSpec{Size: w.Size, Step: w.Step}
+	for _, a := range w.Aggs {
+		s.Aggs = append(s.Aggs, SpecOfAgg(a))
+	}
+	return s
+}
+
+// GroupBySpec is the wire form of a grouped aggregate stage:
+//
+//	{"keys": ["g"], "aggs": [{"kind": "count"}, {"kind": "max", "attr": "y"}]}
+type GroupBySpec struct {
+	Keys []string  `json:"keys"`
+	Aggs []AggSpec `json:"aggs"`
+}
+
+// Spec validates and builds the group-by spec.
+func (s GroupBySpec) Spec() (query.GroupBySpec, error) {
+	if len(s.Keys) == 0 {
+		return query.GroupBySpec{}, fmt.Errorf("wire: group-by needs \"keys\"")
+	}
+	if len(s.Aggs) == 0 {
+		return query.GroupBySpec{}, fmt.Errorf("wire: group-by needs at least one aggregate")
+	}
+	g := query.GroupBySpec{Keys: append([]string(nil), s.Keys...)}
+	for i, as := range s.Aggs {
+		a, err := as.Agg()
+		if err != nil {
+			return query.GroupBySpec{}, fmt.Errorf("wire: group-by agg %d: %w", i, err)
+		}
+		g.Aggs = append(g.Aggs, a)
+	}
+	return g, nil
+}
+
+// SpecOfGroupBy is the inverse of Spec.
+func SpecOfGroupBy(g query.GroupBySpec) GroupBySpec {
+	s := GroupBySpec{Keys: append([]string(nil), g.Keys...)}
+	for _, a := range g.Aggs {
+		s.Aggs = append(s.Aggs, SpecOfAgg(a))
+	}
+	return s
+}
+
+// BoundedJSON is the deterministic wire form of a [certain, possible]
+// interval answer.
+type BoundedJSON struct {
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Certain bool    `json:"certain"`
+}
+
+// BoundedOf converts a query interval to its wire form.
+func BoundedOf(b query.Bounded) BoundedJSON {
+	return BoundedJSON{Lo: b.Lo, Hi: b.Hi, Certain: b.Certain}
+}

@@ -224,20 +224,40 @@ func GenerateCatalog(n int, seed int64) *Catalog {
 	return sdss.Generate(sdss.GenerateConfig{N: n, Seed: seed})
 }
 
-// Relational layer re-exports: tuples with uncertain attributes and the
-// operators needed for Q1/Q2-style queries.
+// Relational layer re-exports: tuples with uncertain attributes, the
+// operators needed for Q1/Q2-style queries, and the bounded uncertain
+// algebra (top-k / windows / group-by with [certain, possible] answers).
 type (
-	Tuple        = query.Tuple
-	Value        = query.Value
-	Iterator     = query.Iterator
-	ScanOp       = query.Scan
-	SelectOp     = query.Select
-	ProjectOp    = query.Project
-	CrossJoinOp  = query.CrossJoin
-	ApplyUDFOp   = query.ApplyUDF
-	QueryEngine  = query.Engine
-	MCEngine     = query.MCEngine
-	HybridEngine = query.HybridEngine
+	Tuple       = query.Tuple
+	Value       = query.Value
+	Iterator    = query.Iterator
+	ScanOp      = query.Scan
+	SelectOp    = query.Select
+	ProjectOp   = query.Project
+	CrossJoinOp = query.CrossJoin
+	ApplyUDFOp  = query.ApplyUDF
+	QueryEngine = query.Engine
+
+	// Plan is the fluent query builder: From(...).Where(...).Apply(...).
+	// Window(...).TopK(...).Run().
+	Plan = query.Plan
+	// Bounded is a [certain, possible] interval answer.
+	Bounded = query.Bounded
+	// Stat selects the statistic (mean or quantile) bounded operators
+	// rank and aggregate on.
+	Stat = query.Stat
+	// Agg is one aggregate column of a window or group-by.
+	Agg = query.Agg
+	// ApplySpec, RankSpec, WindowSpec, GroupBySpec configure Plan stages.
+	ApplySpec   = query.ApplySpec
+	RankSpec    = query.RankSpec
+	WindowSpec  = query.WindowSpec
+	GroupBySpec = query.GroupBySpec
+	// TopKOp, WindowOp, GroupByOp are the bounded operators themselves,
+	// for callers composing iterators directly.
+	TopKOp    = query.TopK
+	WindowOp  = query.Window
+	GroupByOp = query.GroupBy
 )
 
 // NewScan returns a scan over an in-memory relation.
@@ -246,13 +266,42 @@ func NewScan(tuples []*Tuple) *ScanOp { return query.NewScan(tuples) }
 // Drain pulls all tuples from an iterator.
 func Drain(it Iterator) ([]*Tuple, error) { return query.Drain(it) }
 
+// From starts a query plan over an in-memory relation.
+func From(tuples []*Tuple) *Plan { return query.From(tuples) }
+
+// FromIterator starts a query plan over an existing operator tree.
+func FromIterator(it Iterator) *Plan { return query.FromIterator(it) }
+
 // GalaxyTuple converts catalog attributes into an uncertain tuple.
 func GalaxyTuple(objID int64, ra, dec, raErr, decErr, z, zErr float64) *Tuple {
 	return query.GalaxyTuple(objID, ra, dec, raErr, decErr, z, zErr)
 }
 
-// GPEngine adapts an Evaluator for use in query plans.
-func GPEngine(e *Evaluator) QueryEngine { return query.EvaluatorEngine{E: e} }
+// GPEngine adapts an Evaluator for use in query plans. Output.Engine is
+// stamped by the returned wrapper, uniformly across all three engines.
+func GPEngine(e *Evaluator) QueryEngine { return query.NewEvaluatorEngine(e) }
+
+// MCQueryEngine adapts Monte-Carlo evaluation of f under cfg for use in
+// query plans; the engine is stateless and may be shared across workers.
+func MCQueryEngine(f UDF, cfg MCConfig) QueryEngine { return query.NewMCEngine(f, cfg) }
+
+// HybridQueryEngine adapts a Hybrid router for use in query plans.
+func HybridQueryEngine(h *Hybrid) QueryEngine { return query.NewHybridEngine(h) }
+
+// MeanStat is the mean statistic for bounded rank/aggregate operators.
+func MeanStat() Stat { return query.MeanStat() }
+
+// QuantileStat is the p-quantile statistic for bounded rank/aggregate
+// operators.
+func QuantileStat(p float64) Stat { return query.QuantileStat(p) }
+
+// CountAgg, SumAgg, AvgAgg, MinAgg, MaxAgg build aggregate columns for
+// Window/GroupBy specs (see query.Agg for the Stat/As modifiers).
+func CountAgg() Agg           { return query.Count() }
+func SumAgg(attr string) Agg  { return query.Sum(attr) }
+func AvgAgg(attr string) Agg  { return query.Avg(attr) }
+func MinAgg(attr string) Agg  { return query.Min(attr) }
+func MaxAgg(attr string) Agg  { return query.Max(attr) }
 
 // Parallel execution (internal/exec): run the UDF-application stage of a
 // query across a worker pool with deterministic, order-preserving semantics
@@ -286,10 +335,11 @@ func NewParallelPool(engines ...QueryEngine) (*ParallelEngine, error) {
 	return exec.NewPool(engines...)
 }
 
-// TupleSeed derives the per-tuple RNG seed the parallel executor uses for
-// the tuple at the given stream ordinal, for serial reference
-// implementations that need to reproduce its sampling exactly.
-func TupleSeed(base, seq int64) int64 { return exec.TupleSeed(base, seq) }
+// TupleSeed derives the per-tuple RNG seed used by both the serial planner
+// (Plan.Apply) and the parallel executor for the tuple at the given stream
+// ordinal, for reference implementations that need to reproduce the
+// sampling exactly.
+func TupleSeed(base, seq int64) int64 { return query.TupleSeed(base, seq) }
 
 // NewECDF builds an empirical CDF from samples (copied and sorted).
 func NewECDF(samples []float64) *ECDF { return ecdf.New(samples) }
