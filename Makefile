@@ -5,13 +5,14 @@ GO ?= go
 
 # Perf-trajectory knobs: where the fresh bench run lands, which committed
 # entry it is gated against, and how much ns/op drift the gate allows.
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_MAX_REGRESS ?= 0.35
 
 # Coverage gate: these packages carry the statistical-guarantee machinery
-# and the network serving layer, and must stay above the floor.
-COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/core ./internal/server ./internal/server/wire
+# (including the budgeted sparse-GP inference paths), and the network
+# serving layer, and must stay above the floor.
+COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/gp ./internal/core ./internal/server ./internal/server/wire
 COVER_MIN ?= 70
 
 .PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e lint ci

@@ -163,6 +163,75 @@ func benchAddGrowth(b *testing.B) {
 	}
 }
 
+// sparseGrowthData draws the same input stream benchAddGrowth uses, extended
+// to n points, so the exact-vs-sparse growth numbers are comparable.
+func sparseGrowthData(n int) (xs [][]float64, ys []float64) {
+	rng := rand.New(rand.NewSource(42))
+	f := smoothUDF()
+	xs = make([][]float64, 0, n)
+	ys = make([]float64, 0, n)
+	for len(xs) < n {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		xs = append(xs, x)
+		ys = append(ys, f.Eval(x))
+	}
+	return xs, ys
+}
+
+// benchSparseAddGrowth measures growing the budgeted sparse model
+// point-by-point to n: the tentpole O(m²)-amortized-per-add path that breaks
+// the exact model's O(n²)-per-add growth wall. The 8000-point variant, at 4×
+// the points, should cost ≈ 4× the 2000-point one (linear in n) where the
+// exact model would cost ≈ 64× (cubic aggregate).
+func benchSparseAddGrowth(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		xs, ys := sparseGrowthData(n)
+		cfg := gp.SparseConfig{Budget: 256, SwapEvery: -1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := gp.NewSparse(kernel.NewSqExp(1, 0.3), 1e-6, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range xs {
+				if err := s.Add(xs[j], ys[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchSparsePredictSteady measures steady-state sparse batch inference over
+// the same 1000-point workload as predict_batch_scratch: cost is O(budget²)
+// per sample regardless of the 4000 points absorbed.
+func benchSparsePredictSteady(b *testing.B) {
+	xs, ys := sparseGrowthData(4000)
+	s, err := gp.NewSparse(kernel.NewSqExp(1, 0.3), 1e-6, gp.SparseConfig{Budget: 256, SwapEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := range xs {
+		if err := s.Add(xs[j], ys[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	const m = 1000
+	qs := make([][]float64, m)
+	for i := range qs {
+		qs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	means := make([]float64, m)
+	vars := make([]float64, m)
+	var sc gp.Scratch
+	s.PredictBatchWith(&sc, qs, means, vars) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PredictBatchWith(&sc, qs, means, vars)
+	}
+}
+
 // warmEvaluator returns an evaluator whose model has converged on the
 // workload, so benchmarked Eval calls measure the steady state.
 func warmEvaluator(pred *mc.Predicate) (*core.Evaluator, dist.Vector, [][]float64) {
@@ -584,6 +653,9 @@ func main() {
 		measure("predict_batch_steady", benchPredictBatch),
 		measure("predict_batch_scratch", benchPredictBatchScratch),
 		measure("gp_add_growth_2000", benchAddGrowth),
+		measure("gp_sparse_add_growth_2000", benchSparseAddGrowth(2000)),
+		measure("gp_sparse_add_growth_8000", benchSparseAddGrowth(8000)),
+		measure("gp_sparse_predict_steady", benchSparsePredictSteady),
 		measure("eval_samples_steady", benchEvalSamples),
 		measure("filter_fast_path", benchFilterFastPath),
 		measure("grad_hess_n300", benchGradHess),

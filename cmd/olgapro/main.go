@@ -53,15 +53,17 @@ func main() {
 	workers := flag.Int("workers", 1, "UDF-application workers (1 = serial; ≤ 0 = GOMAXPROCS)")
 	catalogPath := flag.String("catalog", "", "load catalog CSV instead of generating")
 	limit := flag.Int("limit", 10, "print at most this many result tuples")
+	sparseBudget := flag.Int("sparse-budget", 0, "GP inducing-point budget (0 = exact model; ≥ 2 = budgeted sparse)")
+	sparseInflate := flag.Float64("sparse-inflate", 0, "sparse predictive-sd inflation (0 = model default 1.1)")
 	flag.Parse()
 
-	if err := run(*queryName, *engine, *n, *eps, *delta, *seed, *workers, *catalogPath, *limit); err != nil {
+	if err := run(*queryName, *engine, *n, *eps, *delta, *seed, *workers, *catalogPath, *limit, *sparseBudget, *sparseInflate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(queryName, engine string, n int, eps, delta float64, seed int64, workers int, catalogPath string, limit int) error {
+func run(queryName, engine string, n int, eps, delta float64, seed int64, workers int, catalogPath string, limit, sparseBudget int, sparseInflate float64) error {
 	var cat *sdss.Catalog
 	if catalogPath != "" {
 		f, err := os.Open(catalogPath)
@@ -102,6 +104,7 @@ func run(queryName, engine string, n int, eps, delta float64, seed int64, worker
 		case "gp":
 			ev, err := core.NewEvaluator(f, core.Config{
 				Eps: eps, Delta: delta, Kernel: kern, Predicate: pred,
+				SparseBudget: sparseBudget, SparseInflate: sparseInflate,
 			})
 			if err != nil {
 				return builtEngine{}, err

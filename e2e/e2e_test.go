@@ -344,3 +344,93 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 
 	p2.shutdown(t)
 }
+
+// TestE2ESparseSnapshotRestartReplay is the budgeted-sparse twin of the
+// restart gate: a UDF registered with a sparse budget learns a stream, the
+// server snapshots (format v3, carrying the inducing set) and restarts, and
+// the restored instance must replay the same seeds bit-identically without
+// paying a single UDF call. If the restore dropped the sparse model — say,
+// by rebuilding the exact GP instead — the DTC posterior would differ and
+// the replay bytes would diverge, so this also pins "sparse in, sparse out".
+func TestE2ESparseSnapshotRestartReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and boots the real binary; skipped in -short")
+	}
+	workDir := t.TempDir()
+	bin := filepath.Join(workDir, "olgaprod")
+	build := exec.Command("go", "build", "-o", bin, "olgapro/cmd/olgaprod")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building olgaprod: %v", err)
+	}
+	snapDir := filepath.Join(workDir, "snapshots")
+	inputs := sessionInputs()
+
+	p1 := startServer(t, bin, snapDir)
+
+	status, body := p1.postJSON(t, "/udfs", map[string]any{
+		"udf": "poly/smooth2d", "name": "thrifty", "eps": 0.2, "delta": 0.1,
+		"sparse": map[string]any{"budget": 64},
+		"warmup": [][]distSpec{inputs[0], inputs[1], inputs[2], inputs[3]}, "warmup_seed": 99,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("register sparse: %d %s", status, body)
+	}
+
+	_, learned := p1.stream(t, "/udfs/thrifty/stream?seed=7", inputs)
+	assertContract(t, "sparse learn stream", learned, len(inputs))
+
+	replayBefore, frozen := p1.stream(t, "/udfs/thrifty/stream?learn=false&seed=7", inputs)
+	assertContract(t, "sparse frozen replay (before restart)", frozen, len(inputs))
+	for _, r := range frozen {
+		if r.UDFCalls != 0 {
+			t.Fatalf("sparse frozen replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
+		}
+	}
+
+	if status, body := p1.postJSON(t, "/snapshot", nil); status != 200 {
+		t.Fatalf("snapshot: %d %s", status, body)
+	}
+	p1.shutdown(t)
+
+	p2 := startServer(t, bin, snapDir)
+
+	// The restored instance advertises its sparse budget: the registration
+	// spec survived in the snapshot metadata.
+	resp, err := http.Get(p2.url("/udfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		UDFs []struct {
+			Name         string `json:"name"`
+			SparseBudget int    `json:"sparse_budget"`
+		} `json:"udfs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.UDFs) != 1 || list.UDFs[0].Name != "thrifty" || list.UDFs[0].SparseBudget != 64 {
+		t.Fatalf("restore lost the sparse registration: %+v", list.UDFs)
+	}
+
+	replayAfter, frozen2 := p2.stream(t, "/udfs/thrifty/stream?learn=false&seed=7", inputs)
+	assertContract(t, "sparse frozen replay (after restart)", frozen2, len(inputs))
+	for _, r := range frozen2 {
+		if r.UDFCalls != 0 {
+			t.Fatalf("restored sparse replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
+		}
+	}
+	if replayBefore != replayAfter {
+		for i := range frozen {
+			if frozen[i].SupportHash != frozen2[i].SupportHash {
+				t.Errorf("first divergence at seq %d: %s vs %s",
+					frozen[i].Seq, frozen[i].SupportHash, frozen2[i].SupportHash)
+				break
+			}
+		}
+		t.Fatal("sparse snapshot → restart → replay is not bit-identical")
+	}
+	p2.shutdown(t)
+}

@@ -58,37 +58,44 @@ func ecDensity(j int, z float64) float64 {
 
 // curvatures returns L_0..L_d for a box with the given side lengths under
 // second spectral moment lambda2: L_j = λ₂^{j/2} e_j(s), with e_j the
-// elementary symmetric polynomial of the sides.
+// elementary symmetric polynomial of the sides. The symmetric polynomials
+// are built in place in the output buffer and scaled afterwards, so the
+// whole computation is one allocation.
 func curvatures(sides []float64, lambda2 float64) []float64 {
 	d := len(sides)
 	// Elementary symmetric polynomials via the product recurrence.
-	e := make([]float64, d+1)
-	e[0] = 1
+	out := make([]float64, d+1)
+	out[0] = 1
 	for _, s := range sides {
 		for j := d; j >= 1; j-- {
-			e[j] += e[j-1] * s
+			out[j] += out[j-1] * s
 		}
 	}
 	sq := math.Sqrt(math.Max(0, lambda2))
-	out := make([]float64, d+1)
 	scale := 1.0
-	for j := 0; j <= d; j++ {
-		out[j] = e[j] * scale
+	for j := 1; j <= d; j++ {
 		scale *= sq
+		out[j] *= scale
 	}
 	return out
+}
+
+// upcrossWithCurvatures is UpcrossProb with precomputed Lipschitz–Killing
+// curvatures l — the form ZAlpha's bisection loop calls, so the loop costs
+// no allocations.
+func upcrossWithCurvatures(l []float64, z float64) float64 {
+	p := l[0] * (1 - dist.Normal{Mu: 0, Sigma: 1}.CDF(z))
+	for j := 1; j < len(l); j++ {
+		p += l[j] * ecDensity(j, z)
+	}
+	return p
 }
 
 // UpcrossProb returns the expected-Euler-characteristic approximation to
 // Pr[sup_X Z(x) ≥ z] for a unit-variance field on a box with the given side
 // lengths and second spectral moment lambda2.
 func UpcrossProb(z float64, sides []float64, lambda2 float64) float64 {
-	l := curvatures(sides, lambda2)
-	p := l[0] * (1 - dist.Normal{Mu: 0, Sigma: 1}.CDF(z))
-	for j := 1; j < len(l); j++ {
-		p += l[j] * ecDensity(j, z)
-	}
-	return p
+	return upcrossWithCurvatures(curvatures(sides, lambda2), z)
 }
 
 // ZAlpha returns the half-width multiplier z_α such that the band
@@ -103,9 +110,11 @@ func ZAlpha(alpha float64, sides []float64, lambda2 float64) float64 {
 		return 0
 	}
 	pointwise := dist.StdNormalQuantile(1 - alpha/2)
-	// Two-sided: each tail gets α/2.
+	// Two-sided: each tail gets α/2. The curvatures depend only on the box,
+	// not on z, so they are computed once outside the bisection.
 	target := alpha / 2
-	f := func(z float64) float64 { return UpcrossProb(z, sides, lambda2) - target }
+	l := curvatures(sides, lambda2)
+	f := func(z float64) float64 { return upcrossWithCurvatures(l, z) - target }
 	lo, hi := pointwise, pointwise+1
 	if f(lo) <= 0 {
 		return pointwise

@@ -24,7 +24,7 @@ import (
 // receiver that keeps training. Unknown kernel types are shared read-only —
 // safe as long as the receiver is not retrained while clones are in use.
 func (e *Evaluator) CloneFrozen() (*Evaluator, error) {
-	if e.g.Len() < 2 {
+	if e.model.Len() < 2 {
 		return nil, errors.New("core: CloneFrozen needs a model with ≥ 2 training points; run a warm-up Eval first")
 	}
 	cfg := e.cfg
@@ -43,12 +43,24 @@ func (e *Evaluator) CloneFrozen() (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < e.g.Len(); i++ {
-		if err := c.g.Add(e.g.X(i), e.g.Y(i)); err != nil {
-			return nil, fmt.Errorf("core: clone training point %d: %w", i, err)
+	if e.sg != nil {
+		// gp.Sparse.Clone is a canonical deterministic rebuild from the
+		// training set and inducing indices, so every clone — including ones
+		// made after a snapshot restart from the same state — predicts
+		// bit-identically. No R-tree: the sparse path never consults it.
+		sg, err := e.sg.Clone(cfg.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("core: clone sparse model: %w", err)
 		}
-		if err := c.tree.Insert(c.g.X(i), i); err != nil {
-			return nil, fmt.Errorf("core: clone index insert %d: %w", i, err)
+		c.sg, c.model = sg, sg
+	} else {
+		for i := 0; i < e.g.Len(); i++ {
+			if err := c.g.Add(e.g.X(i), e.g.Y(i)); err != nil {
+				return nil, fmt.Errorf("core: clone training point %d: %w", i, err)
+			}
+			if err := c.tree.Insert(c.g.X(i), i); err != nil {
+				return nil, fmt.Errorf("core: clone index insert %d: %w", i, err)
+			}
 		}
 	}
 	c.yMin, c.yMax, c.haveY = e.yMin, e.yMax, e.haveY

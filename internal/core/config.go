@@ -143,6 +143,24 @@ type Config struct {
 	// sequential; negative uses GOMAXPROCS. Model updates (online tuning,
 	// retraining) remain sequential — they are inherently ordered.
 	Parallelism int
+	// SparseBudget, when positive, replaces the exact GP emulator with the
+	// budgeted sparse inducing-point approximation (gp.Sparse): all factor
+	// work is O(SparseBudget²) per absorbed point and per prediction,
+	// independent of how many training points the evaluator has ever
+	// learned — the knob that makes "serve forever" affordable. Local
+	// R-tree inference (§5.1) is bypassed on this path: the inducing set
+	// itself is the sparsity. 0 keeps the exact model.
+	SparseBudget int
+	// SparseInflate multiplies the sparse model's predictive standard
+	// deviation (≥ 1), widening the §4.2 confidence band so the ε_GP bound
+	// stays valid under the approximation. 0 selects the gp.Sparse default
+	// (1.1); values below 1 are clamped to 1. Larger values trade more
+	// online-tuning UDF calls (cost) for a more conservative band.
+	SparseInflate float64
+	// SparseSwapEvery is the inducing-set maintenance cadence in absorbed
+	// points once the budget is full (0 selects the budget itself,
+	// negative disables swap maintenance). Ignored when SparseBudget is 0.
+	SparseSwapEvery int
 	// FilterTrustModel skips the filter verification call. By default,
 	// before a tuple is dropped, the true UDF is evaluated once at the
 	// sample most likely to satisfy the predicate; if the observation
@@ -191,6 +209,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.FilterChunk <= 0 {
 		c.FilterChunk = 64
+	}
+	if c.SparseBudget < 0 {
+		c.SparseBudget = 0
+	}
+	if c.SparseBudget > 0 && c.SparseBudget < 2 {
+		return c, fmt.Errorf("core: sparse budget %d must be ≥ 2 (bootstrap needs two basis points)", c.SparseBudget)
 	}
 	if c.Parallelism < 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)

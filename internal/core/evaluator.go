@@ -21,10 +21,15 @@ import (
 //
 // An Evaluator is not safe for concurrent use; run one per goroutine.
 type Evaluator struct {
-	cfg  Config
-	f    udf.Func
-	g    *gp.GP
-	tree rtree.Tree
+	cfg Config
+	f   udf.Func
+	// Exactly one of g (exact, O(n²)-per-add) and sg (budgeted sparse,
+	// O(m²)-per-add) is non-nil; model is whichever is active. The R-tree
+	// only backs local-subset selection, which the sparse path bypasses.
+	g     *gp.GP
+	sg    *gp.Sparse
+	model gp.Model
+	tree  rtree.Tree
 
 	epsMC, epsGP     float64
 	deltaMC, deltaGP float64
@@ -51,7 +56,21 @@ func NewEvaluator(f udf.Func, cfg Config) (*Evaluator, error) {
 	if f == nil || f.Dim() <= 0 {
 		return nil, errors.New("core: evaluator needs a UDF with positive dimension")
 	}
-	e := &Evaluator{cfg: cfg, f: f, g: gp.New(cfg.Kernel, cfg.Noise)}
+	e := &Evaluator{cfg: cfg, f: f}
+	if cfg.SparseBudget > 0 {
+		sg, err := gp.NewSparse(cfg.Kernel, cfg.Noise, gp.SparseConfig{
+			Budget:    cfg.SparseBudget,
+			Inflate:   cfg.SparseInflate,
+			SwapEvery: cfg.SparseSwapEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		e.sg, e.model = sg, sg
+	} else {
+		e.g = gp.New(cfg.Kernel, cfg.Noise)
+		e.model = e.g
+	}
 	e.epsMC, e.epsGP, e.deltaMC, e.deltaGP = cfg.Split()
 	e.samples = mc.SampleSize(e.epsMC, e.deltaMC, mc.MetricDiscrepancy)
 	if cfg.SampleOverride > 0 {
@@ -63,13 +82,23 @@ func NewEvaluator(f udf.Func, cfg Config) (*Evaluator, error) {
 // Stats returns aggregate counters.
 func (e *Evaluator) Stats() Stats {
 	s := e.stats
-	s.TrainingPoints = e.g.Len()
+	s.TrainingPoints = e.model.Len()
 	return s
 }
 
-// GP exposes the underlying Gaussian process (read-mostly; used by the
-// benchmark harness and tests).
+// GP exposes the underlying exact Gaussian process (read-mostly; used by the
+// benchmark harness and tests). It is nil when the evaluator runs the
+// budgeted sparse emulator — use Model or Sparse then.
 func (e *Evaluator) GP() *gp.GP { return e.g }
+
+// Sparse exposes the budgeted sparse emulator, nil on the exact path.
+func (e *Evaluator) Sparse() *gp.Sparse { return e.sg }
+
+// Model exposes whichever emulator is active.
+func (e *Evaluator) Model() gp.Model { return e.model }
+
+// Points returns the number of absorbed training points on either path.
+func (e *Evaluator) Points() int { return e.model.Len() }
 
 // SampleBudget returns the per-input Monte-Carlo sample count m.
 func (e *Evaluator) SampleBudget() int { return e.samples }
@@ -96,12 +125,16 @@ func (e *Evaluator) addPoint(x []float64, out *Output) error {
 		// posterior; reject it loudly instead.
 		return fmt.Errorf("core: UDF returned %g at %v", y, x)
 	}
-	if err := e.g.Add(x, y); err != nil {
+	if err := e.model.Add(x, y); err != nil {
 		return err
 	}
-	id := e.g.Len() - 1
-	if err := e.tree.Insert(e.g.X(id), id); err != nil {
-		return fmt.Errorf("core: index insert: %w", err)
+	if e.g != nil {
+		// The R-tree only serves local-subset selection on the exact path;
+		// the sparse model's inducing set is its own spatial summary.
+		id := e.g.Len() - 1
+		if err := e.tree.Insert(e.g.X(id), id); err != nil {
+			return fmt.Errorf("core: index insert: %w", err)
+		}
 	}
 	if !e.haveY || y < e.yMin {
 		e.yMin = y
@@ -214,13 +247,19 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 		return nil, err
 	}
 
-	// Step 2: local inference subset around the sample bounding box.
-	box := rtree.BoundingBox(samples)
-	gammaThresh := e.gammaThreshold()
-	ids, gamma := e.selectLocal(samples, gammaThresh)
+	// Step 2: local inference subset around the sample bounding box. On the
+	// sparse path the inducing set IS the sparsity — every prediction is
+	// already O(budget²) — so R-tree subset selection is bypassed and the
+	// local context routes predictions straight to the sparse model.
+	box := sc.box.bounding(samples)
 	lc := &sc.lc
-	if err := e.buildLocal(lc, ids, gamma); err != nil {
-		return nil, err
+	if e.sg != nil {
+		lc.bindSparse(e.sg)
+	} else {
+		ids, gamma := e.selectLocal(samples, e.gammaThreshold())
+		if err := e.buildLocal(lc, ids, gamma); err != nil {
+			return nil, err
+		}
 	}
 
 	means := resizeFloats(&sc.means, m)
@@ -263,7 +302,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 				out.Filtered = true
 				out.SamplesInferred = processed
 				out.TEPUpper = rhoU
-				out.LocalPoints = len(lc.ids)
+				out.LocalPoints = e.localPoints(lc)
 				out.ZAlpha = zA
 				e.stats.Filtered++
 				return out, nil
@@ -302,11 +341,15 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 			}
 			return nil, err
 		}
-		newID := e.g.Len() - 1
-		if err := lc.extend(e, newID); err != nil {
-			// Fall back to a full rebuild if the incremental update failed.
-			if err := e.rebuildLocal(lc, samples); err != nil {
-				return nil, err
+		if e.g != nil {
+			// The sparse model self-updates on Add; only the exact path's
+			// local factorization needs the incremental extension.
+			newID := e.g.Len() - 1
+			if err := lc.extend(e, newID); err != nil {
+				// Fall back to a full rebuild if the incremental update failed.
+				if err := e.rebuildLocal(lc, samples); err != nil {
+					return nil, err
+				}
 			}
 		}
 		// α changed globally, so every sample's mean and variance moves.
@@ -317,10 +360,10 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	if out.PointsAdded > 0 && e.cfg.Retrain != RetrainNever {
 		retrain := e.cfg.Retrain == RetrainEager
 		if !retrain {
-			retrain = e.g.NewtonStep() > e.cfg.DeltaTheta
+			retrain = e.model.NewtonStep() > e.cfg.DeltaTheta
 		}
 		if retrain {
-			if _, err := e.g.Train(gp.TrainConfig{MaxIter: e.cfg.TrainMaxIter}); err != nil {
+			if _, err := e.model.Train(gp.TrainConfig{MaxIter: e.cfg.TrainMaxIter}); err != nil {
 				return nil, fmt.Errorf("core: retrain: %w", err)
 			}
 			e.stats.Retrainings++
@@ -345,7 +388,7 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 		if hi < pred.Theta {
 			out.Filtered = true
 			e.stats.Filtered++
-			out.LocalPoints = len(lc.ids)
+			out.LocalPoints = e.localPoints(lc)
 			out.ZAlpha = zA
 			return out, nil
 		}
@@ -359,23 +402,33 @@ func (e *Evaluator) EvalSamples(samples [][]float64, rng *rand.Rand) (*Output, e
 	out.BoundGP = boundGP
 	out.Bound = boundGP + e.epsMC
 	out.ZAlpha = zA
-	out.LocalPoints = len(lc.ids)
+	out.LocalPoints = e.localPoints(lc)
 	return out, nil
+}
+
+// localPoints reports how many model points backed this tuple's inference:
+// the local subset size on the exact path, the inducing-set size on the
+// sparse path.
+func (e *Evaluator) localPoints(lc *localCtx) int {
+	if e.sg != nil {
+		return e.sg.InducingLen()
+	}
+	return len(lc.ids)
 }
 
 // bootstrap seeds the model with two well-separated samples when the
 // training set is (nearly) empty.
 func (e *Evaluator) bootstrap(samples [][]float64, out *Output) error {
-	if e.g.Len() >= 2 {
+	if e.model.Len() >= 2 {
 		return nil
 	}
-	if e.g.Len() == 0 {
+	if e.model.Len() == 0 {
 		if err := e.addPoint(samples[0], out); err != nil {
 			return err
 		}
 	}
 	// Farthest sample from the first training point.
-	ref := e.g.X(0)
+	ref := e.model.X(0)
 	bestIdx, bestDist := -1, -1.0
 	for i, s := range samples {
 		var d float64
@@ -481,11 +534,7 @@ func (e *Evaluator) verifyFilter(samples [][]float64, means, vars []float64,
 	// duplicate here just means the model already has this point, in which
 	// case the envelope disagreement is irreducible noise — still process
 	// the tuple fully rather than risk a false drop.
-	if err := e.g.Add(x, y); err == nil {
-		id := e.g.Len() - 1
-		if err := e.tree.Insert(e.g.X(id), id); err != nil {
-			return false, fmt.Errorf("core: index insert: %w", err)
-		}
+	if err := e.model.Add(x, y); err == nil {
 		if y < e.yMin {
 			e.yMin = y
 		}
@@ -494,11 +543,17 @@ func (e *Evaluator) verifyFilter(samples [][]float64, means, vars []float64,
 		}
 		e.stats.PointsAdded++
 		out.PointsAdded++
-		if lerr := lc.extend(e, id); lerr != nil {
-			// Rebuild lazily: the caller re-runs predictInto which only
-			// needs a valid factorization; rebuild the local model now.
-			if berr := e.rebuildLocal(lc, samples); berr != nil {
-				return false, berr
+		if e.g != nil {
+			id := e.g.Len() - 1
+			if err := e.tree.Insert(e.g.X(id), id); err != nil {
+				return false, fmt.Errorf("core: index insert: %w", err)
+			}
+			if lerr := lc.extend(e, id); lerr != nil {
+				// Rebuild lazily: the caller re-runs predictInto which only
+				// needs a valid factorization; rebuild the local model now.
+				if berr := e.rebuildLocal(lc, samples); berr != nil {
+					return false, berr
+				}
 			}
 		}
 	}

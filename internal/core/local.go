@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
 	"olgapro/internal/mat"
 	"olgapro/internal/rtree"
@@ -27,17 +28,36 @@ type localCtx struct {
 	chol mat.Cholesky
 	// gamma is the bound on |f̂(x) − f̂_L(x)| achieved by the selection.
 	gamma float64
+	// sp, when non-nil, short-circuits the context to the budgeted sparse
+	// emulator: predictions route straight to its O(m²) inducing-point
+	// factors (no subset, no local Gram), extend is a no-op because the
+	// model self-updates on Add, and gamma is 0 — nothing is dropped, the
+	// approximation error lives in the (inflated) predictive variance
+	// instead.
+	sp *gp.Sparse
+}
+
+// bindSparse points the context at the sparse emulator, clearing any exact
+// local-subset state.
+func (lc *localCtx) bindSparse(sp *gp.Sparse) {
+	lc.sp = sp
+	lc.ids = lc.ids[:0]
+	lc.xs = lc.xs[:0]
+	lc.gamma = 0
 }
 
 // predictBuf is one worker's reusable inference buffers: the kernel
-// cross-vector and the forward-solve half of the variance computation.
+// cross-vector and the forward-solve half of the variance computation, plus
+// a gp.Scratch for the sparse path's two solve pairs.
 type predictBuf struct {
 	k, v []float64
+	gs   gp.Scratch
 }
 
 // buildLocal (re)factorizes the Gram matrix of the selected points into lc,
 // reusing its storage. ids is copied, so callers may reuse the backing.
 func (e *Evaluator) buildLocal(lc *localCtx, ids []int, gamma float64) error {
+	lc.sp = nil
 	lc.gamma = gamma
 	lc.ids = append(lc.ids[:0], ids...)
 	lc.xs = lc.xs[:0]
@@ -59,6 +79,12 @@ func (e *Evaluator) buildLocal(lc *localCtx, ids []int, gamma float64) error {
 // lc in place — the fallback used whenever the incremental extend fails or
 // hyperparameters changed under the context.
 func (e *Evaluator) rebuildLocal(lc *localCtx, samples [][]float64) error {
+	if e.sg != nil {
+		// The sparse model maintains its own factors (Train rebuilds them);
+		// just re-bind.
+		lc.bindSparse(e.sg)
+		return nil
+	}
 	ids, gamma := e.selectLocal(samples, e.gammaThreshold())
 	return e.buildLocal(lc, ids, gamma)
 }
@@ -66,6 +92,9 @@ func (e *Evaluator) rebuildLocal(lc *localCtx, samples [][]float64) error {
 // extend adds the training point with the given global index (which must
 // already be in the evaluator's GP) to the local subset in O(l²).
 func (lc *localCtx) extend(e *Evaluator, id int) error {
+	if lc.sp != nil {
+		return nil // the sparse model already absorbed the point in Add
+	}
 	x := e.g.X(id)
 	pb := e.scratch.buf(0)
 	k := resizeFloats(&pb.k, len(lc.xs))
@@ -85,6 +114,9 @@ func (lc *localCtx) extend(e *Evaluator, id int) error {
 // size. The local variance conditions on fewer points than the global one,
 // so it is an overestimate — conservative for the error bound.
 func (lc *localCtx) predict(e *Evaluator, x []float64, pb *predictBuf) (mean, variance float64) {
+	if lc.sp != nil {
+		return lc.sp.PredictWith(&pb.gs, x)
+	}
 	prior := e.cfg.Kernel.Eval(x, x)
 	if len(lc.xs) == 0 {
 		return 0, prior
@@ -172,8 +204,8 @@ func (e *Evaluator) selectLocal(samples [][]float64, gammaThresh float64) (ids [
 	if e.cfg.GlobalInference || !isIso || n <= 8 {
 		return all(), 0
 	}
-	box := rtree.BoundingBox(samples)
-	boxes := subBoxes(samples)
+	box := sc.box.bounding(samples)
+	boxes := sc.box.sub(samples, box)
 	// Initial radius: optimistic — as if only the single largest-weight
 	// excluded point mattered, κ(r)·max|α| ≤ Γ. The γ bound below is the
 	// actual guarantee; starting small and growing keeps the selected
@@ -247,42 +279,16 @@ func (e *Evaluator) gammaBound(iso kernel.Isotropic, sel *markSet, boxes []rtree
 	return worst
 }
 
-// subBoxes partitions samples into up-to-2^d sub-boxes split at the overall
-// box center and returns the tight bounding box of each non-empty cell —
-// the refinement the paper notes makes γ tighter. For d > 3 (2^d cells stop
-// paying off) a single box is used.
-func subBoxes(samples [][]float64) []rtree.Rect {
-	d := len(samples[0])
-	if d > 3 || len(samples) < 16 {
-		return []rtree.Rect{rtree.BoundingBox(samples)}
-	}
-	box := rtree.BoundingBox(samples)
-	cells := make(map[int][][]float64)
-	for _, s := range samples {
-		key := 0
-		for j := 0; j < d; j++ {
-			if s[j] > (box.Lo[j]+box.Hi[j])/2 {
-				key |= 1 << j
-			}
-		}
-		cells[key] = append(cells[key], s)
-	}
-	out := make([]rtree.Rect, 0, len(cells))
-	for _, pts := range cells {
-		out = append(out, rtree.BoundingBox(pts))
-	}
-	return out
-}
-
 // domainDiameter estimates the largest distance in the training domain so
 // radius growth terminates.
 func (e *Evaluator) domainDiameter() float64 {
 	if e.g.Len() == 0 {
 		return 1
 	}
+	sc := &e.scratch
 	first := e.g.X(0)
-	lo := mat.CloneVec(first)
-	hi := mat.CloneVec(first)
+	lo := append(sc.domLo[:0], first...)
+	hi := append(sc.domHi[:0], first...)
 	for i := 1; i < e.g.Len(); i++ {
 		for j, v := range e.g.X(i) {
 			if v < lo[j] {
@@ -293,6 +299,7 @@ func (e *Evaluator) domainDiameter() float64 {
 			}
 		}
 	}
+	sc.domLo, sc.domHi = lo, hi
 	var s float64
 	for j := range lo {
 		d := hi[j] - lo[j]
@@ -325,5 +332,9 @@ func (e *Evaluator) GammaBoundForBoxes(selected map[int]bool, boxes []rtree.Rect
 	return e.gammaBound(iso, &sel, boxes)
 }
 
-// SubBoxes exposes the sample-partitioning refinement of §5.1.
-func SubBoxes(samples [][]float64) []rtree.Rect { return subBoxes(samples) }
+// SubBoxes exposes the sample-partitioning refinement of §5.1. Unlike the
+// evaluator's internal scratch-backed path it returns freshly owned rects.
+func SubBoxes(samples [][]float64) []rtree.Rect {
+	var b boxScratch
+	return b.sub(samples, rtree.BoundingBox(samples))
+}

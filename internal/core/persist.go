@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
 )
 
@@ -20,8 +21,10 @@ const (
 	snapshotMagic = "olgapro-snap\n"
 	// SnapshotVersion is the current snapshot format version. Version 1 is
 	// the headerless gob of PR ≤ 4; version 2 added the header and the
-	// Noise field.
-	SnapshotVersion = 2
+	// Noise field; version 3 added the sparse-model fields (SparseBudget et
+	// al.). Gob decodes absent fields as zero values, so this build still
+	// reads v2 (and v1) files — they restore as exact models.
+	SnapshotVersion = 3
 )
 
 // Snapshot is the serializable state of a trained evaluator: the training
@@ -45,6 +48,19 @@ type Snapshot struct {
 	// X and Y are the training pairs.
 	X [][]float64
 	Y []float64
+	// SparseBudget, when positive, marks the snapshot as a budgeted sparse
+	// model (version ≥ 3); the remaining Sparse* fields mirror
+	// gp.SparseConfig plus the inducing-point indices into X. Zero (the gob
+	// default when decoding older files) means an exact model.
+	SparseBudget int
+	// SparseTau is the admission threshold on relative novelty.
+	SparseTau float64
+	// SparseInflate is the predictive-standard-deviation inflation factor.
+	SparseInflate float64
+	// SparseSwapEvery is the inducing-set maintenance cadence.
+	SparseSwapEvery int
+	// SparseInducing are the indices into X of the inducing points.
+	SparseInducing []int
 }
 
 // kernelName maps a kernel to its registry name.
@@ -104,14 +120,22 @@ func (e *Evaluator) Snapshot() (*Snapshot, error) {
 		KernelName:   name,
 		KernelParams: e.cfg.Kernel.Params(nil),
 		ARDDim:       ardDim,
-		Noise:        e.g.Noise(),
+		Noise:        e.model.Noise(),
 	}
-	for i := 0; i < e.g.Len(); i++ {
-		x := e.g.X(i)
+	for i := 0; i < e.model.Len(); i++ {
+		x := e.model.X(i)
 		cp := make([]float64, len(x))
 		copy(cp, x)
 		s.X = append(s.X, cp)
-		s.Y = append(s.Y, e.g.Y(i))
+		s.Y = append(s.Y, e.model.Y(i))
+	}
+	if e.sg != nil {
+		sc := e.sg.Config()
+		s.SparseBudget = sc.Budget
+		s.SparseTau = sc.Tau
+		s.SparseInflate = sc.Inflate
+		s.SparseSwapEvery = sc.SwapEvery
+		s.SparseInducing = append([]int(nil), e.sg.Inducing()...)
 	}
 	return s, nil
 }
@@ -201,17 +225,47 @@ func Restore(f interface {
 		if len(x) != f.Dim() {
 			return nil, fmt.Errorf("core: snapshot point %d has dim %d, UDF wants %d", i, len(x), f.Dim())
 		}
-		if err := ev.g.Add(x, s.Y[i]); err != nil {
-			return nil, fmt.Errorf("core: snapshot point %d: %w", i, err)
+	}
+	if s.SparseBudget > 0 {
+		// Sparse snapshot: rebuild the model canonically from the persisted
+		// training set and inducing indices. Restoring a sparse snapshot
+		// always yields a sparse evaluator — the snapshot's budget overrides
+		// cfg.SparseBudget — because the exact factors the snapshot's author
+		// discarded cannot be recovered per-point-order-faithfully anyway.
+		ev.cfg.SparseBudget = s.SparseBudget
+		ev.cfg.SparseInflate = s.SparseInflate
+		ev.cfg.SparseSwapEvery = s.SparseSwapEvery
+		sg, err := gp.NewSparseFromState(ev.cfg.Kernel, ev.cfg.Noise, gp.SparseConfig{
+			Budget:    s.SparseBudget,
+			Tau:       s.SparseTau,
+			Inflate:   s.SparseInflate,
+			SwapEvery: s.SparseSwapEvery,
+		}, s.X, s.Y, s.SparseInducing)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore sparse model: %w", err)
 		}
-		if err := ev.tree.Insert(ev.g.X(ev.g.Len()-1), ev.g.Len()-1); err != nil {
-			return nil, fmt.Errorf("core: snapshot index %d: %w", i, err)
+		ev.sg, ev.model, ev.g = sg, sg, nil
+	} else {
+		// Exact snapshot. If cfg asked for a sparse model, migrate by
+		// replaying the pairs through sparse admission; otherwise replay into
+		// the exact factors plus the R-tree.
+		for i, x := range s.X {
+			if err := ev.model.Add(x, s.Y[i]); err != nil {
+				return nil, fmt.Errorf("core: snapshot point %d: %w", i, err)
+			}
+			if ev.g != nil {
+				if err := ev.tree.Insert(ev.g.X(ev.g.Len()-1), ev.g.Len()-1); err != nil {
+					return nil, fmt.Errorf("core: snapshot index %d: %w", i, err)
+				}
+			}
 		}
-		if !ev.haveY || s.Y[i] < ev.yMin {
-			ev.yMin = s.Y[i]
+	}
+	for _, y := range s.Y {
+		if !ev.haveY || y < ev.yMin {
+			ev.yMin = y
 		}
-		if !ev.haveY || s.Y[i] > ev.yMax {
-			ev.yMax = s.Y[i]
+		if !ev.haveY || y > ev.yMax {
+			ev.yMax = y
 		}
 		ev.haveY = true
 	}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
 	"olgapro/internal/udf"
 )
@@ -166,6 +168,163 @@ func TestSnapshotVersioning(t *testing.T) {
 	}
 	if len(got.X) != len(snap.X) {
 		t.Fatalf("legacy snapshot lost training points: %d vs %d", len(got.X), len(snap.X))
+	}
+}
+
+// snapshotV2 is the exact field set the version-2 writer (PR 5/6) gob-encoded
+// — no Sparse* fields. Gob matches struct fields by name, so encoding this
+// local type reproduces a v2 byte stream faithfully.
+type snapshotV2 struct {
+	Version      int
+	KernelName   string
+	KernelParams []float64
+	ARDDim       int
+	Noise        float64
+	X            [][]float64
+	Y            []float64
+}
+
+// v2Bytes hand-crafts a version-2 snapshot file: magic, little-endian
+// version word, then the v2-era gob payload.
+func v2Bytes(t *testing.T, s snapshotV2) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("olgapro-snap\n")
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], 2)
+	buf.Write(ver[:])
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// A v2 snapshot written before the sparse fields existed must keep loading:
+// the absent fields gob-decode to zero, which Restore reads as "exact model".
+func TestSnapshotV2BackwardCompat(t *testing.T) {
+	old := snapshotV2{
+		Version:      2,
+		KernelName:   "matern32",
+		KernelParams: kernel.NewMatern32(1.3, 0.8).Params(nil),
+		Noise:        1e-6,
+		X:            [][]float64{{1}, {2}, {3.5}},
+		Y:            []float64{2, 4, 7},
+	}
+	f := udf.FuncOf{D: 1, F: func(x []float64) float64 { return 2 * x[0] }}
+
+	ev, err := Load(f, Config{}, v2Bytes(t, old))
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if ev.Sparse() != nil {
+		t.Fatal("v2 snapshot restored as a sparse model")
+	}
+	if ev.GP() == nil || ev.GP().Len() != len(old.X) {
+		t.Fatalf("v2 restore lost training points: %d, want %d", ev.Points(), len(old.X))
+	}
+	if math.Abs(ev.Model().Noise()-old.Noise) > 0 {
+		t.Fatalf("v2 restore noise %g, want %g", ev.Model().Noise(), old.Noise)
+	}
+	// The interpolant reproduces its training outputs.
+	var sc gp.Scratch
+	m, _ := ev.Model().PredictWith(&sc, []float64{2})
+	if math.Abs(m-4) > 1e-3 {
+		t.Fatalf("v2 restore predicts %g at a training point with y=4", m)
+	}
+
+	// Loading the same v2 file under a sparse config migrates it: the pairs
+	// replay through sparse admission instead of the exact factors.
+	sp, err := Load(f, Config{SparseBudget: 8}, v2Bytes(t, old))
+	if err != nil {
+		t.Fatalf("v2 → sparse migration failed: %v", err)
+	}
+	if sp.Sparse() == nil {
+		t.Fatal("sparse config ignored when migrating a v2 snapshot")
+	}
+	if sp.Points() != len(old.X) {
+		t.Fatalf("migration lost points: %d, want %d", sp.Points(), len(old.X))
+	}
+	if got := sp.Sparse().InducingLen(); got < 1 || got > 8 {
+		t.Fatalf("migrated inducing set has %d points, want 1..8", got)
+	}
+}
+
+// A sparse evaluator survives save → load with its budget, inducing set, and
+// served bytes intact: both sides' frozen clones are canonical rebuilds from
+// the same state, so their predictions must agree bit-for-bit.
+func TestSparseSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := udf.Standard(udf.F3, 31)
+	ev, err := NewEvaluator(f, Config{
+		Kernel:       kernel.NewSqExp(0.5, 1.5),
+		SparseBudget: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := ev.Eval(gaussianInput(randomCenter(rng, 2), 0.5), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev.Sparse() == nil {
+		t.Fatal("evaluator did not come up sparse")
+	}
+
+	// The snapshot records the sparse shape.
+	snap, err := ev.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SparseBudget != 24 {
+		t.Fatalf("snapshot budget %d, want 24", snap.SparseBudget)
+	}
+	if len(snap.SparseInducing) != ev.Sparse().InducingLen() {
+		t.Fatalf("snapshot has %d inducing indices, model has %d",
+			len(snap.SparseInducing), ev.Sparse().InducingLen())
+	}
+
+	// Restoring with a plain config still yields a sparse model: the
+	// snapshot's budget wins.
+	restored, err := Load(f, Config{}, mustSave(t, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Sparse() == nil {
+		t.Fatal("sparse snapshot restored as an exact model")
+	}
+	if restored.Points() != ev.Points() {
+		t.Fatalf("restored %d points, want %d", restored.Points(), ev.Points())
+	}
+	ind, rind := ev.Sparse().Inducing(), restored.Sparse().Inducing()
+	if len(ind) != len(rind) {
+		t.Fatalf("restored %d inducing points, want %d", len(rind), len(ind))
+	}
+	for i := range ind {
+		if ind[i] != rind[i] {
+			t.Fatalf("inducing set differs at %d: %d vs %d", i, rind[i], ind[i])
+		}
+	}
+
+	// Frozen clones on both sides rebuild canonically from identical state
+	// and must serve bit-identical numbers.
+	c1, err := ev.CloneFrozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := restored.CloneFrozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc1, sc2 gp.Scratch
+	for trial := 0; trial < 50; trial++ {
+		x := randomCenter(rng, 2)
+		m1, v1 := c1.Model().PredictWith(&sc1, x)
+		m2, v2 := c2.Model().PredictWith(&sc2, x)
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("sparse restore not bit-identical at %v: (%g,%g) vs (%g,%g)",
+				x, m1, v1, m2, v2)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"olgapro/internal/ecdf"
 	"olgapro/internal/mat"
+	"olgapro/internal/rtree"
 )
 
 // evalScratch is the persistent per-evaluator workspace behind the
@@ -32,6 +33,9 @@ type evalScratch struct {
 	idBuf []int       // selectLocal id staging (copied into lc by buildLocal)
 	gram  *mat.Matrix // local Gram staging for buildLocal
 
+	box          boxScratch // sample bounding-box and sub-box buffers
+	domLo, domHi []float64  // domainDiameter extent buffers
+
 	pbufs []predictBuf // per-worker inference buffers; index 0 is sequential
 
 	tuneMeans, tuneVars []float64 // pickOptimalGreedy evaluation-subset moments
@@ -46,6 +50,82 @@ type evalScratch struct {
 	tuneK      []float64   // candidate cross-vector k_c
 	tuneU      []float64   // candidate solve u_c = K_L⁻¹ k_c
 	tuneCC     []float64   // candidate↔eval kernel values k(x_c, x_j)
+}
+
+// boxScratch owns the per-tuple sample bounding box and the §5.1 sub-box
+// partition. Both are recomputed every tuple from scratch-backed slices, so
+// the steady state pays no allocation for them; the returned rects alias the
+// scratch and are valid only until the next bounding/sub call.
+type boxScratch struct {
+	lo, hi []float64          // overall bounding-box backing
+	cells  [1 << 3]rtree.Rect // per-cell tight boxes (d ≤ 3), backings reused
+	used   [1 << 3]bool
+	out    []rtree.Rect // returned sub-box headers
+}
+
+// bounding computes the tight bounding box of samples into the reused
+// backing arrays.
+func (b *boxScratch) bounding(samples [][]float64) rtree.Rect {
+	b.lo = append(b.lo[:0], samples[0]...)
+	b.hi = append(b.hi[:0], samples[0]...)
+	for _, p := range samples[1:] {
+		for i, v := range p {
+			if v < b.lo[i] {
+				b.lo[i] = v
+			}
+			if v > b.hi[i] {
+				b.hi[i] = v
+			}
+		}
+	}
+	return rtree.Rect{Lo: b.lo, Hi: b.hi}
+}
+
+// sub partitions samples into up-to-2^d sub-boxes split at the overall box
+// center and returns the tight bounding box of each non-empty cell — the
+// refinement the paper notes makes γ tighter. For d > 3 (2^d cells stop
+// paying off) or few samples a single box is used. box must be the bounding
+// box of samples.
+func (b *boxScratch) sub(samples [][]float64, box rtree.Rect) []rtree.Rect {
+	d := len(samples[0])
+	out := b.out[:0]
+	if d > 3 || len(samples) < 16 {
+		b.out = append(out, box)
+		return b.out
+	}
+	for k := range b.used {
+		b.used[k] = false
+	}
+	for _, s := range samples {
+		key := 0
+		for j := 0; j < d; j++ {
+			if s[j] > (box.Lo[j]+box.Hi[j])/2 {
+				key |= 1 << j
+			}
+		}
+		c := &b.cells[key]
+		if !b.used[key] {
+			b.used[key] = true
+			c.Lo = append(c.Lo[:0], s...)
+			c.Hi = append(c.Hi[:0], s...)
+		} else {
+			for j, v := range s {
+				if v < c.Lo[j] {
+					c.Lo[j] = v
+				}
+				if v > c.Hi[j] {
+					c.Hi[j] = v
+				}
+			}
+		}
+	}
+	for k := 0; k < 1<<d; k++ {
+		if b.used[k] {
+			out = append(out, b.cells[k])
+		}
+	}
+	b.out = out
+	return out
 }
 
 // resizeRows grows *buf to n row headers, reusing capacity.

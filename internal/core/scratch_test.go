@@ -74,11 +74,11 @@ func TestSelectLocalReusesScratch(t *testing.T) {
 			t.Fatalf("selection size changed: %d → %d", n1, len(ids))
 		}
 	})
-	// subBoxes still allocates its per-tuple cell map and rects; the bound
-	// guards against reintroducing per-radius-step O(n) structures (the
-	// map[int]bool this path used to rebuild on every growth step).
-	if allocs > 40 {
-		t.Fatalf("selectLocal allocates %.1f per run, want ≤ 40", allocs)
+	// Everything — bounding box, sub-box cells, membership marks, id staging,
+	// domain extents — lives in evalScratch now; a warm selection allocates
+	// nothing.
+	if allocs != 0 {
+		t.Fatalf("selectLocal allocates %.1f per run, want 0", allocs)
 	}
 }
 

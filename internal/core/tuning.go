@@ -20,6 +20,12 @@ func (e *Evaluator) pickSample(samples [][]float64, means, vars []float64,
 	case TuneRandom:
 		return pickRandom(len(samples), skip, rng)
 	case TuneOptimalGreedy:
+		if e.sg != nil {
+			// The greedy simulation borders the exact local Cholesky factor;
+			// the sparse emulator has no such factor (admission may not even
+			// grow the basis), so fall back to the paper's heuristic.
+			return pickMaxVariance(vars, skip)
+		}
 		return e.pickOptimalGreedy(samples, means, vars, lc, lambda, zAlpha, skip, rng)
 	default:
 		return pickMaxVariance(vars, skip)

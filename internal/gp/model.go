@@ -1,0 +1,35 @@
+package gp
+
+import "olgapro/internal/kernel"
+
+// Model is the emulator surface core.Evaluator drives: the exact GP and the
+// budgeted Sparse approximation are interchangeable behind it. Mutating
+// methods (Add, Train) must not be called concurrently; PredictWith with a
+// caller-owned Scratch is safe from multiple goroutines on a frozen model.
+type Model interface {
+	// Kernel returns the model's kernel (shared, not a copy).
+	Kernel() kernel.Kernel
+	// Noise returns the observation-noise variance.
+	Noise() float64
+	// Len returns the number of absorbed training points.
+	Len() int
+	// X returns training input i (not a copy); Y its observed output.
+	X(i int) []float64
+	Y(i int) float64
+	// Add absorbs one training pair; the input slice is copied.
+	Add(x []float64, y float64) error
+	// PredictWith returns the posterior mean and variance at x using
+	// caller-provided scratch, allocation-free in the steady state.
+	PredictWith(s *Scratch, x []float64) (mean, variance float64)
+	// NewtonStep returns the §5.3 retraining heuristic: the norm of one
+	// diagonal-Newton step on the log marginal likelihood.
+	NewtonStep() float64
+	// Train learns kernel hyperparameters by maximum likelihood and leaves
+	// the model refit at the final parameters.
+	Train(cfg TrainConfig) (TrainResult, error)
+}
+
+var (
+	_ Model = (*GP)(nil)
+	_ Model = (*Sparse)(nil)
+)

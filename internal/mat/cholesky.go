@@ -190,6 +190,20 @@ func (c *Cholesky) ForwardSolveTo(dst, b []float64) []float64 {
 	return dst
 }
 
+// BackSolveTo solves Lᵀ x = y into dst, which must have length Size.
+// dst may alias y. It completes a ForwardSolveTo half-solve into a full
+// A⁻¹ application: x = L⁻ᵀ(L⁻¹b) = A⁻¹b. It returns dst.
+func (c *Cholesky) BackSolveTo(dst, y []float64) []float64 {
+	if len(y) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky backward lengths %d, %d ≠ %d", len(dst), len(y), c.n))
+	}
+	if c.n > 0 && &dst[0] != &y[0] {
+		copy(dst, y)
+	}
+	c.backwardInPlace(dst)
+	return dst
+}
+
 // Solve solves A X = B column-by-column and returns X.
 func (c *Cholesky) Solve(b *Matrix) *Matrix {
 	if b.Rows() != c.n {
@@ -281,6 +295,44 @@ func (c *Cholesky) Extend(k []float64, kappa float64) error {
 	}
 	row[c.n] = math.Sqrt(schur)
 	c.n++
+	return nil
+}
+
+// Rank1Update updates the factorization of A to that of A + v vᵀ in O(n²)
+// without re-factorizing, using the hyperbolic-rotation (LINPACK dchud style)
+// sweep: column j of the update vector is absorbed into pivot j by the Givens
+// rotation with c = L'ⱼⱼ/Lⱼⱼ, s = vⱼ/Lⱼⱼ, and the remainder of v is rotated
+// against column j of L. Because A + vvᵀ is positive definite whenever A is,
+// the sweep cannot fail for finite inputs; NaN/Inf contamination is still
+// detected and reported as ErrNotSPD with the factor left unusable for
+// further updates (callers should refactorize).
+//
+// v must have length Size and is OVERWRITTEN (it is the sweep's working
+// buffer); pass a scratch copy to keep the original. This is the primitive
+// behind the sparse-GP information-matrix maintenance: absorbing one
+// observation into M = σ²I + ΦᵀΦ is exactly a rank-1 update of its factor.
+func (c *Cholesky) Rank1Update(v []float64) error {
+	if len(v) != c.n {
+		panic(fmt.Sprintf("mat: cholesky rank-1 update length %d ≠ %d", len(v), c.n))
+	}
+	for j := 0; j < c.n; j++ {
+		rowj := c.rowL(j)
+		ljj := rowj[j]
+		r := math.Hypot(ljj, v[j])
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("%w: rank-1 update pivot %d is %g", ErrNotSPD, j, r)
+		}
+		cs := r / ljj
+		sn := v[j] / ljj
+		rowj[j] = r
+		// Column j of L lives strided across the later packed rows.
+		for k := j + 1; k < c.n; k++ {
+			rowk := c.rowL(k)
+			lkj := (rowk[j] + sn*v[k]) / cs
+			v[k] = cs*v[k] - sn*lkj
+			rowk[j] = lkj
+		}
+	}
 	return nil
 }
 

@@ -390,3 +390,102 @@ func BenchmarkCholeskyExtend128(b *testing.B) {
 		}
 	}
 }
+
+func TestCholeskyRank1UpdateMatchesRefactorize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randomSPD(rng, n)
+		var c Cholesky
+		if err := c.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		// A' = A + vvᵀ, both incrementally and from scratch.
+		vc := make([]float64, n)
+		copy(vc, v)
+		if err := c.Rank1Update(vc); err != nil {
+			t.Fatalf("n=%d: Rank1Update: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Add(i, j, v[i]*v[j])
+			}
+		}
+		var batch Cholesky
+		if err := batch.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(c.L(), batch.L(), 1e-8*a.MaxAbs()) {
+			t.Fatalf("n=%d: rank-1 updated factor ≠ batch factor", n)
+		}
+	}
+}
+
+func TestCholeskyRank1UpdateChain(t *testing.T) {
+	// Many consecutive updates must stay consistent with the accumulated
+	// matrix — this is exactly the sparse-GP absorb pattern.
+	rng := rand.New(rand.NewSource(12))
+	n := 8
+	a := randomSPD(rng, n)
+	var c Cholesky
+	if err := c.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, n)
+	vc := make([]float64, n)
+	for step := 0; step < 50; step++ {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		copy(vc, v)
+		if err := c.Rank1Update(vc); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Add(i, j, v[i]*v[j])
+			}
+		}
+	}
+	recon := Mul(c.L(), c.L().T())
+	if !Equal(recon, a, 1e-8*a.MaxAbs()) {
+		t.Fatal("chained rank-1 updates diverged from accumulated matrix")
+	}
+	// The factor must still solve correctly.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := c.SolveVec(b)
+	res := a.MulVec(x)
+	for i := range res {
+		if !almostEqual(res[i], b[i], 1e-6*(1+math.Abs(b[i]))) {
+			t.Fatalf("residual[%d] = %g", i, res[i]-b[i])
+		}
+	}
+}
+
+func TestCholeskyRank1UpdateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 16
+	a := randomSPD(rng, n)
+	var c Cholesky
+	if err := c.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range v {
+			v[i] = 0.01
+		}
+		if err := c.Rank1Update(v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Rank1Update allocated %v times per run, want 0", allocs)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"olgapro/internal/exec"
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
+	"olgapro/internal/server/wire"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -72,6 +73,11 @@ type RegisterSpec struct {
 	// Zero selects the paper defaults (0.1, 0.05).
 	Eps   float64 `json:"eps,omitempty"`
 	Delta float64 `json:"delta,omitempty"`
+	// Sparse, when set, serves this instance on the budgeted sparse emulator
+	// instead of the exact GP. Persisted in the snapshot metadata so a
+	// boot-time restore re-applies it (the snapshot itself also carries the
+	// sparse state from format v3 on).
+	Sparse *wire.SparseSpec `json:"sparse,omitempty"`
 }
 
 func (s RegisterSpec) withDefaults() (RegisterSpec, error) {
@@ -86,6 +92,12 @@ func (s RegisterSpec) withDefaults() (RegisterSpec, error) {
 	}
 	if s.Eps < 0 || s.Delta < 0 {
 		return s, fmt.Errorf("server: negative eps/delta (%g, %g)", s.Eps, s.Delta)
+	}
+	if s.Sparse != nil {
+		var probe core.Config
+		if err := s.Sparse.Apply(&probe); err != nil {
+			return s, err
+		}
 	}
 	return s, nil
 }
@@ -136,7 +148,7 @@ func (e *udfEntry) Spec() RegisterSpec { return e.spec }
 
 // startWriter runs the single-writer loop that owns ev.
 func (e *udfEntry) startWriter(ev *core.Evaluator) {
-	e.trainPts.Store(int64(ev.GP().Len()))
+	e.trainPts.Store(int64(ev.Points()))
 	go func() {
 		defer close(e.done)
 		for {
@@ -145,7 +157,7 @@ func (e *udfEntry) startWriter(ev *core.Evaluator) {
 				return
 			case req := <-e.reqs:
 				req.resp <- req.fn(ev)
-				e.trainPts.Store(int64(ev.GP().Len()))
+				e.trainPts.Store(int64(ev.Points()))
 			}
 		}
 	}()
@@ -246,7 +258,7 @@ func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
 		return nil
 	}
 	return e.withWriter(ctx, func(ev *core.Evaluator) error {
-		if ev.GP().Len() < 2 {
+		if ev.Points() < 2 {
 			return errNotWarm
 		}
 		c, err := ev.CloneFrozen()
@@ -254,7 +266,7 @@ func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
 			return err
 		}
 		s.eng = query.NewEvaluatorEngine(c)
-		s.points = ev.GP().Len()
+		s.points = ev.Points()
 		return nil
 	})
 }
@@ -307,7 +319,7 @@ func (e *udfEntry) frozenPool(ctx context.Context, max int) (*exec.Pool, func(),
 // snapshot serializes the current model state.
 func (e *udfEntry) snapshot(ctx context.Context, w io.Writer) (points int, err error) {
 	err = e.withWriter(ctx, func(ev *core.Evaluator) error {
-		points = ev.GP().Len()
+		points = ev.Points()
 		return ev.Save(w)
 	})
 	return points, err
@@ -392,6 +404,11 @@ func (r *Registry) Register(spec RegisterSpec, snapshot io.Reader) (*udfEntry, e
 		return nil, err
 	}
 	cfg := core.Config{Eps: spec.Eps, Delta: spec.Delta, Kernel: def.kernel()}
+	if spec.Sparse != nil {
+		if err := spec.Sparse.Apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	var ev *core.Evaluator
 	if snapshot != nil {
 		ev, err = core.Load(def.mkUDF(), cfg, snapshot)

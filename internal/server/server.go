@@ -335,6 +335,7 @@ type registerRequest struct {
 	UDF        string           `json:"udf"`
 	Eps        float64          `json:"eps,omitempty"`
 	Delta      float64          `json:"delta,omitempty"`
+	Sparse     *wire.SparseSpec `json:"sparse,omitempty"`
 	Warmup     []wire.InputSpec `json:"warmup,omitempty"`
 	WarmupSeed int64            `json:"warmup_seed,omitempty"`
 }
@@ -347,6 +348,9 @@ type udfInfo struct {
 	Delta          float64 `json:"delta"`
 	TrainingPoints int64   `json:"training_points"`
 	MCSamples      int     `json:"mc_samples_per_input"`
+	// SparseBudget is the inducing-point cap when the instance runs on the
+	// budgeted sparse emulator; 0 means the exact GP.
+	SparseBudget int `json:"sparse_budget,omitempty"`
 }
 
 func infoOf(e *udfEntry) udfInfo {
@@ -358,6 +362,7 @@ func infoOf(e *udfEntry) udfInfo {
 		Delta:          e.cfg.Delta,
 		TrainingPoints: e.trainPts.Load(),
 		MCSamples:      e.mcSamples,
+		SparseBudget:   e.cfg.SparseBudget,
 	}
 }
 
@@ -378,6 +383,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := s.reg.Register(RegisterSpec{
 		Name: req.Name, UDF: req.UDF, Eps: req.Eps, Delta: req.Delta,
+		Sparse: req.Sparse,
 	}, nil)
 	if err != nil {
 		status := http.StatusBadRequest

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 
+	"olgapro/internal/core"
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
 )
@@ -31,6 +32,38 @@ func (s PredicateSpec) Predicate() (*mc.Predicate, error) {
 // SpecOfPredicate is the inverse of Predicate.
 func SpecOfPredicate(p *mc.Predicate) PredicateSpec {
 	return PredicateSpec{A: p.A, B: p.B, Theta: p.Theta}
+}
+
+// SparseSpec is the wire form of the budgeted sparse emulator knobs
+// (core.Config.Sparse*): a positive budget replaces the exact O(n²)-per-add
+// GP with the inducing-point approximation whose per-add and per-predict
+// cost is O(budget²) forever, independent of how many points the instance
+// has learned:
+//
+//	{"budget": 256, "inflate": 1.1, "swap_every": 64}
+type SparseSpec struct {
+	// Budget is the inducing-point cap m (≥ 2).
+	Budget int `json:"budget"`
+	// Inflate widens the predictive standard deviation (≥ 1); 0 selects the
+	// model default.
+	Inflate float64 `json:"inflate,omitempty"`
+	// SwapEvery is the basis-maintenance cadence; 0 selects the budget,
+	// negative disables swapping.
+	SwapEvery int `json:"swap_every,omitempty"`
+}
+
+// Apply validates the spec and writes it into cfg.
+func (s SparseSpec) Apply(cfg *core.Config) error {
+	if s.Budget < 2 {
+		return fmt.Errorf("wire: sparse budget %d must be ≥ 2", s.Budget)
+	}
+	if s.Inflate < 0 || (s.Inflate > 0 && s.Inflate < 1) {
+		return fmt.Errorf("wire: sparse inflate %g must be ≥ 1 (or 0 for the default)", s.Inflate)
+	}
+	cfg.SparseBudget = s.Budget
+	cfg.SparseInflate = s.Inflate
+	cfg.SparseSwapEvery = s.SwapEvery
+	return nil
 }
 
 // StatSpec is the wire form of the statistic bounded operators rank and

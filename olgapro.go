@@ -297,11 +297,11 @@ func QuantileStat(p float64) Stat { return query.QuantileStat(p) }
 
 // CountAgg, SumAgg, AvgAgg, MinAgg, MaxAgg build aggregate columns for
 // Window/GroupBy specs (see query.Agg for the Stat/As modifiers).
-func CountAgg() Agg           { return query.Count() }
-func SumAgg(attr string) Agg  { return query.Sum(attr) }
-func AvgAgg(attr string) Agg  { return query.Avg(attr) }
-func MinAgg(attr string) Agg  { return query.Min(attr) }
-func MaxAgg(attr string) Agg  { return query.Max(attr) }
+func CountAgg() Agg          { return query.Count() }
+func SumAgg(attr string) Agg { return query.Sum(attr) }
+func AvgAgg(attr string) Agg { return query.Avg(attr) }
+func MinAgg(attr string) Agg { return query.Min(attr) }
+func MaxAgg(attr string) Agg { return query.Max(attr) }
 
 // Parallel execution (internal/exec): run the UDF-application stage of a
 // query across a worker pool with deterministic, order-preserving semantics
