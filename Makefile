@@ -10,12 +10,13 @@ BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_MAX_REGRESS ?= 0.35
 
 # Coverage gate: these packages carry the statistical-guarantee machinery
-# (including the budgeted sparse-GP inference paths), and the network
-# serving layer, and must stay above the floor.
-COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/gp ./internal/core ./internal/server ./internal/server/wire
+# (including the budgeted sparse-GP inference paths), the network serving
+# layer, the fleet router/replicator, and the public client, and must stay
+# above the floor.
+COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/gp ./internal/core ./internal/server ./internal/server/wire ./internal/fleet ./client
 COVER_MIN ?= 70
 
-.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e lint ci
+.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e e2e-fleet lint ci
 
 build:
 	$(GO) build ./...
@@ -87,7 +88,16 @@ fuzz-smoke:
 # replay → snapshot → SIGTERM drain → restart → replay the same seeds —
 # failing on any byte of divergence or any served Bound > ε.
 e2e:
-	$(GO) test -count=1 -v -run TestE2E ./e2e
+	$(GO) test -count=1 -v -run 'TestE2ESnapshotRestartReplay|TestE2ESparseSnapshotRestartReplay' ./e2e
+
+# e2e-fleet is the sharded-fleet gate: olgarouter over two olgaprod shards,
+# one sparse UDF owned by each, learned through the router and replicated as
+# versioned snapshot deltas — then kill -9 one shard mid-frozen-stream and
+# require the stream to complete byte-identically from the surviving
+# replica, reads to keep serving during the outage, and the shard restarted
+# from its snapshots to replay the same bytes with every Bound ≤ ε.
+e2e-fleet:
+	$(GO) test -count=1 -v -run TestE2EFleetFailover ./e2e
 
 # lint runs staticcheck + govulncheck when installed and skips (with a
 # notice) when not, so `make ci` works on boxes without the tools; the CI
@@ -100,4 +110,4 @@ lint:
 		govulncheck ./...; \
 	else echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
-ci: build vet fmt lint test race cover fuzz-smoke e2e bench bench-diff
+ci: build vet fmt lint test race cover fuzz-smoke e2e e2e-fleet bench bench-diff

@@ -1,0 +1,266 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"olgapro/internal/server/wire"
+)
+
+func envelope(code wire.ErrorCode, msg string, retryMS int64) string {
+	b, _ := json.Marshal(wire.ErrorEnvelope{Error: wire.ErrorDetail{
+		Code: code, Message: msg, RetryAfterMS: retryMS,
+	}})
+	return string(b)
+}
+
+// TestRetryOn429 asserts Do transparently retries admission refusals,
+// honoring the envelope's retry_after_ms hint.
+func TestRetryOn429(t *testing.T) {
+	var attempts atomic.Int64
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, envelope(wire.CodeOverCapacity, "at capacity", 10))
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","uptime_sec":1}`)
+	}))
+	defer ts.Close()
+
+	h, err := New(ts.URL).Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if h.Status != "ok" || attempts.Load() != 3 {
+		t.Fatalf("status %q after %d attempts, want ok after 3", h.Status, attempts.Load())
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("client waited only %v, want ≥ 2×retry_after_ms", waited)
+	}
+}
+
+// TestRetriesExhausted asserts the final 429 surfaces as a typed APIError.
+func TestRetriesExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, envelope(wire.CodeOverCapacity, "at capacity", 1))
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(1)).Healthz(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 || ae.Code != wire.CodeOverCapacity {
+		t.Fatalf("err %v, want 429 over_capacity APIError", err)
+	}
+	if ae.RetryAfter != time.Millisecond {
+		t.Fatalf("RetryAfter %v, want 1ms", ae.RetryAfter)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("%d attempts, want 2 (1 + 1 retry)", attempts.Load())
+	}
+	if !IsCode(err, wire.CodeOverCapacity) || IsCode(err, wire.CodeNotFound) {
+		t.Fatalf("IsCode misdispatched on %v", err)
+	}
+}
+
+// TestContextBoundsRetryWait asserts the retry sleep respects the context
+// deadline rather than serving it out.
+func TestContextBoundsRetryWait(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, envelope(wire.CodeOverCapacity, "at capacity", 60_000))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL).Healthz(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry wait ignored the context deadline")
+	}
+}
+
+// TestErrorDecoding covers the envelope decode and its fallbacks.
+func TestErrorDecoding(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/udfs/gone/eval", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, envelope(wire.CodeNotFound, `no UDF "gone" registered`, 0))
+	})
+	mux.HandleFunc("/v1/udfs/proxy502/eval", func(w http.ResponseWriter, r *http.Request) {
+		// A non-API hop in the request path answers plain text.
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprint(w, "upstream connect error")
+	})
+	mux.HandleFunc("/v1/udfs/header429/eval", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	ctx := context.Background()
+
+	_, err := c.Eval(ctx, "gone", EvalRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 404 || ae.Code != wire.CodeNotFound || ae.Message == "" {
+		t.Fatalf("envelope decode: %+v", ae)
+	}
+	_, err = c.Eval(ctx, "proxy502", EvalRequest{})
+	if !errors.As(err, &ae) || ae.Status != 502 || ae.Code != wire.CodeInternal || ae.Message != "upstream connect error" {
+		t.Fatalf("plain-text fallback: %+v", ae)
+	}
+	_, err = c.Eval(ctx, "header429", EvalRequest{})
+	if !errors.As(err, &ae) || ae.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After header fallback: %+v", ae)
+	}
+}
+
+// TestAuthAndPaths asserts the bearer header and /v1 paths on the wire.
+func TestAuthAndPaths(t *testing.T) {
+	var sawPath, sawAuth string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawPath, sawAuth = r.URL.Path, r.Header.Get("Authorization")
+		fmt.Fprint(w, `{"udfs":[]}`)
+	}))
+	defer ts.Close()
+
+	if _, err := New(ts.URL+"/", WithToken("sekrit")).ListUDFs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sawPath != "/v1/udfs" {
+		t.Fatalf("path %q, want /v1/udfs", sawPath)
+	}
+	if sawAuth != "Bearer sekrit" {
+		t.Fatalf("auth header %q", sawAuth)
+	}
+}
+
+// TestStreamParsing covers NDJSON parsing and the in-band terminal error.
+func TestStreamParsing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"seq":0,"engine":"GP","support_hash":"aa"}`)
+		fmt.Fprintln(w, `{"seq":1,"engine":"GP","support_hash":"bb"}`)
+		fmt.Fprintln(w, `{"seq":2,"error":"model not warm","error_code":"model_cold"}`)
+	}))
+	defer ts.Close()
+
+	results, raw, err := New(ts.URL).Stream(context.Background(), "u", StreamOptions{Frozen: true, Seed: 4},
+		[]InputSpec{{{Type: "normal", Mu: 0, Sigma: 1}}})
+	if len(results) != 2 || results[1].SupportHash != "bb" {
+		t.Fatalf("parsed %d lines: %+v", len(results), results)
+	}
+	if len(raw) == 0 {
+		t.Fatal("raw bytes not returned")
+	}
+	if !IsCode(err, wire.CodeModelCold) {
+		t.Fatalf("terminal stream error: %v, want model_cold", err)
+	}
+}
+
+// TestStreamBodyShape pins the NDJSON request framing.
+func TestStreamBodyShape(t *testing.T) {
+	body, err := StreamBody([]InputSpec{
+		{{Type: "normal", Mu: 1, Sigma: 2}},
+		{{Type: "uniform", Lo: 0.5, Hi: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"input":[{"type":"normal","mu":1,"sigma":2}]}
+{"input":[{"type":"uniform","lo":0.5,"hi":1}]}
+`
+	if string(body) != want {
+		t.Fatalf("stream body:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestFetchSnapshot covers the replication pull call: 304 means current,
+// success carries the model seq and spec headers.
+func TestFetchSnapshot(t *testing.T) {
+	spec := wire.RegisterSpec{Name: "u1", UDF: "poly/smooth2d", Eps: 0.2}
+	specJSON, _ := json.Marshal(spec)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("min_seq") == "9" {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set(wire.HeaderModelSeq, "7")
+		w.Header().Set(wire.HeaderSpec, string(specJSON))
+		w.Write([]byte("snapshot-bytes"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	fs, err := c.FetchSnapshot(ctx, "u1", 9)
+	if err != nil || fs != nil {
+		t.Fatalf("up-to-date fetch: %+v, %v (want nil, nil)", fs, err)
+	}
+	fs, err = c.FetchSnapshot(ctx, "u1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fs.Data) != "snapshot-bytes" || fs.ModelSeq != 7 || fs.Spec != spec {
+		t.Fatalf("fetched snapshot: %+v", fs)
+	}
+}
+
+// TestReplicationListCursor pins the long-poll cursor parameter.
+func TestReplicationListCursor(t *testing.T) {
+	var sawSince string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawSince = r.URL.Query().Get("since_version")
+		fmt.Fprint(w, `{"version":12,"udfs":[{"name":"u1","seq":4,"owned":true,"spec":{"udf":"mix/f1"}}]}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	list, err := c.ReplicationList(context.Background(), 11)
+	if err != nil || list.Version != 12 || len(list.UDFs) != 1 || !list.UDFs[0].Owned {
+		t.Fatalf("replication list: %+v, %v", list, err)
+	}
+	if sawSince != "11" {
+		t.Fatalf("since_version %q, want 11", sawSince)
+	}
+	if _, err := c.ReplicationList(context.Background(), -1); err != nil {
+		t.Fatal(err)
+	}
+	if sawSince != "" {
+		t.Fatalf("since_version %q for initial list, want absent", sawSince)
+	}
+}
+
+// TestQueryReturnsRawBytes pins Query's byte-replay contract.
+func TestQueryReturnsRawBytes(t *testing.T) {
+	const body = `{"udf":"u1","rows":[[{"name":"y","kind":"result"}]],"dropped":0}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/query" {
+			t.Errorf("path %q", r.URL.Path)
+		}
+		fmt.Fprint(w, body)
+	}))
+	defer ts.Close()
+
+	raw, err := New(ts.URL).Query(context.Background(), map[string]any{"udf": "u1"})
+	if err != nil || string(raw) != body {
+		t.Fatalf("query raw: %s, %v", raw, err)
+	}
+}

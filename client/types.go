@@ -1,0 +1,74 @@
+package client
+
+// Public aliases for the /v1 wire surface, so client consumers outside this
+// module can name every request/response type without reaching into
+// internal packages.
+
+import "olgapro/internal/server/wire"
+
+type (
+	// ErrorCode is a stable, machine-readable failure class (APIError.Code).
+	ErrorCode = wire.ErrorCode
+	// RegisterSpec is the persistent registration record of one instance.
+	RegisterSpec = wire.RegisterSpec
+	// RegisterRequest is the POST /v1/udfs body (spec + warm-up inputs).
+	RegisterRequest = wire.RegisterRequest
+	// SparseSpec selects the budgeted sparse emulator.
+	SparseSpec = wire.SparseSpec
+	// InputSpec is one uncertain input tuple, attribute name → distribution.
+	InputSpec = wire.InputSpec
+	// DistSpec is the wire form of one scalar distribution.
+	DistSpec = wire.DistSpec
+	// EvalRequest is the POST /v1/udfs/{name}/eval body.
+	EvalRequest = wire.EvalRequest
+	// EvalResult is one evaluated tuple with its (ε, δ) bound metadata.
+	EvalResult = wire.EvalResult
+	// StreamLine is one NDJSON request line of a stream session.
+	StreamLine = wire.StreamLine
+	// StreamResult is one NDJSON response line (result or terminal error).
+	StreamResult = wire.StreamResult
+	// UDFInfo describes one registered instance.
+	UDFInfo = wire.UDFInfo
+	// UDFList is the GET /v1/udfs response.
+	UDFList = wire.UDFList
+	// UDFStats is the per-UDF /v1/stats record.
+	UDFStats = wire.UDFStats
+	// StatsResponse is the GET /v1/stats body.
+	StatsResponse = wire.StatsResponse
+	// HealthResponse is the GET /v1/healthz body.
+	HealthResponse = wire.HealthResponse
+	// ShardHealth is one fleet member's liveness as seen by the router.
+	ShardHealth = wire.ShardHealth
+	// SnapshotInfo describes one persisted snapshot.
+	SnapshotInfo = wire.SnapshotInfo
+	// SnapshotResponse is the POST /v1/snapshot body.
+	SnapshotResponse = wire.SnapshotResponse
+	// CatalogUDF is one built-in catalog entry.
+	CatalogUDF = wire.CatalogUDF
+	// CatalogResponse is the GET /v1/catalog body.
+	CatalogResponse = wire.CatalogResponse
+	// ReplicaState is one entry of GET /v1/replication/udfs.
+	ReplicaState = wire.ReplicaState
+	// ReplicationList is the GET /v1/replication/udfs response.
+	ReplicationList = wire.ReplicationList
+	// ErrorDetail and ErrorEnvelope form the structured error body every
+	// non-2xx /v1 response carries.
+	ErrorDetail   = wire.ErrorDetail
+	ErrorEnvelope = wire.ErrorEnvelope
+)
+
+// Stable error codes (see wire for the full documentation of each).
+const (
+	CodeBadSpec          = wire.CodeBadSpec
+	CodeUnauthorized     = wire.CodeUnauthorized
+	CodeNotFound         = wire.CodeNotFound
+	CodeAlreadyExists    = wire.CodeAlreadyExists
+	CodeModelCold        = wire.CodeModelCold
+	CodeNotOwner         = wire.CodeNotOwner
+	CodeOverCapacity     = wire.CodeOverCapacity
+	CodeInternal         = wire.CodeInternal
+	CodeNotReplicated    = wire.CodeNotReplicated
+	CodeUnavailable      = wire.CodeUnavailable
+	CodeDraining         = wire.CodeDraining
+	CodeDeadlineExceeded = wire.CodeDeadlineExceeded
+)

@@ -28,7 +28,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,11 +36,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"olgapro/client"
 	"olgapro/internal/benchfmt"
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
@@ -51,7 +53,6 @@ import (
 	"olgapro/internal/mc"
 	"olgapro/internal/query"
 	"olgapro/internal/server"
-	"olgapro/internal/server/wire"
 	"olgapro/internal/udf"
 )
 
@@ -544,54 +545,50 @@ func benchQueryGroupBy(n int) func(b *testing.B) {
 // benchServer boots the olgaprod serving layer in-process (httptest) with a
 // registered, warmed smooth UDF, for end-to-end request benchmarks through
 // the real HTTP handler: JSON decode, admission, frozen-clone evaluation,
-// JSON encode.
-func benchServer(b *testing.B, workers int) (*httptest.Server, func()) {
+// JSON encode. All traffic goes through the public client package — the
+// same surface the router and e2e gates use.
+func benchServer(b *testing.B, workers int) (*client.Client, func()) {
 	s, err := server.New(server.Config{Workers: workers, MaxInFlight: 512})
 	if err != nil {
 		b.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
+	cl := client.New(ts.URL)
 	rng := rand.New(rand.NewSource(5))
-	warmup := make([]wire.InputSpec, 8)
+	warmup := make([]client.InputSpec, 8)
 	for i := range warmup {
-		warmup[i] = wire.InputSpec{
+		warmup[i] = client.InputSpec{
 			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
 			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
 		}
 	}
-	body, _ := json.Marshal(map[string]any{
-		"udf": "poly/smooth2d", "name": "bench", "eps": 0.2, "delta": 0.1,
-		"warmup": warmup, "warmup_seed": 3,
-	})
-	resp, err := http.Post(ts.URL+"/udfs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		b.Fatal(err)
+	if _, err := cl.Register(context.Background(), client.RegisterRequest{
+		UDF: "poly/smooth2d", Name: "bench", Eps: 0.2, Delta: 0.1,
+		Warmup: warmup, WarmupSeed: 3,
+	}); err != nil {
+		b.Fatalf("register: %v", err)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		b.Fatalf("register: %d", resp.StatusCode)
-	}
-	return ts, func() { ts.Close(); s.Close() }
+	return cl, func() { ts.Close(); s.Close() }
 }
 
 // benchServerEval measures single-tuple serving throughput: one op is one
-// POST /eval round trip on the frozen (read) path.
+// POST /eval round trip on the frozen (read) path. The request body is
+// marshaled once outside the loop, so the measured work stays server-side.
 func benchServerEval(b *testing.B) {
-	ts, stop := benchServer(b, 1)
+	cl, stop := benchServer(b, 1)
 	defer stop()
 	learn := false
-	req, _ := json.Marshal(map[string]any{
-		"input": wire.InputSpec{
+	req, _ := json.Marshal(client.EvalRequest{
+		Input: client.InputSpec{
 			{Type: "normal", Mu: 0.5, Sigma: 0.12},
 			{Type: "normal", Mu: 0.5, Sigma: 0.12},
 		},
-		"seed": 11, "learn": &learn,
+		Seed: 11, Learn: &learn,
 	})
-	url := ts.URL + "/udfs/bench/eval"
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(req))
+		resp, err := cl.Do(ctx, http.MethodPost, "/v1/udfs/bench/eval", nil, req, "application/json")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -607,30 +604,32 @@ func benchServerEval(b *testing.B) {
 // 64-tuple table through the frozen exec fan-out at the given worker count.
 func benchServerStream(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
-		ts, stop := benchServer(b, workers)
+		cl, stop := benchServer(b, workers)
 		defer stop()
 		rng := rand.New(rand.NewSource(21))
-		var lines bytes.Buffer
-		for i := 0; i < throughputTuples; i++ {
-			l, _ := json.Marshal(map[string]any{"input": wire.InputSpec{
+		inputs := make([]client.InputSpec, throughputTuples)
+		for i := range inputs {
+			inputs[i] = client.InputSpec{
 				{Type: "normal", Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15},
 				{Type: "normal", Mu: 0.35 + 0.3*rng.Float64(), Sigma: 0.15},
-			}})
-			lines.Write(l)
-			lines.WriteByte('\n')
+			}
 		}
-		url := ts.URL + "/udfs/bench/stream?learn=false&seed=17"
-		payload := lines.Bytes()
+		payload, err := client.StreamBody(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := url.Values{"learn": {"false"}, "seed": {"17"}}
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(payload))
+			rc, err := cl.OpenStream(ctx, "bench", q, payload)
 			if err != nil {
 				b.Fatal(err)
 			}
-			n, _ := io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK || n == 0 {
-				b.Fatalf("stream: %d (%d bytes)", resp.StatusCode, n)
+			n, _ := io.Copy(io.Discard, rc)
+			rc.Close()
+			if n == 0 {
+				b.Fatal("stream: empty response")
 			}
 		}
 	}

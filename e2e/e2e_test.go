@@ -1,17 +1,20 @@
 // Package e2e drives the olgaprod network service end to end as CI does:
-// build the real binary, boot it on a loopback port, run a scripted client
-// session — register a UDF, stream learning tuples, snapshot, restart the
-// process, replay the same seeds — and assert the restored server serves
-// bit-identical bytes with every output honoring the (ε, δ) contract.
+// build the real binaries, boot them on loopback ports, run a scripted
+// session through the public olgapro/client package — register UDFs, stream
+// learning tuples, snapshot, restart or kill processes, replay the same
+// seeds — and assert the service serves bit-identical bytes with every
+// output honoring the (ε, δ) contract. All HTTP goes through the client:
+// the tests double as a conformance suite for the /v1 wire surface.
 package e2e
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -19,27 +22,33 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"olgapro/client"
 )
 
-// olgaprod is one running server process.
-type olgaprod struct {
+// proc is one running olgaprod or olgarouter process.
+type proc struct {
 	cmd    *exec.Cmd
 	addr   string
 	stderr *bytes.Buffer
 }
 
-// startServer builds (once) and boots olgaprod with the given snapshot dir,
-// returning after the process reported its listen address.
-func startServer(t *testing.T, bin, snapDir string) *olgaprod {
+// buildBinary compiles one command into dir, once per test.
+func buildBinary(t *testing.T, dir, pkg string) string {
 	t.Helper()
-	cmd := exec.Command(bin,
-		"-addr", "127.0.0.1:0",
-		"-snapshot-dir", snapDir,
-		"-max-inflight", "64",
-		"-timeout", "30s",
-		"-workers", "2",
-		"-drain-timeout", "10s",
-	)
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building %s: %v", pkg, err)
+	}
+	return bin
+}
+
+// startProc boots a server binary and waits for its "listening on" line.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	stdout, err := cmd.StdoutPipe()
@@ -49,7 +58,7 @@ func startServer(t *testing.T, bin, snapDir string) *olgaprod {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	p := &olgaprod{cmd: cmd, stderr: &stderr}
+	p := &proc{cmd: cmd, stderr: &stderr}
 	t.Cleanup(func() {
 		if p.cmd.ProcessState == nil {
 			p.cmd.Process.Kill()
@@ -69,21 +78,23 @@ func startServer(t *testing.T, bin, snapDir string) *olgaprod {
 	select {
 	case line, ok := <-lines:
 		if !ok {
-			t.Fatalf("olgaprod exited before announcing its address; stderr:\n%s", stderr.String())
+			t.Fatalf("%s exited before announcing its address; stderr:\n%s",
+				filepath.Base(bin), stderr.String())
 		}
-		const prefix = "olgaprod listening on "
-		if !strings.HasPrefix(line, prefix) {
+		const marker = " listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
 			t.Fatalf("unexpected boot line %q", line)
 		}
-		p.addr = strings.TrimPrefix(line, prefix)
+		p.addr = line[i+len(marker):]
 	case <-time.After(30 * time.Second):
-		t.Fatal("olgaprod did not come up within 30s")
+		t.Fatalf("%s did not come up within 30s", filepath.Base(bin))
 	}
 	return p
 }
 
 // shutdown sends SIGTERM and verifies a clean (graceful-drain) exit.
-func (p *olgaprod) shutdown(t *testing.T) {
+func (p *proc) shutdown(t *testing.T) {
 	t.Helper()
 	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -93,63 +104,32 @@ func (p *olgaprod) shutdown(t *testing.T) {
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("olgaprod exited dirty: %v; stderr:\n%s", err, p.stderr.String())
+			t.Fatalf("process exited dirty: %v; stderr:\n%s", err, p.stderr.String())
 		}
 	case <-time.After(20 * time.Second):
 		p.cmd.Process.Kill()
-		t.Fatalf("olgaprod did not drain within 20s; stderr:\n%s", p.stderr.String())
+		t.Fatalf("process did not drain within 20s; stderr:\n%s", p.stderr.String())
 	}
 }
 
-func (p *olgaprod) url(path string) string { return "http://" + p.addr + path }
-
-func (p *olgaprod) postJSON(t *testing.T, path string, body any) (int, []byte) {
+// kill9 is the unclean death: SIGKILL, no drain, no snapshot on the way out.
+func (p *proc) kill9(t *testing.T) {
 	t.Helper()
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rd = bytes.NewReader(b)
-	}
-	resp, err := http.Post(p.url(path), "application/json", rd)
-	if err != nil {
+	if err := p.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, out
+	p.cmd.Wait()
 }
 
-// distSpec / result mirror the wire structures (kept local: this package
-// drives the service purely over its public HTTP surface, as a client
-// binary would).
-type distSpec struct {
-	Type  string  `json:"type"`
-	Mu    float64 `json:"mu,omitempty"`
-	Sigma float64 `json:"sigma,omitempty"`
-}
+func (p *proc) client() *client.Client { return client.New("http://" + p.addr) }
 
-type streamResult struct {
-	Seq         int64   `json:"seq"`
-	Eps         float64 `json:"eps"`
-	Bound       float64 `json:"bound"`
-	MetBudget   bool    `json:"met_budget"`
-	UDFCalls    int     `json:"udf_calls"`
-	SupportHash string  `json:"support_hash"`
-	Error       string  `json:"error,omitempty"`
-}
-
-// session is the scripted 50-tuple workload, deterministic by construction.
-func sessionInputs() [][]distSpec {
+// sessionInputs is the scripted 50-tuple workload, deterministic by
+// construction.
+func sessionInputs() []client.InputSpec {
 	rng := rand.New(rand.NewSource(1234))
-	inputs := make([][]distSpec, 50)
+	inputs := make([]client.InputSpec, 50)
 	for i := range inputs {
-		inputs[i] = []distSpec{
+		inputs[i] = client.InputSpec{
 			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
 			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
 		}
@@ -157,51 +137,9 @@ func sessionInputs() [][]distSpec {
 	return inputs
 }
 
-// stream posts the inputs as NDJSON and returns raw bytes + parsed lines.
-func (p *olgaprod) stream(t *testing.T, path string, inputs [][]distSpec) (string, []streamResult) {
-	t.Helper()
-	var buf bytes.Buffer
-	for _, in := range inputs {
-		line, err := json.Marshal(map[string]any{"input": in})
-		if err != nil {
-			t.Fatal(err)
-		}
-		buf.Write(line)
-		buf.WriteByte('\n')
-	}
-	resp, err := http.Post(p.url(path), "application/x-ndjson", &buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != 200 {
-		t.Fatalf("stream %s: %d %s", path, resp.StatusCode, raw)
-	}
-	var results []streamResult
-	sc := bufio.NewScanner(bytes.NewReader(raw))
-	for sc.Scan() {
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		var r streamResult
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
-		}
-		if r.Error != "" {
-			t.Fatalf("stream error at seq %d: %s", r.Seq, r.Error)
-		}
-		results = append(results, r)
-	}
-	return string(raw), results
-}
-
 // assertContract checks every served line against the (ε, δ) surface
 // contract: Bound ≤ ε.
-func assertContract(t *testing.T, phase string, results []streamResult, n int) {
+func assertContract(t *testing.T, phase string, results []client.StreamResult, n int) {
 	t.Helper()
 	if len(results) != n {
 		t.Fatalf("%s: got %d lines, want %d", phase, len(results), n)
@@ -214,41 +152,55 @@ func assertContract(t *testing.T, phase string, results []streamResult, n int) {
 	}
 }
 
+// assertNoUDFCalls asserts a frozen replay paid nothing.
+func assertNoUDFCalls(t *testing.T, phase string, results []client.StreamResult) {
+	t.Helper()
+	for _, r := range results {
+		if r.UDFCalls != 0 {
+			t.Fatalf("%s paid %d UDF calls at seq %d", phase, r.UDFCalls, r.Seq)
+		}
+	}
+}
+
 func TestE2ESnapshotRestartReplay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e builds and boots the real binary; skipped in -short")
 	}
 	workDir := t.TempDir()
-	bin := filepath.Join(workDir, "olgaprod")
-	build := exec.Command("go", "build", "-o", bin, "olgapro/cmd/olgaprod")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		t.Fatalf("building olgaprod: %v", err)
-	}
+	bin := buildBinary(t, workDir, "olgapro/cmd/olgaprod")
 	snapDir := filepath.Join(workDir, "snapshots")
 	inputs := sessionInputs()
+	ctx := context.Background()
 
 	// --- First server lifetime: register, learn, replay, snapshot. ---
-	p1 := startServer(t, bin, snapDir)
+	p1 := startProc(t, bin,
+		"-addr", "127.0.0.1:0", "-snapshot-dir", snapDir,
+		"-max-inflight", "64", "-workers", "2", "-drain-timeout", "10s")
+	c1 := p1.client()
 
-	status, body := p1.postJSON(t, "/udfs", map[string]any{
-		"udf": "poly/smooth2d", "name": "smooth", "eps": 0.2, "delta": 0.1,
-		"warmup": [][]distSpec{inputs[0], inputs[1], inputs[2], inputs[3]}, "warmup_seed": 99,
+	info, err := c1.Register(ctx, client.RegisterRequest{
+		UDF: "poly/smooth2d", Name: "smooth", Eps: 0.2, Delta: 0.1,
+		Warmup: inputs[:4], WarmupSeed: 99,
 	})
-	if status != http.StatusCreated {
-		t.Fatalf("register: %d %s", status, body)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if info.Name != "smooth" || info.TrainingPoints < 2 {
+		t.Fatalf("register info: %+v", info)
 	}
 
-	_, learned := p1.stream(t, "/udfs/smooth/stream?seed=7", inputs)
+	learned, _, err := c1.Stream(ctx, "smooth", client.StreamOptions{Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("learn stream: %v", err)
+	}
 	assertContract(t, "learn stream", learned, len(inputs))
 
-	replayBefore, frozen := p1.stream(t, "/udfs/smooth/stream?learn=false&seed=7", inputs)
-	assertContract(t, "frozen replay (before restart)", frozen, len(inputs))
-	for _, r := range frozen {
-		if r.UDFCalls != 0 {
-			t.Fatalf("frozen replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
-		}
+	frozen, replayBefore, err := c1.Stream(ctx, "smooth", client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("frozen replay: %v", err)
 	}
+	assertContract(t, "frozen replay (before restart)", frozen, len(inputs))
+	assertNoUDFCalls(t, "frozen replay", frozen)
 
 	// A bounded query — TEP filter, then top-k on the result — served from
 	// the same frozen clones; its bytes must also survive the restart.
@@ -264,31 +216,21 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 		"predicate": map[string]any{"a": 0.0, "b": 1.5, "theta": 0.05},
 		"topk":      map[string]any{"k": 4, "by": "y", "desc": true},
 	}
-	status, queryBefore := p1.postJSON(t, "/v1/query", queryReq)
-	if status != 200 {
-		t.Fatalf("query: %d %s", status, queryBefore)
+	queryBefore, err := c1.Query(ctx, queryReq)
+	if err != nil {
+		t.Fatalf("query: %v", err)
 	}
 
-	if status, body := p1.postJSON(t, "/snapshot", nil); status != 200 {
-		t.Fatalf("snapshot: %d %s", status, body)
+	snaps, err := c1.SnapshotAll(ctx)
+	if err != nil || len(snaps.Snapshots) != 1 {
+		t.Fatalf("snapshot: %+v, %v", snaps, err)
 	}
 
 	// /stats must show the service beating Monte Carlo on UDF calls.
-	resp, err := http.Get(p1.url("/stats"))
+	stats, err := c1.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats struct {
-		UDFs []struct {
-			Name         string  `json:"name"`
-			SavedCalls   int64   `json:"saved_calls"`
-			SavingsRatio float64 `json:"savings_ratio"`
-		} `json:"udfs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if len(stats.UDFs) != 1 || stats.UDFs[0].SavedCalls <= 0 {
 		t.Fatalf("no UDF-call savings reported: %+v", stats.UDFs)
 	}
@@ -296,34 +238,34 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 	p1.shutdown(t) // graceful drain on SIGTERM
 
 	// --- Second lifetime: boot-time restore, then seeded replay. ---
-	p2 := startServer(t, bin, snapDir)
+	p2 := startProc(t, bin,
+		"-addr", "127.0.0.1:0", "-snapshot-dir", snapDir,
+		"-max-inflight", "64", "-workers", "2", "-drain-timeout", "10s")
+	c2 := p2.client()
 
-	// The UDF must be back without re-registration.
-	resp, err = http.Get(p2.url("/udfs"))
+	// The UDF must be back without re-registration, at the same model seq.
+	list, err := c2.ListUDFs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var list struct {
-		UDFs []struct {
-			Name           string `json:"name"`
-			TrainingPoints int64  `json:"training_points"`
-		} `json:"udfs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if len(list.UDFs) != 1 || list.UDFs[0].Name != "smooth" || list.UDFs[0].TrainingPoints < 2 {
 		t.Fatalf("restore lost the UDF: %+v", list.UDFs)
 	}
+	if list.UDFs[0].ModelSeq != snaps.Snapshots[0].ModelSeq {
+		t.Fatalf("restored model seq %d, snapshot had %d",
+			list.UDFs[0].ModelSeq, snaps.Snapshots[0].ModelSeq)
+	}
 
-	replayAfter, frozen2 := p2.stream(t, "/udfs/smooth/stream?learn=false&seed=7", inputs)
+	frozen2, replayAfter, err := c2.Stream(ctx, "smooth", client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("frozen replay after restart: %v", err)
+	}
 	assertContract(t, "frozen replay (after restart)", frozen2, len(inputs))
 
 	// The bounded-query surface replays byte-identically too.
-	status, queryAfter := p2.postJSON(t, "/v1/query", queryReq)
-	if status != 200 {
-		t.Fatalf("query after restart: %d %s", status, queryAfter)
+	queryAfter, err := c2.Query(ctx, queryReq)
+	if err != nil {
+		t.Fatalf("query after restart: %v", err)
 	}
 	if !bytes.Equal(queryBefore, queryAfter) {
 		t.Fatalf("bounded query not bit-identical across restart:\n%s\nvs\n%s",
@@ -331,7 +273,7 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 	}
 
 	// The heart of the gate: the restored server replays the exact bytes.
-	if replayBefore != replayAfter {
+	if !bytes.Equal(replayBefore, replayAfter) {
 		for i := range frozen {
 			if frozen[i].SupportHash != frozen2[i].SupportHash {
 				t.Errorf("first divergence at seq %d: %s vs %s",
@@ -347,8 +289,8 @@ func TestE2ESnapshotRestartReplay(t *testing.T) {
 
 // TestE2ESparseSnapshotRestartReplay is the budgeted-sparse twin of the
 // restart gate: a UDF registered with a sparse budget learns a stream, the
-// server snapshots (format v3, carrying the inducing set) and restarts, and
-// the restored instance must replay the same seeds bit-identically without
+// server snapshots (carrying the inducing set) and restarts, and the
+// restored instance must replay the same seeds bit-identically without
 // paying a single UDF call. If the restore dropped the sparse model — say,
 // by rebuilding the exact GP instead — the DTC posterior would differ and
 // the replay bytes would diverge, so this also pins "sparse in, sparse out".
@@ -357,72 +299,64 @@ func TestE2ESparseSnapshotRestartReplay(t *testing.T) {
 		t.Skip("e2e builds and boots the real binary; skipped in -short")
 	}
 	workDir := t.TempDir()
-	bin := filepath.Join(workDir, "olgaprod")
-	build := exec.Command("go", "build", "-o", bin, "olgapro/cmd/olgaprod")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		t.Fatalf("building olgaprod: %v", err)
-	}
+	bin := buildBinary(t, workDir, "olgapro/cmd/olgaprod")
 	snapDir := filepath.Join(workDir, "snapshots")
 	inputs := sessionInputs()
+	ctx := context.Background()
 
-	p1 := startServer(t, bin, snapDir)
+	p1 := startProc(t, bin,
+		"-addr", "127.0.0.1:0", "-snapshot-dir", snapDir,
+		"-max-inflight", "64", "-workers", "2", "-drain-timeout", "10s")
+	c1 := p1.client()
 
-	status, body := p1.postJSON(t, "/udfs", map[string]any{
-		"udf": "poly/smooth2d", "name": "thrifty", "eps": 0.2, "delta": 0.1,
-		"sparse": map[string]any{"budget": 64},
-		"warmup": [][]distSpec{inputs[0], inputs[1], inputs[2], inputs[3]}, "warmup_seed": 99,
-	})
-	if status != http.StatusCreated {
-		t.Fatalf("register sparse: %d %s", status, body)
+	if _, err := c1.Register(ctx, client.RegisterRequest{
+		UDF: "poly/smooth2d", Name: "thrifty", Eps: 0.2, Delta: 0.1,
+		Sparse: &client.SparseSpec{Budget: 64},
+		Warmup: inputs[:4], WarmupSeed: 99,
+	}); err != nil {
+		t.Fatalf("register sparse: %v", err)
 	}
 
-	_, learned := p1.stream(t, "/udfs/thrifty/stream?seed=7", inputs)
+	learned, _, err := c1.Stream(ctx, "thrifty", client.StreamOptions{Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("sparse learn stream: %v", err)
+	}
 	assertContract(t, "sparse learn stream", learned, len(inputs))
 
-	replayBefore, frozen := p1.stream(t, "/udfs/thrifty/stream?learn=false&seed=7", inputs)
-	assertContract(t, "sparse frozen replay (before restart)", frozen, len(inputs))
-	for _, r := range frozen {
-		if r.UDFCalls != 0 {
-			t.Fatalf("sparse frozen replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
-		}
+	frozen, replayBefore, err := c1.Stream(ctx, "thrifty", client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("sparse frozen replay: %v", err)
 	}
+	assertContract(t, "sparse frozen replay (before restart)", frozen, len(inputs))
+	assertNoUDFCalls(t, "sparse frozen replay", frozen)
 
-	if status, body := p1.postJSON(t, "/snapshot", nil); status != 200 {
-		t.Fatalf("snapshot: %d %s", status, body)
+	if _, err := c1.SnapshotAll(ctx); err != nil {
+		t.Fatalf("snapshot: %v", err)
 	}
 	p1.shutdown(t)
 
-	p2 := startServer(t, bin, snapDir)
+	p2 := startProc(t, bin,
+		"-addr", "127.0.0.1:0", "-snapshot-dir", snapDir,
+		"-max-inflight", "64", "-workers", "2", "-drain-timeout", "10s")
+	c2 := p2.client()
 
 	// The restored instance advertises its sparse budget: the registration
 	// spec survived in the snapshot metadata.
-	resp, err := http.Get(p2.url("/udfs"))
+	list, err := c2.ListUDFs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var list struct {
-		UDFs []struct {
-			Name         string `json:"name"`
-			SparseBudget int    `json:"sparse_budget"`
-		} `json:"udfs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if len(list.UDFs) != 1 || list.UDFs[0].Name != "thrifty" || list.UDFs[0].SparseBudget != 64 {
 		t.Fatalf("restore lost the sparse registration: %+v", list.UDFs)
 	}
 
-	replayAfter, frozen2 := p2.stream(t, "/udfs/thrifty/stream?learn=false&seed=7", inputs)
-	assertContract(t, "sparse frozen replay (after restart)", frozen2, len(inputs))
-	for _, r := range frozen2 {
-		if r.UDFCalls != 0 {
-			t.Fatalf("restored sparse replay paid %d UDF calls at seq %d", r.UDFCalls, r.Seq)
-		}
+	frozen2, replayAfter, err := c2.Stream(ctx, "thrifty", client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("sparse frozen replay after restart: %v", err)
 	}
-	if replayBefore != replayAfter {
+	assertContract(t, "sparse frozen replay (after restart)", frozen2, len(inputs))
+	assertNoUDFCalls(t, "restored sparse replay", frozen2)
+	if !bytes.Equal(replayBefore, replayAfter) {
 		for i := range frozen {
 			if frozen[i].SupportHash != frozen2[i].SupportHash {
 				t.Errorf("first divergence at seq %d: %s vs %s",
@@ -433,4 +367,236 @@ func TestE2ESparseSnapshotRestartReplay(t *testing.T) {
 		t.Fatal("sparse snapshot → restart → replay is not bit-identical")
 	}
 	p2.shutdown(t)
+}
+
+// freePort reserves a loopback port. Fleet shards must know their own base
+// URL (-self) and the full shard list (-fleet) before they boot, so port 0
+// discovery is not an option for them.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// ownerOf reports which shard owns the named UDF (lists it as non-replica).
+func ownerOf(t *testing.T, ctx context.Context, name string, shards map[string]*client.Client) string {
+	t.Helper()
+	for url, c := range shards {
+		list, err := c.ListUDFs(ctx)
+		if err != nil {
+			continue
+		}
+		for _, info := range list.UDFs {
+			if info.Name == name && !info.Replica {
+				return url
+			}
+		}
+	}
+	return ""
+}
+
+// TestE2EFleetFailover is the fleet gate: an olgarouter over two olgaprod
+// shards, one sparse UDF owned by each, learned through the router and
+// replicated as versioned snapshot deltas. Then the hard part — kill -9 one
+// shard mid-frozen-stream and assert the stream completes byte-identically
+// from the surviving replica, reads keep serving during the outage, and the
+// shard restarted from its snapshots replays the same bytes with Bound ≤ ε.
+func TestE2EFleetFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and boots real binaries; skipped in -short")
+	}
+	workDir := t.TempDir()
+	prodBin := buildBinary(t, workDir, "olgapro/cmd/olgaprod")
+	routerBin := buildBinary(t, workDir, "olgapro/cmd/olgarouter")
+	inputs := sessionInputs()
+	ctx := context.Background()
+
+	portA, portB := freePort(t), freePort(t)
+	urlA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	urlB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	fleetList := urlA + "," + urlB
+	dirA := filepath.Join(workDir, "snapA")
+	dirB := filepath.Join(workDir, "snapB")
+
+	shardArgs := func(port int, dir, self string) []string {
+		return []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port), "-snapshot-dir", dir,
+			"-workers", "2", "-timeout", "10s", "-drain-timeout", "10s",
+			"-fleet", fleetList, "-self", self, "-replicas", "2",
+		}
+	}
+	pA := startProc(t, prodBin, shardArgs(portA, dirA, urlA)...)
+	pB := startProc(t, prodBin, shardArgs(portB, dirB, urlB)...)
+	pR := startProc(t, routerBin, "-addr", "127.0.0.1:0", "-shards", fleetList, "-replicas", "2")
+
+	cl := client.New("http://" + pR.addr)
+	shards := map[string]*client.Client{urlA: pA.client(), urlB: pB.client()}
+
+	// Register sparse UDFs through the router, walking candidate names until
+	// each shard owns at least one (the ring spreads sequential names, so a
+	// handful of attempts suffices).
+	ownerUDF := map[string]string{} // shard URL -> a UDF it owns
+	for i := 0; i < 16 && (ownerUDF[urlA] == "" || ownerUDF[urlB] == ""); i++ {
+		name := fmt.Sprintf("u%d", i)
+		if _, err := cl.Register(ctx, client.RegisterRequest{
+			Name: name, UDF: "poly/smooth2d", Eps: 0.2, Delta: 0.1,
+			Sparse: &client.SparseSpec{Budget: 64},
+			Warmup: inputs[:4], WarmupSeed: 99,
+		}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		owner := ownerOf(t, ctx, name, shards)
+		if owner == "" {
+			t.Fatalf("no shard owns %s after registration", name)
+		}
+		if ownerUDF[owner] == "" {
+			ownerUDF[owner] = name
+		}
+	}
+	if ownerUDF[urlA] == "" || ownerUDF[urlB] == "" {
+		t.Fatalf("16 candidate names did not cover both shards: %v", ownerUDF)
+	}
+	udfA, udfB := ownerUDF[urlA], ownerUDF[urlB]
+	t.Logf("shard A owns %s, shard B owns %s", udfA, udfB)
+
+	// Learn both UDFs through the router, then snapshot the whole fleet so a
+	// killed shard can restart from disk.
+	for _, name := range []string{udfA, udfB} {
+		learned, _, err := cl.Stream(ctx, name, client.StreamOptions{Seed: 7}, inputs)
+		if err != nil {
+			t.Fatalf("learn %s via router: %v", name, err)
+		}
+		assertContract(t, "learn "+name, learned, len(inputs))
+	}
+	if _, err := cl.SnapshotAll(ctx); err != nil {
+		t.Fatalf("fleet snapshot: %v", err)
+	}
+
+	// Wait for replication: each shard must hold the other's UDF as a
+	// replica at the owner's model sequence.
+	waitReplica := func(c *client.Client, name string, wantSeq int64) {
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			list, err := c.ListUDFs(ctx)
+			if err == nil {
+				for _, info := range list.UDFs {
+					if info.Name == name && info.Replica && info.ModelSeq >= wantSeq {
+						return
+					}
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica of %s did not reach seq %d: %+v", name, wantSeq, list)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	seqOf := func(c *client.Client, name string) int64 {
+		list, err := c.ListUDFs(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range list.UDFs {
+			if info.Name == name {
+				return info.ModelSeq
+			}
+		}
+		t.Fatalf("%s not listed", name)
+		return 0
+	}
+	seqA := seqOf(shards[urlA], udfA)
+	waitReplica(shards[urlB], udfA, seqA)
+	waitReplica(shards[urlA], udfB, seqOf(shards[urlB], udfB))
+
+	// Canonical frozen replay bytes for both UDFs, via the router.
+	replay := func(name string) ([]client.StreamResult, []byte) {
+		results, raw, err := cl.Stream(ctx, name, client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+		if err != nil {
+			t.Fatalf("frozen stream %s: %v", name, err)
+		}
+		return results, raw
+	}
+	frozenA, rawA := replay(udfA)
+	assertContract(t, "frozen "+udfA, frozenA, len(inputs))
+	assertNoUDFCalls(t, "frozen "+udfA, frozenA)
+	_, rawB := replay(udfB)
+
+	// Kill -9 shard A mid-frozen-stream: the router retries the whole
+	// request on the surviving replica, so the stream must complete with
+	// exactly the canonical bytes — no torn or divergent response.
+	type streamOut struct {
+		raw []byte
+		err error
+	}
+	outCh := make(chan streamOut, 1)
+	go func() {
+		_, raw, err := cl.Stream(ctx, udfA, client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+		outCh <- streamOut{raw, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the stream reach shard A
+	pA.kill9(t)
+	out := <-outCh
+	if out.err != nil {
+		t.Fatalf("frozen stream across kill -9: %v", out.err)
+	}
+	if !bytes.Equal(out.raw, rawA) {
+		t.Fatalf("failover stream diverged:\n%s\nvs\n%s", out.raw, rawA)
+	}
+
+	// Reads keep serving from the survivor during the outage.
+	_, rawOutage := replay(udfA)
+	if !bytes.Equal(rawOutage, rawA) {
+		t.Fatal("replay during outage diverged")
+	}
+	_, rawOutageB := replay(udfB)
+	if !bytes.Equal(rawOutageB, rawB) {
+		t.Fatal("unrelated UDF diverged during outage")
+	}
+
+	// Restart shard A from its snapshots; it must rejoin at the same model
+	// sequence and serve the same bytes directly.
+	pA2 := startProc(t, prodBin, shardArgs(portA, dirA, urlA)...)
+	cA2 := pA2.client()
+	list, err := cA2.ListUDFs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, info := range list.UDFs {
+		if info.Name == udfA {
+			found = true
+			if info.Replica {
+				t.Fatalf("restarted owner came back as replica: %+v", info)
+			}
+			if info.ModelSeq != seqA {
+				t.Fatalf("restarted owner at seq %d, want %d", info.ModelSeq, seqA)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("restarted shard lost %s: %+v", udfA, list)
+	}
+	frozenA2, rawA2, err := cA2.Stream(ctx, udfA, client.StreamOptions{Frozen: true, Seed: 7}, inputs)
+	if err != nil {
+		t.Fatalf("frozen stream on restarted shard: %v", err)
+	}
+	assertContract(t, "restarted frozen "+udfA, frozenA2, len(inputs))
+	if !bytes.Equal(rawA2, rawA) {
+		t.Fatal("snapshot-restored shard does not replay bit-identically")
+	}
+
+	// And through the router, once its health cooldown re-admits shard A.
+	_, rawFinal := replay(udfA)
+	if !bytes.Equal(rawFinal, rawA) {
+		t.Fatal("post-restart replay via router diverged")
+	}
+
+	pR.shutdown(t)
+	pA2.shutdown(t)
+	pB.shutdown(t)
 }

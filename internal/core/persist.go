@@ -22,9 +22,11 @@ const (
 	// SnapshotVersion is the current snapshot format version. Version 1 is
 	// the headerless gob of PR ≤ 4; version 2 added the header and the
 	// Noise field; version 3 added the sparse-model fields (SparseBudget et
-	// al.). Gob decodes absent fields as zero values, so this build still
-	// reads v2 (and v1) files — they restore as exact models.
-	SnapshotVersion = 3
+	// al.); version 4 added ModelSeq, the per-UDF model sequence number
+	// replicas order snapshots by. Gob decodes absent fields as zero
+	// values, so this build still reads v1–v3 files — they restore as
+	// exact models at sequence 0.
+	SnapshotVersion = 4
 )
 
 // Snapshot is the serializable state of a trained evaluator: the training
@@ -48,6 +50,13 @@ type Snapshot struct {
 	// X and Y are the training pairs.
 	X [][]float64
 	Y []float64
+	// ModelSeq is the per-UDF monotonic model sequence number the snapshot
+	// was taken at (version ≥ 4). It increments on every model mutation in
+	// the owning writer process; replicas compare sequence numbers to
+	// decide whether a fetched snapshot is newer than their installed
+	// state, and a restored process resumes its counter from this value so
+	// the ordering survives restarts. Zero for pre-v4 files.
+	ModelSeq int64
 	// SparseBudget, when positive, marks the snapshot as a budgeted sparse
 	// model (version ≥ 3); the remaining Sparse* fields mirror
 	// gp.SparseConfig plus the inducing-point indices into X. Zero (the gob

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"olgapro/client"
+	"olgapro/internal/server"
+)
+
+// bootShard starts one in-process olgaprod shard behind an HTTP test server.
+func bootShard(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func fleetInputs(n int, seed int64) []client.InputSpec {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]client.InputSpec, n)
+	for i := range inputs {
+		inputs[i] = client.InputSpec{
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
+			{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.12},
+		}
+	}
+	return inputs
+}
+
+// ownedName returns a candidate instance name the ring places on want.
+func ownedName(t *testing.T, ring *Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 32; i++ {
+		if cand := fmt.Sprintf("u%d", i); ring.Owner(cand) == want {
+			return cand
+		}
+	}
+	t.Fatalf("no candidate name in 32 attempts owned by %s", want)
+	return ""
+}
+
+// TestFleetRouterAndReplication drives the full fleet story in-process:
+// register and learn through the router onto the owning shard, replicate the
+// model to the peer as snapshot deltas, serve byte-identical frozen reads
+// from either side, and keep serving (still byte-identical) through the
+// router after the owner dies.
+func TestFleetRouterAndReplication(t *testing.T) {
+	// The short request timeout bounds the replication long-poll window, so
+	// killing the owner (whose test server waits for in-flight requests)
+	// stays fast.
+	sA, tsA := bootShard(t, server.Config{Workers: 2, RequestTimeout: 2 * time.Second})
+	sB, tsB := bootShard(t, server.Config{Workers: 2, RequestTimeout: 2 * time.Second})
+	_ = sA
+	addrs := []string{tsA.URL, tsB.URL}
+	ring, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := ownedName(t, ring, tsA.URL)
+
+	rt, err := NewRouter(Config{Shards: addrs, Replicas: 2, Cooldown: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsR := httptest.NewServer(rt.Handler())
+	defer tsR.Close()
+	ctx := context.Background()
+	cl := client.New(tsR.URL)
+	clA, clB := client.New(tsA.URL), client.New(tsB.URL)
+
+	// Register through the router: lands on the owner only.
+	info, err := cl.Register(ctx, client.RegisterRequest{
+		Name: name, UDF: "poly/smooth2d", Eps: 0.2, Delta: 0.1,
+		Warmup: fleetInputs(8, 41), WarmupSeed: 7,
+	})
+	if err != nil {
+		t.Fatalf("register via router: %v", err)
+	}
+	if info.Name != name || info.TrainingPoints < 2 {
+		t.Fatalf("register info: %+v", info)
+	}
+	if listA, err := clA.ListUDFs(ctx); err != nil || len(listA.UDFs) != 1 || listA.UDFs[0].Replica {
+		t.Fatalf("owner shard after register: %+v, %v", listA, err)
+	}
+	if listB, err := clB.ListUDFs(ctx); err != nil || len(listB.UDFs) != 0 {
+		t.Fatalf("peer shard after register: %+v, %v", listB, err)
+	}
+
+	// Learn through the router (proxied to the owner), then record the
+	// canonical frozen replay bytes.
+	inputs := fleetInputs(16, 42)
+	learned, _, err := cl.Stream(ctx, name, client.StreamOptions{Seed: 3}, inputs)
+	if err != nil || len(learned) != len(inputs) {
+		t.Fatalf("learn stream via router: %d lines, %v", len(learned), err)
+	}
+	_, raw1, err := cl.Stream(ctx, name, client.StreamOptions{Frozen: true, Seed: 9}, inputs)
+	if err != nil {
+		t.Fatalf("frozen stream via router: %v", err)
+	}
+
+	// Replicate onto shard B and wait for it to catch the owner's sequence.
+	listA, err := clA.ListUDFs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerSeq := listA.UDFs[0].ModelSeq
+	repl, err := StartReplicator(ReplicatorConfig{
+		Self: tsB.URL, Shards: addrs, Registry: sB.Registry(),
+		Replicas: 2, Interval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		listB, err := clB.ListUDFs(ctx)
+		if err == nil && len(listB.UDFs) == 1 && listB.UDFs[0].Replica && listB.UDFs[0].ModelSeq >= ownerSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica did not converge to seq %d: %+v", ownerSeq, listB)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The replica serves the same bytes as the owner: frozen responses are a
+	// pure function of (model seq, request).
+	_, rawB, err := clB.Stream(ctx, name, client.StreamOptions{Frozen: true, Seed: 9}, inputs)
+	if err != nil {
+		t.Fatalf("frozen stream on replica: %v", err)
+	}
+	if !bytes.Equal(rawB, raw1) {
+		t.Fatalf("replica replay diverged from owner:\n%s\nvs\n%s", rawB, raw1)
+	}
+
+	// Learning traffic against the replica is refused with not_owner.
+	if _, err := clB.Eval(ctx, name, client.EvalRequest{Input: inputs[0], Seed: 1}); !client.IsCode(err, client.CodeNotOwner) {
+		t.Fatalf("learn on replica: %v, want not_owner", err)
+	}
+
+	// Merged fleet views through the router.
+	if h, err := cl.Healthz(ctx); err != nil || h.Status != "ok" || len(h.Shards) != 2 {
+		t.Fatalf("fleet healthz: %+v, %v", h, err)
+	}
+	if cat, err := cl.Catalog(ctx); err != nil || len(cat.UDFs) < 6 {
+		t.Fatalf("fleet catalog: %d entries, %v", len(cat.UDFs), err)
+	}
+	if list, err := cl.ListUDFs(ctx); err != nil || len(list.UDFs) != 1 || list.UDFs[0].Replica {
+		t.Fatalf("fleet udfs (owner record must win): %+v, %v", list, err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil || len(st.UDFs) != 1 || st.UDFs[0].Name != name {
+		t.Fatalf("fleet stats: %+v, %v", st, err)
+	}
+	if st.UDFs[0].Inputs < int64(len(inputs)) || st.TotalSavedCalls <= 0 {
+		t.Fatalf("fleet stats not merged: %+v", st.UDFs[0])
+	}
+
+	// A bounded query through the router is replayable too.
+	queryReq := map[string]any{
+		"udf": name, "seed": 5,
+		"rows": []map[string]any{{"input": inputs[0]}, {"input": inputs[1]}},
+	}
+	qraw1, err := cl.Query(ctx, queryReq)
+	if err != nil {
+		t.Fatalf("query via router: %v", err)
+	}
+
+	// Errors pass through the router as envelopes.
+	if _, err := cl.Eval(ctx, "ghost", client.EvalRequest{Input: inputs[0]}); !client.IsCode(err, client.CodeNotFound) {
+		t.Fatalf("unknown UDF via router: %v, want not_found", err)
+	}
+
+	// Kill the owner. Frozen reads keep serving through the router from the
+	// surviving replica — and the retried bytes are identical.
+	tsA.Close()
+	_, raw2, err := cl.Stream(ctx, name, client.StreamOptions{Frozen: true, Seed: 9}, inputs)
+	if err != nil {
+		t.Fatalf("frozen stream after owner death: %v", err)
+	}
+	if !bytes.Equal(raw2, raw1) {
+		t.Fatalf("failover replay diverged:\n%s\nvs\n%s", raw2, raw1)
+	}
+	qraw2, err := cl.Query(ctx, queryReq)
+	if err != nil {
+		t.Fatalf("query after owner death: %v", err)
+	}
+	if !bytes.Equal(qraw2, qraw1) {
+		t.Fatalf("failover query diverged:\n%s\nvs\n%s", qraw2, qraw1)
+	}
+	learnFalse := false
+	if res, err := cl.Eval(ctx, name, client.EvalRequest{Input: inputs[0], Seed: 9, Learn: &learnFalse}); err != nil || res.SupportHash == "" {
+		t.Fatalf("frozen eval after owner death: %+v, %v", res, err)
+	}
+	if h, err := cl.Healthz(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz with one survivor: %+v, %v", h, err)
+	}
+
+	// Learning traffic needs the owner: with it gone the router reports the
+	// fleet unavailable rather than silently learning on a replica.
+	if _, err := cl.Eval(ctx, name, client.EvalRequest{Input: inputs[0], Seed: 1}); !client.IsCode(err, client.CodeUnavailable) {
+		t.Fatalf("learn with dead owner: %v, want unavailable", err)
+	}
+}
+
+// TestRouterAuth asserts the router guards its listener and forwards the
+// fleet credential to the shards.
+func TestRouterAuth(t *testing.T) {
+	const token = "fleet-sekrit"
+	_, ts := bootShard(t, server.Config{Workers: 1, AuthToken: token})
+	rt, err := NewRouter(Config{Shards: []string{ts.URL}, AuthToken: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsR := httptest.NewServer(rt.Handler())
+	defer tsR.Close()
+	ctx := context.Background()
+
+	// No client credential: refused at the router with the envelope.
+	if _, err := client.New(tsR.URL).Catalog(ctx); !client.IsCode(err, client.CodeUnauthorized) {
+		t.Fatalf("unauthenticated catalog: %v, want unauthorized", err)
+	}
+	// With the token the request passes router AND shard auth.
+	if cat, err := client.New(tsR.URL, client.WithToken(token)).Catalog(ctx); err != nil || len(cat.UDFs) == 0 {
+		t.Fatalf("authenticated catalog: %v", err)
+	}
+	// Health probes stay open for load balancers.
+	if h, err := client.New(tsR.URL).Healthz(ctx); err != nil || len(h.Shards) != 1 {
+		t.Fatalf("unauthenticated healthz: %+v, %v", h, err)
+	}
+}

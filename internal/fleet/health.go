@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultCooldown is how long a shard stays skipped after a transport
+// failure before the router probes it with real traffic again.
+const defaultCooldown = 2 * time.Second
+
+// Health is the router's per-shard liveness ledger, fed by request
+// outcomes: a transport failure marks the shard down, any success marks it
+// up. Down shards are deprioritized (not excluded — with every candidate
+// down the router still tries them) and re-eligible after a cooldown.
+type Health struct {
+	cooldown time.Duration
+	now      func() time.Time // test seam
+
+	mu   sync.Mutex
+	down map[string]time.Time
+}
+
+// NewHealth builds a ledger; cooldown ≤ 0 uses the default.
+func NewHealth(cooldown time.Duration) *Health {
+	if cooldown <= 0 {
+		cooldown = defaultCooldown
+	}
+	return &Health{cooldown: cooldown, now: time.Now, down: make(map[string]time.Time)}
+}
+
+// MarkDown records a transport failure against the shard.
+func (h *Health) MarkDown(addr string) {
+	h.mu.Lock()
+	h.down[addr] = h.now()
+	h.mu.Unlock()
+}
+
+// MarkUp records a successful exchange with the shard.
+func (h *Health) MarkUp(addr string) {
+	h.mu.Lock()
+	delete(h.down, addr)
+	h.mu.Unlock()
+}
+
+// Up reports whether the shard is currently considered live (never failed,
+// or failed longer than the cooldown ago).
+func (h *Health) Up(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, bad := h.down[addr]
+	return !bad || h.now().Sub(t) >= h.cooldown
+}
+
+// Order sorts candidates live-first, preserving relative order within each
+// class — the router's retry order for frozen reads.
+func (h *Health) Order(addrs []string) []string {
+	live := make([]string, 0, len(addrs))
+	var dead []string
+	for _, a := range addrs {
+		if h.Up(a) {
+			live = append(live, a)
+		} else {
+			dead = append(dead, a)
+		}
+	}
+	return append(live, dead...)
+}

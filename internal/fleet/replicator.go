@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"olgapro/client"
+	"olgapro/internal/core"
+	"olgapro/internal/server"
+)
+
+// ReplicatorConfig parameterizes a shard's replication puller.
+type ReplicatorConfig struct {
+	// Self is this shard's own base URL; it is skipped as a peer and used
+	// for ring-placement decisions.
+	Self string
+	// Shards are all fleet members' base URLs (including Self).
+	Shards []string
+	// Registry is this process's registry; fetched models are installed
+	// through InstallReplica.
+	Registry *server.Registry
+	// Replicas is the replication factor: this shard pulls a UDF only when
+	// ring placement makes it one of the UDF's replica set. Default 2.
+	Replicas int
+	// VNodes is the ring's virtual-node count (must match the router's).
+	VNodes int
+	// Interval is the retry backoff after a peer error and the floor
+	// between list cycles; deltas propagate faster than this because the
+	// peer list call long-polls. Default 500ms.
+	Interval time.Duration
+	// AuthToken is the fleet bearer credential.
+	AuthToken string
+	// HTTPClient overrides the outbound transport (fleet TLS trust).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives one line per replication event.
+	Logf func(format string, args ...any)
+}
+
+// Replicator subscribes to every peer's registry and ingests owned models
+// this shard should replicate, as versioned snapshot deltas: a peer's
+// replication list names each hosted UDF with its model sequence; anything
+// owned by the peer, placed here by the ring, and newer than the local
+// replica is fetched (GET /v1/udfs/{name}/snapshot with ?min_seq) and
+// installed through the registry's writer-loop swap. Monotonic sequence
+// numbers make the protocol idempotent and reordering-safe — a stale or
+// duplicate delta is a no-op.
+type Replicator struct {
+	cfg    ReplicatorConfig
+	ring   *Ring
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// StartReplicator builds the ring and starts one puller goroutine per peer.
+func StartReplicator(cfg ReplicatorConfig) (*Replicator, error) {
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replicator{cfg: cfg, ring: ring, cancel: cancel}
+	for _, addr := range cfg.Shards {
+		if addr == cfg.Self {
+			continue
+		}
+		opts := []client.Option{client.WithRetries(1)}
+		if cfg.AuthToken != "" {
+			opts = append(opts, client.WithToken(cfg.AuthToken))
+		}
+		if cfg.HTTPClient != nil {
+			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+		}
+		peer := client.New(addr, opts...)
+		r.wg.Add(1)
+		go r.pull(ctx, addr, peer)
+	}
+	return r, nil
+}
+
+// Close stops every puller and waits for them.
+func (r *Replicator) Close() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+// shouldReplicate reports whether ring placement puts the named UDF's
+// replica set on this shard.
+func (r *Replicator) shouldReplicate(name string) bool {
+	for _, addr := range r.ring.Replicas(name, r.cfg.Replicas) {
+		if addr == r.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// pull is one peer's subscription loop: long-poll the peer's replication
+// list, ingest newer owned models, repeat.
+func (r *Replicator) pull(ctx context.Context, addr string, peer *client.Client) {
+	defer r.wg.Done()
+	since := int64(-1)
+	for ctx.Err() == nil {
+		list, err := peer.ReplicationList(ctx, since)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case <-time.After(r.cfg.Interval):
+			case <-ctx.Done():
+			}
+			continue
+		}
+		since = list.Version
+		for _, st := range list.UDFs {
+			if !st.Owned || !r.shouldReplicate(st.Name) {
+				continue
+			}
+			if err := r.ingest(ctx, addr, peer, st.Name, st.Seq); err != nil && ctx.Err() == nil {
+				r.cfg.Logf("replicate %q from %s: %v", st.Name, addr, err)
+			}
+		}
+	}
+}
+
+// ingest fetches and installs one UDF's model when the peer is ahead.
+func (r *Replicator) ingest(ctx context.Context, addr string, peer *client.Client, name string, peerSeq int64) error {
+	localSeq := int64(-1)
+	if e, ok := r.cfg.Registry.Get(name); ok {
+		if !e.Replica() {
+			return nil // owned here; never overwrite the writer
+		}
+		localSeq = e.Seq()
+	}
+	if peerSeq <= localSeq {
+		return nil // already current
+	}
+	fs, err := peer.FetchSnapshot(ctx, name, localSeq+1)
+	if err != nil {
+		return err
+	}
+	if fs == nil {
+		return nil // peer regressed below min_seq between list and fetch
+	}
+	snap, err := core.ReadSnapshot(bytes.NewReader(fs.Data))
+	if err != nil {
+		return err
+	}
+	if err := r.cfg.Registry.InstallReplica(fs.Spec, snap); err != nil {
+		return err
+	}
+	r.cfg.Logf("replica %q ← %s @ seq %d (%d training points)", name, addr, snap.ModelSeq, len(snap.X))
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package fleet shards the olgaprod registry across processes: a
+// consistent-hash ring places each UDF instance on one owning writer shard
+// and a fixed set of read replicas, a Router fans the /v1 surface across
+// the fleet (learning traffic to the owner, frozen reads to any replica,
+// with retry on shard failure), and a Replicator running inside each shard
+// pulls owned models from its peers as versioned snapshot deltas ordered by
+// the per-UDF model sequence number.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node count per shard: enough that the keyspace
+// split stays near-uniform for single-digit fleets without making ring
+// construction noticeable.
+const defaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring mapping UDF instance names to
+// shard addresses. Placement is a pure function of (addrs, name), so every
+// fleet member — router and shards alike — computes identical ownership
+// without coordination.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	addrs  []string    // distinct shard addresses, input order
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV alone leaves sequential names
+// (udf-0, udf-1, …) in tight clusters — the trailing byte perturbs the hash
+// only by small multiples of the FNV prime — which can starve a shard of an
+// entire name family; the finalizer avalanches those bits across the whole
+// keyspace.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring over the shard addresses. vnodes ≤ 0 uses the
+// default; addrs must be non-empty and duplicate-free.
+func NewRing(addrs []string, vnodes int) (*Ring, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	seen := make(map[string]bool, len(addrs))
+	r := &Ring{addrs: append([]string(nil), addrs...)}
+	for _, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("fleet: empty shard address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("fleet: duplicate shard address %q", a)
+		}
+		seen[a] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", a, i)),
+				addr: a,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Addrs returns the shard addresses the ring was built over.
+func (r *Ring) Addrs() []string { return append([]string(nil), r.addrs...) }
+
+// Owner returns the shard owning the named UDF instance: the writer every
+// registration and learning request routes to.
+func (r *Ring) Owner(name string) string { return r.Replicas(name, 1)[0] }
+
+// Replicas returns up to n distinct shards for the name, owner first, then
+// ring successors — the shards that should hold frozen replicas. n larger
+// than the fleet returns every shard.
+func (r *Ring) Replicas(name string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.addrs) {
+		n = len(r.addrs)
+	}
+	h := ringHash(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+}
+
+// TestRingPlacementIsOrderInsensitive is the fleet's coordination-free
+// invariant: every router and shard must compute the same placement from the
+// same shard set, however the list was written in their flags.
+func TestRingPlacementIsOrderInsensitive(t *testing.T) {
+	addrs := []string{"http://s1:8080", "http://s2:8080", "http://s3:8080"}
+	r1, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{addrs[2], addrs[0], addrs[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("udf-%d", i)
+		if r1.Owner(name) != r2.Owner(name) {
+			t.Fatalf("%s: owner %s vs %s under reordered fleet", name, r1.Owner(name), r2.Owner(name))
+		}
+		a, b := r1.Replicas(name, 2), r2.Replicas(name, 2)
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("%s: replica sets %v vs %v", name, a, b)
+		}
+	}
+}
+
+func TestRingReplicaSets(t *testing.T) {
+	addrs := []string{"http://s1:8080", "http://s2:8080", "http://s3:8080"}
+	r, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("udf-%d", i)
+		reps := r.Replicas(name, 2)
+		if len(reps) != 2 || reps[0] == reps[1] {
+			t.Fatalf("%s: bad replica set %v", name, reps)
+		}
+		if reps[0] != r.Owner(name) {
+			t.Fatalf("%s: replicas[0] %s is not the owner %s", name, reps[0], r.Owner(name))
+		}
+		owned[reps[0]]++
+		// Asking for more replicas than shards caps at the fleet size, with
+		// every shard appearing once.
+		all := r.Replicas(name, 10)
+		if len(all) != len(addrs) {
+			t.Fatalf("%s: over-asked replicas %v", name, all)
+		}
+		seen := map[string]bool{}
+		for _, a := range all {
+			if seen[a] {
+				t.Fatalf("%s: duplicate shard in %v", name, all)
+			}
+			seen[a] = true
+		}
+	}
+	// Consistent hashing must spread ownership across every shard.
+	for _, a := range addrs {
+		if owned[a] == 0 {
+			t.Fatalf("shard %s owns nothing across 200 names: %v", a, owned)
+		}
+	}
+}
+
+func TestHealthLedger(t *testing.T) {
+	now := time.Unix(1000, 0)
+	h := NewHealth(2 * time.Second)
+	h.now = func() time.Time { return now }
+
+	if !h.Up("a") {
+		t.Fatal("never-seen shard should be up")
+	}
+	h.MarkDown("a")
+	if h.Up("a") {
+		t.Fatal("freshly failed shard should be down")
+	}
+	// Down shards are deprioritized, never excluded.
+	if got := h.Order([]string{"a", "b", "c"}); got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Fatalf("order with a down: %v", got)
+	}
+	// After the cooldown the shard is probe-eligible again.
+	now = now.Add(2 * time.Second)
+	if !h.Up("a") {
+		t.Fatal("cooldown elapsed, shard should be retried")
+	}
+	h.MarkDown("a")
+	h.MarkUp("a")
+	if !h.Up("a") {
+		t.Fatal("MarkUp should clear the down state")
+	}
+}

@@ -1,0 +1,631 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"olgapro/client"
+	"olgapro/internal/server"
+	"olgapro/internal/server/wire"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the fleet members' base URLs; the consistent-hash ring is
+	// built over them, so every router and shard must be configured with the
+	// same list in any order-insensitive sense (placement hashes addresses).
+	Shards []string
+	// Replicas is the replication factor: each UDF lives on its owner plus
+	// Replicas-1 ring successors. Default 2, capped at the fleet size.
+	Replicas int
+	// VNodes is the ring's virtual-node count per shard (≤ 0 = default).
+	VNodes int
+	// AuthToken, when non-empty, is required from clients (Bearer) and
+	// attached to every outbound shard request — one credential for the
+	// whole fleet.
+	AuthToken string
+	// HTTPClient overrides the outbound transport (e.g. fleet TLS trust).
+	HTTPClient *http.Client
+	// Cooldown is how long a failed shard is deprioritized.
+	Cooldown time.Duration
+	// Logf, when non-nil, receives one line per notable router event.
+	Logf func(format string, args ...any)
+}
+
+// Router fans the /v1 surface across a fleet of olgaprod shards: learning
+// traffic (registration, eval/stream with learn, snapshots) routes to the
+// owning writer shard; frozen reads fan across the owner's replica set with
+// whole-request retry on shard failure — safe precisely because frozen
+// responses are a pure function of (model state, request), so a retried
+// request on a peer at the same model sequence returns the same bytes.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	health  *Health
+	clients map[string]*client.Client
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// NewRouter builds a router over the fleet.
+func NewRouter(cfg Config) (*Router, error) {
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Shards) {
+		cfg.Replicas = len(cfg.Shards)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		health:  NewHealth(cfg.Cooldown),
+		clients: make(map[string]*client.Client, len(cfg.Shards)),
+		start:   time.Now(),
+	}
+	for _, addr := range cfg.Shards {
+		opts := []client.Option{client.WithRetries(0)} // the router is the retry layer
+		if cfg.AuthToken != "" {
+			opts = append(opts, client.WithToken(cfg.AuthToken))
+		}
+		if cfg.HTTPClient != nil {
+			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+		}
+		rt.clients[addr] = client.New(addr, opts...)
+	}
+	rt.routes()
+	return rt, nil
+}
+
+// route registers a handler under /v1 and the unversioned legacy alias.
+func (rt *Router) route(method, path string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(method+" /"+wire.APIVersion+path, h)
+	rt.mux.HandleFunc(method+" "+path, h)
+}
+
+func (rt *Router) routes() {
+	rt.mux = http.NewServeMux()
+	rt.route("GET", "/healthz", rt.handleHealthz)
+	rt.route("GET", "/stats", rt.handleStats)
+	rt.route("GET", "/catalog", rt.handleCatalog)
+	rt.route("GET", "/udfs", rt.handleListUDFs)
+	rt.route("POST", "/udfs", rt.handleRegister)
+	rt.route("POST", "/udfs/{name}/eval", rt.handleEval)
+	rt.route("POST", "/udfs/{name}/stream", rt.handleStream)
+	rt.route("POST", "/udfs/{name}/snapshot", rt.handleSnapshotOne)
+	rt.route("POST", "/snapshot", rt.handleSnapshotAll)
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+}
+
+// Handler returns the router's HTTP handler (bearer auth applied, health
+// checks exempt).
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tok := rt.cfg.AuthToken; tok != "" && r.URL.Path != "/healthz" && r.URL.Path != "/v1/healthz" {
+			const prefix = "Bearer "
+			h := r.Header.Get("Authorization")
+			if len(h) <= len(prefix) || h[:len(prefix)] != prefix ||
+				subtle.ConstantTimeCompare([]byte(h[len(prefix):]), []byte(tok)) != 1 {
+				rt.fail(w, http.StatusUnauthorized, wire.CodeUnauthorized, "missing or invalid bearer token")
+				return
+			}
+		}
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// fail writes the structured error envelope.
+func (rt *Router) fail(w http.ResponseWriter, status int, code wire.ErrorCode, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(wire.ErrorEnvelope{Error: wire.ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// failFrom relays a client-side error: a decoded shard envelope passes
+// through with its original status and code; transport failures become 502
+// unavailable.
+func (rt *Router) failFrom(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		w.Header().Set("Content-Type", "application/json")
+		if ae.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((ae.RetryAfter+time.Second-1)/time.Second)))
+		}
+		w.WriteHeader(ae.Status)
+		json.NewEncoder(w).Encode(wire.ErrorEnvelope{Error: wire.ErrorDetail{
+			Code:         ae.Code,
+			Message:      ae.Message,
+			RetryAfterMS: int64(ae.RetryAfter / time.Millisecond),
+		}})
+		return
+	}
+	rt.fail(w, http.StatusBadGateway, wire.CodeUnavailable, "no shard could serve the request: %v", err)
+}
+
+// shardResp is one fully-buffered shard response: buffering is what makes
+// whole-request retry and byte-identical relay possible.
+type shardResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward sends one request to a shard through its client, buffers the
+// response, and feeds the health ledger.
+func (rt *Router) forward(ctx context.Context, addr, method, path string, q url.Values, body []byte, ct string) (*shardResp, error) {
+	resp, err := rt.clients[addr].Do(ctx, method, path, q, body, ct)
+	if err != nil {
+		rt.health.MarkDown(addr)
+		return nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		rt.health.MarkDown(addr)
+		return nil, err
+	}
+	rt.health.MarkUp(addr)
+	return &shardResp{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// relay writes a buffered shard response to the client verbatim.
+func relay(w http.ResponseWriter, sr *shardResp) {
+	for _, k := range []string{"Content-Type", "Retry-After", wire.HeaderModelSeq, wire.HeaderSpec} {
+		if v := sr.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(sr.status)
+	w.Write(sr.body)
+}
+
+// retryableEnvelope reports whether a shard's error response means "another
+// replica may succeed": the replica hasn't ingested the model yet
+// (not_found / model_cold), is shutting down, or is overloaded.
+func retryableEnvelope(status int, body []byte) bool {
+	if status < 300 {
+		return false
+	}
+	var env wire.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil {
+		switch env.Error.Code {
+		case wire.CodeNotFound, wire.CodeModelCold, wire.CodeDraining,
+			wire.CodeUnavailable, wire.CodeOverCapacity:
+			return true
+		}
+	}
+	return status == http.StatusBadGateway || status == http.StatusServiceUnavailable
+}
+
+// retryableStream reports whether a complete NDJSON stream response ended
+// in a terminal error another replica could avoid.
+func retryableStream(body []byte) bool {
+	var last []byte
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if line := bytes.TrimSpace(sc.Bytes()); len(line) > 0 {
+			last = append(last[:0], line...)
+		}
+	}
+	if len(last) == 0 {
+		return false
+	}
+	var sr wire.StreamResult
+	if json.Unmarshal(last, &sr) != nil || sr.Error == "" {
+		return false
+	}
+	switch sr.ErrorCode {
+	case wire.CodeNotFound, wire.CodeModelCold, wire.CodeDraining, wire.CodeUnavailable:
+		return true
+	}
+	return false
+}
+
+// replicasFor returns the retry-ordered candidate shards for a frozen read.
+func (rt *Router) replicasFor(name string) []string {
+	return rt.health.Order(rt.ring.Replicas(name, rt.cfg.Replicas))
+}
+
+// fanFrozen tries fn against each replica candidate until one returns a
+// non-retryable response. Transport failures and retryable envelopes move
+// on to the next candidate; the last response (or error) is surfaced when
+// every candidate fails.
+func (rt *Router) fanFrozen(name string, fn func(addr string) (*shardResp, bool, error)) (*shardResp, error) {
+	var lastResp *shardResp
+	var lastErr error
+	for _, addr := range rt.replicasFor(name) {
+		sr, retryable, err := fn(addr)
+		if err != nil {
+			rt.cfg.Logf("shard %s failed, trying next replica: %v", addr, err)
+			lastErr = err
+			continue
+		}
+		lastResp = sr
+		if !retryable {
+			return sr, nil
+		}
+		rt.cfg.Logf("shard %s answered retryable %d, trying next replica", addr, sr.status)
+	}
+	if lastResp != nil {
+		return lastResp, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: no replica candidates")
+	}
+	return nil, lastErr
+}
+
+// --- read endpoints ---
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := wire.HealthResponse{
+		Status:    "degraded",
+		UptimeSec: time.Since(rt.start).Seconds(),
+		Shards:    make([]wire.ShardHealth, len(rt.cfg.Shards)),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, addr := range rt.cfg.Shards {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+			defer cancel()
+			h, err := rt.clients[addr].Healthz(ctx)
+			up := err == nil && h.Status == "ok"
+			mu.Lock()
+			resp.Shards[i] = wire.ShardHealth{Addr: addr, Up: up}
+			if up {
+				resp.Status = "ok"
+				resp.InFlight += h.InFlight
+				resp.Capacity += h.Capacity
+				if h.UDFs > resp.UDFs {
+					resp.UDFs = h.UDFs
+				}
+			}
+			mu.Unlock()
+		}(i, addr)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (rt *Router) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	for _, addr := range rt.health.Order(rt.ring.Addrs()) {
+		sr, err := rt.forward(r.Context(), addr, http.MethodGet, "/v1/catalog", nil, nil, "")
+		if err == nil {
+			relay(w, sr)
+			return
+		}
+	}
+	rt.fail(w, http.StatusBadGateway, wire.CodeUnavailable, "no shard reachable for catalog")
+}
+
+func (rt *Router) handleListUDFs(w http.ResponseWriter, r *http.Request) {
+	merged := make(map[string]wire.UDFInfo)
+	reached := false
+	for _, addr := range rt.ring.Addrs() {
+		list, err := rt.clients[addr].ListUDFs(r.Context())
+		if err != nil {
+			rt.health.MarkDown(addr)
+			continue
+		}
+		rt.health.MarkUp(addr)
+		reached = true
+		for _, info := range list.UDFs {
+			// The owner's record wins: it carries the freshest model
+			// sequence and the authoritative training-point count.
+			if prev, ok := merged[info.Name]; !ok || (prev.Replica && !info.Replica) {
+				merged[info.Name] = info
+			}
+		}
+	}
+	if !reached {
+		rt.fail(w, http.StatusBadGateway, wire.CodeUnavailable, "no shard reachable")
+		return
+	}
+	resp := wire.UDFList{UDFs: make([]wire.UDFInfo, 0, len(merged))}
+	for _, info := range merged {
+		resp.UDFs = append(resp.UDFs, info)
+	}
+	sortUDFInfos(resp.UDFs)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func sortUDFInfos(infos []wire.UDFInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Fleet-wide accounting: the same UDF serves traffic on its owner and
+	// every replica, so per-name counters are summed across shards and the
+	// savings totals recomputed from the merged view.
+	type acc struct {
+		st    wire.UDFStats
+		owner bool
+	}
+	merged := make(map[string]*acc)
+	var order []string
+	reached := false
+	for _, addr := range rt.ring.Addrs() {
+		st, err := rt.clients[addr].Stats(r.Context())
+		if err != nil {
+			rt.health.MarkDown(addr)
+			continue
+		}
+		rt.health.MarkUp(addr)
+		reached = true
+		for _, s := range st.UDFs {
+			isOwner := rt.ring.Owner(s.Name) == addr
+			a, ok := merged[s.Name]
+			if !ok {
+				merged[s.Name] = &acc{st: s, owner: isOwner}
+				order = append(order, s.Name)
+				continue
+			}
+			if isOwner && !a.owner {
+				// Identity fields and model-side counters come from the
+				// owner; traffic counters stay summed across shards.
+				inputs, calls := a.st.Inputs, a.st.UDFCalls
+				a.st = s
+				a.st.Inputs += inputs
+				a.st.UDFCalls += calls
+				a.owner = true
+			} else {
+				a.st.Inputs += s.Inputs
+				a.st.UDFCalls += s.UDFCalls
+			}
+		}
+	}
+	if !reached {
+		rt.fail(w, http.StatusBadGateway, wire.CodeUnavailable, "no shard reachable")
+		return
+	}
+	resp := wire.StatsResponse{}
+	var totalMC int64
+	for _, name := range order {
+		s := merged[name].st
+		s.MCEquivalentCalls = s.Inputs * int64(s.MCSamplesPerInput)
+		s.SavedCalls = s.MCEquivalentCalls - int64(s.UDFCalls)
+		if s.MCEquivalentCalls > 0 {
+			s.SavingsRatio = float64(s.SavedCalls) / float64(s.MCEquivalentCalls)
+		}
+		resp.TotalSavedCalls += s.SavedCalls
+		totalMC += s.MCEquivalentCalls
+		resp.UDFs = append(resp.UDFs, s)
+	}
+	if totalMC > 0 {
+		resp.TotalSavingsRatio = float64(resp.TotalSavedCalls) / float64(totalMC)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// --- write endpoints (owner-routed) ---
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "read body: %v", err)
+		return
+	}
+	var req wire.RegisterRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad register request: %v", err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = server.DefaultInstanceName(req.UDF)
+	}
+	owner := rt.ring.Owner(name)
+	sr, err := rt.forward(r.Context(), owner, http.MethodPost, "/v1/udfs", nil, body, "application/json")
+	if err != nil {
+		rt.failFrom(w, err)
+		return
+	}
+	rt.cfg.Logf("register %q → owner %s (%d)", name, owner, sr.status)
+	relay(w, sr)
+}
+
+func (rt *Router) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	owner := rt.ring.Owner(name)
+	sr, err := rt.forward(r.Context(), owner, http.MethodPost, "/v1/udfs/"+url.PathEscape(name)+"/snapshot", nil, nil, "")
+	if err != nil {
+		rt.failFrom(w, err)
+		return
+	}
+	relay(w, sr)
+}
+
+func (rt *Router) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	var resp wire.SnapshotResponse
+	reached := false
+	for _, addr := range rt.ring.Addrs() {
+		snaps, err := rt.clients[addr].SnapshotAll(r.Context())
+		if err != nil {
+			rt.health.MarkDown(addr)
+			continue
+		}
+		rt.health.MarkUp(addr)
+		reached = true
+		resp.Snapshots = append(resp.Snapshots, snaps.Snapshots...)
+	}
+	if !reached {
+		rt.fail(w, http.StatusBadGateway, wire.CodeUnavailable, "no shard reachable")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// --- evaluation ---
+
+func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "read body: %v", err)
+		return
+	}
+	var req wire.EvalRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad eval request: %v", err)
+		return
+	}
+	path := "/v1/udfs/" + url.PathEscape(name) + "/eval"
+	q := forwardableQuery(r)
+	if req.Learn == nil || *req.Learn {
+		owner := rt.ring.Owner(name)
+		sr, err := rt.forward(r.Context(), owner, http.MethodPost, path, q, body, "application/json")
+		if err != nil {
+			rt.failFrom(w, err)
+			return
+		}
+		relay(w, sr)
+		return
+	}
+	sr, err := rt.fanFrozen(name, func(addr string) (*shardResp, bool, error) {
+		sr, err := rt.forward(r.Context(), addr, http.MethodPost, path, q, body, "application/json")
+		if err != nil {
+			return nil, false, err
+		}
+		return sr, retryableEnvelope(sr.status, sr.body), nil
+	})
+	if err != nil {
+		rt.failFrom(w, err)
+		return
+	}
+	relay(w, sr)
+}
+
+// forwardableQuery passes through the request-shaping parameters a client
+// may set (seed, learn, timeout_ms).
+func forwardableQuery(r *http.Request) url.Values {
+	q := url.Values{}
+	for _, k := range []string{"seed", "learn", "timeout_ms"} {
+		if v := r.URL.Query().Get(k); v != "" {
+			q.Set(k, v)
+		}
+	}
+	return q
+}
+
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "read body: %v", err)
+		return
+	}
+	q := forwardableQuery(r)
+	path := "/v1/udfs/" + url.PathEscape(name) + "/stream"
+	if r.URL.Query().Get("learn") != "false" {
+		// Learning stream: single writer, no retry (a replay would re-learn
+		// the prefix), response streamed through incrementally.
+		owner := rt.ring.Owner(name)
+		rc, err := rt.clients[owner].OpenStream(r.Context(), name, q, body)
+		if err != nil {
+			rt.health.MarkDown(owner)
+			rt.failFrom(w, err)
+			return
+		}
+		defer rc.Close()
+		rt.health.MarkUp(owner)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fw := flushWriter{w: w}
+		io.Copy(fw, rc)
+		return
+	}
+	// Frozen stream: buffer the whole exchange so a shard dying mid-stream
+	// retries the full request on the next replica — the response is a pure
+	// function of (model seq, request bytes), so the replay is byte-
+	// identical and the client never sees a torn stream.
+	sr, err := rt.fanFrozen(name, func(addr string) (*shardResp, bool, error) {
+		sr, err := rt.forward(r.Context(), addr, http.MethodPost, path, q, body, "application/x-ndjson")
+		if err != nil {
+			return nil, false, err
+		}
+		if sr.status >= 300 {
+			return sr, retryableEnvelope(sr.status, sr.body), nil
+		}
+		return sr, retryableStream(sr.body), nil
+	})
+	if err != nil {
+		rt.failFrom(w, err)
+		return
+	}
+	relay(w, sr)
+}
+
+// flushWriter flushes after every write so learn-stream results reach the
+// client as they are produced, not when the shard closes the stream.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "read body: %v", err)
+		return
+	}
+	var probe struct {
+		UDF string `json:"udf"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil || probe.UDF == "" {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: missing udf")
+		return
+	}
+	q := forwardableQuery(r)
+	sr, err := rt.fanFrozen(probe.UDF, func(addr string) (*shardResp, bool, error) {
+		sr, err := rt.forward(r.Context(), addr, http.MethodPost, "/v1/query", q, body, "application/json")
+		if err != nil {
+			return nil, false, err
+		}
+		return sr, retryableEnvelope(sr.status, sr.body), nil
+	})
+	if err != nil {
+		rt.failFrom(w, err)
+		return
+	}
+	relay(w, sr)
+}

@@ -1,0 +1,92 @@
+package server
+
+// This file is the one place HTTP failures are shaped: every handler
+// refuses a request through Server.fail (or Server.failErr for evaluation-
+// path errors), so every non-2xx response on the /v1 surface — and on the
+// legacy aliases — carries the same structured JSON envelope
+//
+//	{"error":{"code":"over_capacity","message":"…","retry_after_ms":1000}}
+//
+// with a stable machine-readable code (wire.ErrorCode). Clients dispatch
+// on the code; the message is for humans.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"olgapro/internal/server/wire"
+)
+
+// retryAfterMS is the backoff hint attached to over_capacity refusals,
+// mirrored in both the Retry-After header (seconds, rounded up) and the
+// envelope's retry_after_ms field.
+const retryAfterMS = 1000
+
+// fail writes the structured error envelope with the given status and code.
+func (s *Server) fail(w http.ResponseWriter, status int, code wire.ErrorCode, format string, args ...any) {
+	env := wire.ErrorEnvelope{Error: wire.ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}}
+	if code == wire.CodeOverCapacity {
+		env.Error.RetryAfterMS = retryAfterMS
+	}
+	writeEnvelope(w, status, env)
+}
+
+// writeEnvelope emits env as the response body; shared with the router so
+// both layers refuse requests with identical bytes for identical failures.
+func writeEnvelope(w http.ResponseWriter, status int, env wire.ErrorEnvelope) {
+	w.Header().Set("Content-Type", "application/json")
+	if env.Error.RetryAfterMS > 0 {
+		secs := (env.Error.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(env)
+}
+
+// badRequest marks a client-side input error (malformed line, arity
+// mismatch) so errClass can map it to 400/bad_spec without string matching.
+type badRequest struct{ msg string }
+
+func (b badRequest) Error() string { return b.msg }
+
+// badReqf builds a badRequest error.
+func badReqf(format string, args ...any) error {
+	return badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// errClass maps evaluation-path errors to (HTTP status, envelope code).
+// The mapping is 1:1 with the documented /v1 error surface.
+func errClass(err error) (int, wire.ErrorCode) {
+	var br badRequest
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest, wire.CodeBadSpec
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, wire.CodeDraining
+	case errors.Is(err, errNotWarm):
+		return http.StatusConflict, wire.CodeModelCold
+	case errors.Is(err, errNotOwner):
+		return http.StatusConflict, wire.CodeNotOwner
+	case errors.Is(err, errAlreadyRegistered):
+		return http.StatusConflict, wire.CodeAlreadyExists
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, wire.CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, wire.CodeDeadlineExceeded
+	default:
+		return http.StatusInternalServerError, wire.CodeInternal
+	}
+}
+
+// failErr classifies err and writes its envelope.
+func (s *Server) failErr(w http.ResponseWriter, err error, format string, args ...any) {
+	status, code := errClass(err)
+	s.fail(w, status, code, format, args...)
+}

@@ -66,20 +66,20 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		s.error(w, http.StatusBadRequest, "bad query request: %v", err)
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: %v", err)
 		return
 	}
 	e, ok := s.reg.Get(req.UDF)
 	if !ok {
-		s.error(w, http.StatusNotFound, "no UDF %q registered", req.UDF)
+		s.fail(w, http.StatusNotFound, wire.CodeNotFound, "no UDF %q registered", req.UDF)
 		return
 	}
 	if len(req.Rows) == 0 {
-		s.error(w, http.StatusBadRequest, "query needs at least one row")
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "query needs at least one row")
 		return
 	}
 	if len(req.Rows) > maxQueryRows {
-		s.error(w, http.StatusBadRequest, "query has %d rows, cap is %d (use /udfs/{name}/stream for bulk evaluation)",
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "query has %d rows, cap is %d (use /udfs/{name}/stream for bulk evaluation)",
 			len(req.Rows), maxQueryRows)
 		return
 	}
@@ -87,13 +87,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tuples := make([]*query.Tuple, len(req.Rows))
 	for i, row := range req.Rows {
 		if len(row.Input) != dim {
-			s.error(w, http.StatusBadRequest, "row %d has %d attributes, UDF %q wants %d",
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d has %d attributes, UDF %q wants %d",
 				i, len(row.Input), e.spec.Name, dim)
 			return
 		}
 		t, err := row.Input.Tuple(int64(i))
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "row %d: %v", i, err)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d: %v", i, err)
 			return
 		}
 		tuples[i] = t.With("g", query.Str(row.Group))
@@ -103,7 +103,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// bounded unit of work (≤ maxQueryRows evaluations on frozen clones),
 	// and per-row tokens could deadlock against the pool's own fan-out.
 	if !s.tryAdmit() {
-		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		s.fail(w, http.StatusTooManyRequests, wire.CodeOverCapacity, "at capacity (%d tuples in flight)", cap(s.inflight))
 		return
 	}
 	defer s.release()
@@ -112,7 +112,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Predicate != nil {
 		p, err := req.Predicate.Predicate()
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "%v", err)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 			return
 		}
 		pred = p
@@ -120,7 +120,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	pool, release, err := e.frozenPool(r.Context(), s.cfg.Workers)
 	if err != nil {
-		s.error(w, errStatus(err), "%v", err)
+		s.failErr(w, err, "%v", err)
 		return
 	}
 	defer release()
@@ -133,7 +133,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Window != nil {
 		spec, err := req.Window.Spec()
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "%v", err)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 			return
 		}
 		plan = plan.Window(spec)
@@ -141,7 +141,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.GroupBy != nil {
 		spec, err := req.GroupBy.Spec()
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "%v", err)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 			return
 		}
 		plan = plan.GroupBy(spec)
@@ -149,14 +149,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.TopK != nil {
 		spec, err := req.TopK.Spec()
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "%v", err)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 			return
 		}
 		plan = plan.TopK(spec)
 	}
 	out, err := plan.Run()
 	if err != nil {
-		s.error(w, errStatus(err), "%v", err)
+		s.failErr(w, err, "%v", err)
 		return
 	}
 	e.served.Add(int64(len(req.Rows)))
@@ -165,7 +165,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, t := range out {
 		row, err := encodeQueryTuple(t, e.cfg.Eps)
 		if err != nil {
-			s.error(w, http.StatusInternalServerError, "encode row %d: %v", i, err)
+			s.fail(w, http.StatusInternalServerError, wire.CodeInternal, "encode row %d: %v", i, err)
 			return
 		}
 		resp.Rows[i] = row

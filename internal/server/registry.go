@@ -3,7 +3,9 @@
 // built-in catalog, submit single tuples or NDJSON streams of uncertain
 // inputs, and receive output distributions with their (ε, δ) error bounds —
 // so one learned GP emulator is reused across many requests instead of
-// living and dying inside one process invocation.
+// living and dying inside one process invocation. The public HTTP surface
+// lives under /v1/ (see internal/server/wire for every request/response
+// type); unversioned legacy paths remain as thin aliases for one release.
 //
 // # Concurrency model
 //
@@ -23,6 +25,16 @@
 // transparently rebuilt when the writer has learned since, so read traffic
 // always sees the latest knowledge without ever blocking behind a learning
 // tuple.
+//
+// # Fleet role
+//
+// In a sharded fleet one process is the *owner* (writer) of each UDF and
+// the others host frozen *replicas*: entries installed from the owner's
+// versioned snapshots (InstallReplica), ordered by the per-UDF model
+// sequence number, that serve read traffic but refuse learning with
+// not_owner. The registry's replication version is a process-local
+// monotonic counter bumped on every model mutation; pollers long-poll it
+// (WaitReplication) to subscribe to deltas.
 package server
 
 import (
@@ -45,7 +57,7 @@ import (
 	"olgapro/internal/server/wire"
 )
 
-// Sentinel errors the HTTP layer maps to status codes.
+// Sentinel errors the HTTP layer maps to status codes and envelope codes.
 var (
 	// errDraining: the server is shutting down.
 	errDraining = errors.New("server: draining")
@@ -54,38 +66,35 @@ var (
 	errNotWarm = errors.New("server: model not warm yet — run learning traffic or restore a snapshot first")
 	// errAlreadyRegistered: the instance name is taken (HTTP 409).
 	errAlreadyRegistered = errors.New("already registered")
+	// errNotOwner: learning traffic hit a frozen replica; the writer for
+	// this UDF lives on another shard.
+	errNotOwner = errors.New("server: instance is a read replica — route learning traffic to the owning shard")
 )
 
 // nameRe restricts registered UDF names: they appear in URL paths and
 // snapshot file names, so no separators or dots-only segments.
 var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
 
-// RegisterSpec describes one UDF registration. It doubles as the snapshot
-// metadata record: together with a snapshot file it reconstructs the entry
-// on boot.
-type RegisterSpec struct {
-	// Name is the instance name; defaults to the catalog name with "/"
-	// replaced by "-".
-	Name string `json:"name,omitempty"`
-	// UDF is the catalog function to serve (see Catalog).
-	UDF string `json:"udf"`
-	// Eps and Delta are the (ε, δ) accuracy contract for this instance.
-	// Zero selects the paper defaults (0.1, 0.05).
-	Eps   float64 `json:"eps,omitempty"`
-	Delta float64 `json:"delta,omitempty"`
-	// Sparse, when set, serves this instance on the budgeted sparse emulator
-	// instead of the exact GP. Persisted in the snapshot metadata so a
-	// boot-time restore re-applies it (the snapshot itself also carries the
-	// sparse state from format v3 on).
-	Sparse *wire.SparseSpec `json:"sparse,omitempty"`
+// RegisterSpec is the persistent registration record, shared with the wire
+// surface (it doubles as snapshot metadata and as the replication spec a
+// replica installs from).
+type RegisterSpec = wire.RegisterSpec
+
+// DefaultInstanceName is the instance name a registration gets when the
+// request leaves "name" empty: the catalog name with "/" replaced by "-".
+// Exported through the wire/client layers so the router can compute the
+// owning shard for a registration before forwarding it.
+func DefaultInstanceName(udfName string) string {
+	return strings.ReplaceAll(udfName, "/", "-")
 }
 
-func (s RegisterSpec) withDefaults() (RegisterSpec, error) {
+// normalizeSpec validates a RegisterSpec and applies naming defaults.
+func normalizeSpec(s RegisterSpec) (RegisterSpec, error) {
 	if s.UDF == "" {
-		return s, errors.New("server: register needs \"udf\" (a catalog name; see GET /catalog)")
+		return s, errors.New("server: register needs \"udf\" (a catalog name; see GET /v1/catalog)")
 	}
 	if s.Name == "" {
-		s.Name = strings.ReplaceAll(s.UDF, "/", "-")
+		s.Name = DefaultInstanceName(s.UDF)
 	}
 	if !nameRe.MatchString(s.Name) {
 		return s, fmt.Errorf("server: invalid name %q (want %s)", s.Name, nameRe)
@@ -104,16 +113,18 @@ func (s RegisterSpec) withDefaults() (RegisterSpec, error) {
 
 // writerReq is one closure travelling to an entry's single-writer loop.
 type writerReq struct {
-	fn   func(ev *core.Evaluator) error
+	fn   func() error
 	resp chan error // buffered: the writer never blocks on an abandoned caller
 }
 
 // cloneSlot is one frozen-clone capacity unit. eng is nil until first use;
-// points is the training-set size the clone was built at, compared against
-// the entry's live counter to detect staleness.
+// seq is the model sequence the clone was built at, compared against the
+// entry's live counter to detect staleness (a replica swap bumps the
+// sequence without changing the training-point count, so staleness is
+// keyed on the sequence, not the point count).
 type cloneSlot struct {
-	eng    query.Engine
-	points int
+	eng query.Engine
+	seq int64
 }
 
 // udfEntry is one registered UDF instance.
@@ -122,6 +133,15 @@ type udfEntry struct {
 	def       catalogDef
 	cfg       core.Config
 	mcSamples int // per-input UDF calls Monte Carlo would need at (ε, δ)
+
+	// replica marks a frozen read replica: learning traffic is refused
+	// with errNotOwner, and InstallReplica may swap in newer snapshots.
+	replica bool
+
+	// ev is the evaluator owned by the single-writer loop. Only closures
+	// executed by that loop may touch it; the field itself is mutated only
+	// by swap closures running on the loop.
+	ev *core.Evaluator
 
 	reqs chan writerReq
 	quit chan struct{}
@@ -132,7 +152,12 @@ type udfEntry struct {
 	stopOnce sync.Once
 
 	trainPts atomic.Int64 // training-set size, maintained by the writer side
+	modelSeq atomic.Int64 // per-UDF model sequence, bumped on every mutation
 	served   atomic.Int64 // tuples served (learning + frozen)
+
+	// bump is called (from the writer loop) whenever modelSeq advances, so
+	// the registry's replication version can wake long-pollers.
+	bump func()
 
 	slots chan *cloneSlot
 }
@@ -146,9 +171,19 @@ func (e *udfEntry) stop() {
 // Spec returns the registration record (used as snapshot metadata).
 func (e *udfEntry) Spec() RegisterSpec { return e.spec }
 
-// startWriter runs the single-writer loop that owns ev.
-func (e *udfEntry) startWriter(ev *core.Evaluator) {
+// Seq returns the entry's current model sequence number.
+func (e *udfEntry) Seq() int64 { return e.modelSeq.Load() }
+
+// Replica reports whether the entry is a frozen read replica.
+func (e *udfEntry) Replica() bool { return e.replica }
+
+// startWriter runs the single-writer loop that owns e.ev. seq seeds the
+// model sequence counter (restored from snapshot metadata on boot so the
+// ordering survives restarts; 0 for a fresh registration).
+func (e *udfEntry) startWriter(ev *core.Evaluator, seq int64) {
+	e.ev = ev
 	e.trainPts.Store(int64(ev.Points()))
+	e.modelSeq.Store(seq)
 	go func() {
 		defer close(e.done)
 		for {
@@ -156,8 +191,21 @@ func (e *udfEntry) startWriter(ev *core.Evaluator) {
 			case <-e.quit:
 				return
 			case req := <-e.reqs:
-				req.resp <- req.fn(ev)
-				e.trainPts.Store(int64(ev.Points()))
+				prevEv, prevPts := e.ev, e.ev.Points()
+				req.resp <- req.fn()
+				if e.ev != prevEv {
+					// A swap closure installed a new evaluator and stamped
+					// trainPts/modelSeq itself; nothing to reconcile.
+					continue
+				}
+				after := int64(e.ev.Points())
+				e.trainPts.Store(after)
+				if after != int64(prevPts) {
+					e.modelSeq.Add(1)
+					if e.bump != nil {
+						e.bump()
+					}
+				}
 			}
 		}
 	}()
@@ -168,11 +216,52 @@ func (e *udfEntry) startWriter(ev *core.Evaluator) {
 // to the closure cancels it without running).
 func (e *udfEntry) withWriter(ctx context.Context, fn func(ev *core.Evaluator) error) error {
 	req := writerReq{resp: make(chan error, 1)}
-	req.fn = func(ev *core.Evaluator) error {
+	req.fn = func() error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return fn(ev)
+		return fn(e.ev)
+	}
+	select {
+	case e.reqs <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.quit:
+		return errDraining
+	}
+	select {
+	case err := <-req.resp:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.quit:
+		return errDraining
+	}
+}
+
+// swapModel atomically replaces the entry's evaluator with one restored
+// from a newer snapshot — the replica ingestion path. The sequence bump
+// invalidates every frozen-clone slot, so subsequent reads rebuild their
+// clones from the new model.
+func (e *udfEntry) swapModel(ctx context.Context, ev *core.Evaluator, seq int64) error {
+	req := writerReq{resp: make(chan error, 1)}
+	req.fn = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if seq <= e.modelSeq.Load() {
+			return nil // stale delta: the installed state is already newer
+		}
+		e.ev = ev
+		// Stamp the owner's sequence directly (a snapshot delta jumps the
+		// counter rather than incrementing it) and wake replication
+		// pollers; the loop skips its own bookkeeping on swaps.
+		e.trainPts.Store(int64(ev.Points()))
+		e.modelSeq.Store(seq)
+		if e.bump != nil {
+			e.bump()
+		}
+		return nil
 	}
 	select {
 	case e.reqs <- req:
@@ -194,6 +283,9 @@ func (e *udfEntry) withWriter(ctx context.Context, fn func(ev *core.Evaluator) e
 // learnEval evaluates one input on the learning evaluator (online tuning
 // and retraining enabled) with the given deterministic seed.
 func (e *udfEntry) learnEval(ctx context.Context, input dist.Vector, seed int64) (*core.Output, error) {
+	if e.replica {
+		return nil, errNotOwner
+	}
 	var out *core.Output
 	err := e.withWriter(ctx, func(ev *core.Evaluator) error {
 		rng := rand.New(rand.NewSource(seed))
@@ -254,7 +346,7 @@ func (e *udfEntry) returnSlot(s *cloneSlot) { e.slots <- s }
 
 // ensureFresh rebuilds the slot's clone when missing or stale.
 func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
-	if s.eng != nil && int64(s.points) == e.trainPts.Load() {
+	if s.eng != nil && s.seq == e.modelSeq.Load() {
 		return nil
 	}
 	return e.withWriter(ctx, func(ev *core.Evaluator) error {
@@ -266,7 +358,7 @@ func (e *udfEntry) ensureFresh(ctx context.Context, s *cloneSlot) error {
 			return err
 		}
 		s.eng = query.NewEvaluatorEngine(c)
-		s.points = ev.Points()
+		s.seq = e.modelSeq.Load()
 		return nil
 	})
 }
@@ -316,33 +408,24 @@ func (e *udfEntry) frozenPool(ctx context.Context, max int) (*exec.Pool, func(),
 	return pool, release, nil
 }
 
-// snapshot serializes the current model state.
-func (e *udfEntry) snapshot(ctx context.Context, w io.Writer) (points int, err error) {
+// snapshot serializes the current model state stamped with the model
+// sequence it was taken at.
+func (e *udfEntry) snapshot(ctx context.Context, w io.Writer) (points int, seq int64, err error) {
 	err = e.withWriter(ctx, func(ev *core.Evaluator) error {
 		points = ev.Points()
-		return ev.Save(w)
+		seq = e.modelSeq.Load()
+		s, err := ev.Snapshot()
+		if err != nil {
+			return err
+		}
+		s.ModelSeq = seq
+		return core.WriteSnapshot(w, s)
 	})
-	return points, err
+	return points, seq, err
 }
 
-// UDFStats is the per-UDF /stats record; the savings fields quantify the
-// paper's core economics: UDF calls actually paid vs what plain Monte Carlo
-// would have cost for the same served traffic at the same (ε, δ).
-type UDFStats struct {
-	Name              string  `json:"name"`
-	UDF               string  `json:"udf"`
-	Eps               float64 `json:"eps"`
-	Delta             float64 `json:"delta"`
-	Inputs            int64   `json:"inputs"`
-	TrainingPoints    int     `json:"training_points"`
-	UDFCalls          int     `json:"udf_calls"`
-	Retrainings       int     `json:"retrainings"`
-	Filtered          int     `json:"filtered"`
-	MCSamplesPerInput int     `json:"mc_samples_per_input"`
-	MCEquivalentCalls int64   `json:"mc_equivalent_calls"`
-	SavedCalls        int64   `json:"saved_calls"`
-	SavingsRatio      float64 `json:"savings_ratio"`
-}
+// UDFStats is the per-UDF /v1/stats record, shared with the wire surface.
+type UDFStats = wire.UDFStats
 
 // stats gathers the entry's counters (core counters via the writer loop).
 func (e *udfEntry) stats(ctx context.Context) (UDFStats, error) {
@@ -380,6 +463,13 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*udfEntry
 	closed  bool
+
+	// Replication version: a process-local monotonic counter bumped on
+	// every model mutation of any entry (and on registration). watch is
+	// closed and replaced on every bump, waking WaitReplication pollers.
+	version atomic.Int64
+	watchMu sync.Mutex
+	watch   chan struct{}
 }
 
 // NewRegistry builds an empty registry; workers is the frozen-clone slot
@@ -388,62 +478,175 @@ func NewRegistry(workers int) *Registry {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Registry{workers: workers, entries: make(map[string]*udfEntry)}
+	return &Registry{
+		workers: workers,
+		entries: make(map[string]*udfEntry),
+		watch:   make(chan struct{}),
+	}
 }
 
-// Register creates a UDF instance. With a non-nil snapshot reader, the
-// evaluator is restored from it (boot-time restore) instead of starting
-// empty.
-func (r *Registry) Register(spec RegisterSpec, snapshot io.Reader) (*udfEntry, error) {
-	spec, err := spec.withDefaults()
+// bumpVersion advances the replication version and wakes pollers.
+func (r *Registry) bumpVersion() {
+	r.version.Add(1)
+	r.watchMu.Lock()
+	close(r.watch)
+	r.watch = make(chan struct{})
+	r.watchMu.Unlock()
+}
+
+// Version returns the current replication version.
+func (r *Registry) Version() int64 { return r.version.Load() }
+
+// WaitReplication blocks until the replication version exceeds since or
+// ctx fires, returning the version seen. since < 0 returns immediately.
+func (r *Registry) WaitReplication(ctx context.Context, since int64) int64 {
+	for {
+		if v := r.version.Load(); v > since || since < 0 {
+			return v
+		}
+		r.watchMu.Lock()
+		ch := r.watch
+		r.watchMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return r.version.Load()
+		}
+	}
+}
+
+// newEntry builds (but does not install) an entry for the spec.
+func (r *Registry) newEntry(spec RegisterSpec, snap *core.Snapshot, replica bool) (*udfEntry, int64, error) {
+	spec, err := normalizeSpec(spec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	def, err := lookupCatalog(spec.UDF)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cfg := core.Config{Eps: spec.Eps, Delta: spec.Delta, Kernel: def.kernel()}
 	if spec.Sparse != nil {
 		if err := spec.Sparse.Apply(&cfg); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	var ev *core.Evaluator
-	if snapshot != nil {
-		ev, err = core.Load(def.mkUDF(), cfg, snapshot)
+	var seq int64
+	if snap != nil {
+		ev, err = core.Restore(def.mkUDF(), cfg, snap)
+		seq = snap.ModelSeq
 	} else {
 		ev, err = core.NewEvaluator(def.mkUDF(), cfg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ncfg := ev.Config() // normalized: defaults applied
 	e := &udfEntry{
 		spec:      spec,
 		def:       def,
 		cfg:       ncfg,
+		replica:   replica,
 		mcSamples: mc.SampleSize(ncfg.Eps, ncfg.Delta, mc.MetricDiscrepancy),
 		reqs:      make(chan writerReq),
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
+		bump:      r.bumpVersion,
 		slots:     make(chan *cloneSlot, r.workers),
 	}
 	for i := 0; i < r.workers; i++ {
-		e.slots <- &cloneSlot{}
+		e.slots <- &cloneSlot{seq: -1}
 	}
+	e.ev = ev
+	return e, seq, nil
+}
 
+// install adds a constructed entry under lock and starts its writer.
+func (r *Registry) install(e *udfEntry, seq int64) (*udfEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return nil, errDraining
 	}
-	if _, dup := r.entries[spec.Name]; dup {
-		return nil, fmt.Errorf("server: UDF %q %w", spec.Name, errAlreadyRegistered)
+	if _, dup := r.entries[e.spec.Name]; dup {
+		return nil, fmt.Errorf("server: UDF %q %w", e.spec.Name, errAlreadyRegistered)
 	}
-	e.startWriter(ev)
-	r.entries[spec.Name] = e
+	e.startWriter(e.ev, seq)
+	r.entries[e.spec.Name] = e
 	return e, nil
+}
+
+// Register creates a UDF instance. With a non-nil snapshot, the evaluator
+// is restored from it (boot-time restore) and the model sequence resumes
+// from the snapshot's ModelSeq.
+func (r *Registry) Register(spec RegisterSpec, snap *core.Snapshot) (*udfEntry, error) {
+	e, seq, err := r.newEntry(spec, snap, false)
+	if err != nil {
+		return nil, err
+	}
+	e, err = r.install(e, seq)
+	if err == nil {
+		r.bumpVersion()
+	}
+	return e, err
+}
+
+// InstallReplica creates or refreshes a frozen read replica from an
+// owner's versioned snapshot. A new entry is installed when the name is
+// unknown; an existing replica entry swaps its evaluator when the
+// snapshot's sequence is newer (stale deltas are ignored). Installing over
+// an owned (writer) entry is refused — a shard never demotes its own
+// writer because a peer claims the name.
+func (r *Registry) InstallReplica(spec RegisterSpec, snap *core.Snapshot) error {
+	if snap == nil {
+		return errors.New("server: replica install needs a snapshot")
+	}
+	r.mu.Lock()
+	existing, ok := r.entries[spec.Name]
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return errDraining
+	}
+	if ok {
+		if !existing.replica {
+			return fmt.Errorf("server: UDF %q is owned here; refusing replica install", spec.Name)
+		}
+		if snap.ModelSeq <= existing.Seq() {
+			return nil // already current
+		}
+		// Rebuild an evaluator from the snapshot and swap it in through
+		// the writer loop so in-flight reads finish on the old model.
+		def, err := lookupCatalog(spec.UDF)
+		if err != nil {
+			return err
+		}
+		cfg := core.Config{Eps: spec.Eps, Delta: spec.Delta, Kernel: def.kernel()}
+		if spec.Sparse != nil {
+			if err := spec.Sparse.Apply(&cfg); err != nil {
+				return err
+			}
+		}
+		ev, err := core.Restore(def.mkUDF(), cfg, snap)
+		if err != nil {
+			return err
+		}
+		if err := existing.swapModel(context.Background(), ev, snap.ModelSeq); err != nil {
+			return err
+		}
+		r.bumpVersion()
+		return nil
+	}
+	e, seq, err := r.newEntry(spec, snap, true)
+	if err != nil {
+		return err
+	}
+	if _, err := r.install(e, seq); err != nil {
+		return err
+	}
+	r.bumpVersion()
+	return nil
 }
 
 // remove deregisters and stops an entry — the rollback path when a
@@ -457,6 +660,7 @@ func (r *Registry) remove(name string) {
 	r.mu.Unlock()
 	if ok {
 		e.stop()
+		r.bumpVersion()
 	}
 }
 
@@ -477,6 +681,22 @@ func (r *Registry) List() []*udfEntry {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].spec.Name < out[j].spec.Name })
+	return out
+}
+
+// ReplicationStates lists every hosted UDF with its model sequence and
+// ownership, for GET /v1/replication/udfs.
+func (r *Registry) ReplicationStates() []wire.ReplicaState {
+	entries := r.List()
+	out := make([]wire.ReplicaState, len(entries))
+	for i, e := range entries {
+		out[i] = wire.ReplicaState{
+			Name:  e.spec.Name,
+			Seq:   e.Seq(),
+			Owned: !e.replica,
+			Spec:  e.spec,
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,82 @@
+package server
+
+// Shard-side replication endpoints. A replica shard discovers what its
+// peers host with GET /v1/replication/udfs — passing the last seen
+// ?since_version= long-polls until the peer's registry mutates or the
+// request deadline fires, so subscription costs one idle connection instead
+// of a tight poll loop — and pulls models with GET /v1/udfs/{name}/snapshot,
+// which serializes the live evaluator (never a stale disk file) stamped
+// with its model sequence. ?min_seq=N answers 304 when the shard has
+// nothing the replica doesn't: monotonic sequence numbers make "is this
+// newer" a single integer comparison.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"olgapro/internal/server/wire"
+)
+
+// handleReplicationList serves the shard's hosted-UDF list, long-polling
+// under the request deadline when ?since_version= matches the current
+// registry version.
+func (s *Server) handleReplicationList(w http.ResponseWriter, r *http.Request) {
+	since := int64(-1)
+	if v := r.URL.Query().Get("since_version"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad since_version %q", v)
+			return
+		}
+		since = n
+	}
+	ver := s.reg.WaitReplication(r.Context(), since)
+	s.writeJSON(w, http.StatusOK, wire.ReplicationList{
+		Version: ver,
+		UDFs:    s.reg.ReplicationStates(),
+	})
+}
+
+// handleSnapshotFetch serves the named UDF's current model as raw versioned
+// snapshot bytes, with the model sequence and registration spec in response
+// headers so a replica can install it without a second round trip.
+func (s *Server) handleSnapshotFetch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	minSeq := int64(-1)
+	if v := r.URL.Query().Get("min_seq"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad min_seq %q", v)
+			return
+		}
+		minSeq = n
+	}
+	if minSeq >= 0 && e.Seq() < minSeq {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	var buf bytes.Buffer
+	_, seq, err := e.snapshot(r.Context(), &buf)
+	if err != nil {
+		s.failErr(w, err, "snapshot %q: %v", e.spec.Name, err)
+		return
+	}
+	if minSeq >= 0 && seq < minSeq {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	specJSON, err := json.Marshal(e.Spec())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, wire.CodeInternal, "encode spec: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(wire.HeaderModelSeq, strconv.FormatInt(seq, 10))
+	w.Header().Set(wire.HeaderSpec, string(specJSON))
+	w.Write(buf.Bytes())
+}

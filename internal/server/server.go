@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,7 +13,6 @@ import (
 	"math"
 	"net/http"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -26,9 +26,12 @@ import (
 
 // Config parameterizes a Server. The zero value is usable.
 type Config struct {
-	// SnapshotDir is where POST /snapshot persists trained GP state and
+	// SnapshotDir is where POST /v1/snapshot persists trained GP state and
 	// where boot-time restore looks. Empty disables persistence.
 	SnapshotDir string
+	// SnapshotKeep is how many sequence-stamped snapshot files to retain per
+	// UDF; older ones are deleted after each successful snapshot. Default 3.
+	SnapshotKeep int
 	// MaxInFlight bounds the number of tuples being evaluated or queued
 	// across all requests; admission beyond it is refused with 429 and a
 	// Retry-After. Default 256.
@@ -40,11 +43,17 @@ type Config struct {
 	// maximum concurrency and a stream's maximum fan-out. Default
 	// GOMAXPROCS.
 	Workers int
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>" on
+	// every request except health checks.
+	AuthToken string
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
+	if c.SnapshotKeep <= 0 {
+		c.SnapshotKeep = 3
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
@@ -60,9 +69,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the olgaprod HTTP service: an evaluator registry behind a JSON
-// API with admission control and snapshot persistence. Build one with New,
-// mount Handler on an http.Server, and Close it after draining.
+// Server is the olgaprod HTTP service: an evaluator registry behind the /v1
+// JSON API with admission control and snapshot persistence. Build one with
+// New, mount Handler on an http.Server, and Close it after draining.
 type Server struct {
 	cfg      Config
 	reg      *Registry
@@ -95,6 +104,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Registry exposes the server's registry for in-process composition (the
+// replication puller installs fetched snapshots through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
 // Close drains the registry: every writer loop stops and subsequent
 // requests fail with 503.
 func (s *Server) Close() {
@@ -105,11 +118,18 @@ func (s *Server) Close() {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
 
-// serve applies the cross-cutting policies (drain refusal, per-request
-// deadline) and dispatches to the mux.
+// serve applies the cross-cutting policies (bearer auth, drain refusal,
+// per-request deadline) and dispatches to the mux.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	if tok := s.cfg.AuthToken; tok != "" && !isHealthPath(r.URL.Path) {
+		got, ok := bearerToken(r)
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(tok)) != 1 {
+			s.fail(w, http.StatusUnauthorized, wire.CodeUnauthorized, "missing or invalid bearer token")
+			return
+		}
+	}
 	if s.draining.Load() {
-		s.error(w, http.StatusServiceUnavailable, "server is draining")
+		s.fail(w, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	}
 	timeout := s.cfg.RequestTimeout
@@ -123,18 +143,43 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r.WithContext(ctx))
 }
 
+// isHealthPath exempts liveness probes from auth: load balancers and fleet
+// health checkers must be able to probe without credentials.
+func isHealthPath(p string) bool { return p == "/healthz" || p == "/v1/healthz" }
+
+// bearerToken extracts the Authorization bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if len(h) <= len(prefix) || h[:len(prefix)] != prefix {
+		return "", false
+	}
+	return h[len(prefix):], true
+}
+
+// route registers a handler under the versioned /v1 path and, for one
+// release, under the unversioned legacy alias.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /"+wire.APIVersion+path, h)
+	s.mux.HandleFunc(method+" "+path, h)
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
-	s.mux.HandleFunc("GET /udfs", s.handleListUDFs)
-	s.mux.HandleFunc("POST /udfs", s.handleRegister)
-	s.mux.HandleFunc("POST /udfs/{name}/eval", s.handleEval)
-	s.mux.HandleFunc("POST /udfs/{name}/stream", s.handleStream)
-	s.mux.HandleFunc("POST /udfs/{name}/snapshot", s.handleSnapshotOne)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshotAll)
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/catalog", s.handleCatalog)
+	s.route("GET", "/udfs", s.handleListUDFs)
+	s.route("POST", "/udfs", s.handleRegister)
+	s.route("POST", "/udfs/{name}/eval", s.handleEval)
+	s.route("POST", "/udfs/{name}/stream", s.handleStream)
+	s.route("POST", "/udfs/{name}/snapshot", s.handleSnapshotOne)
+	s.route("POST", "/snapshot", s.handleSnapshotAll)
+	// /v1-only surface: the bounded-query endpoint was born versioned, and
+	// the replication endpoints are new in the fleet release.
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/replication/udfs", s.handleReplicationList)
+	s.mux.HandleFunc("GET /v1/udfs/{name}/snapshot", s.handleSnapshotFetch)
 }
 
 // --- admission control ---
@@ -163,36 +208,7 @@ func (s *Server) admit(ctx context.Context) error {
 
 func (s *Server) release() { <-s.inflight }
 
-// --- error & JSON plumbing ---
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) error(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
-}
-
-// errStatus maps evaluation-path errors to HTTP statuses.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, errDraining):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, errNotWarm):
-		return http.StatusConflict
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusGatewayTimeout
-	default:
-		return http.StatusInternalServerError
-	}
-}
+// --- JSON plumbing ---
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -217,31 +233,19 @@ func decodeStrict(r io.Reader, v any) error {
 
 // --- results ---
 
-// EvalResult is the wire form of one evaluated tuple. Floats are encoded by
-// encoding/json's shortest-round-trip formatting, so equal bits produce
-// equal text: two results are bit-identical iff their JSON lines are equal.
-// SupportHash additionally digests every sample of the full output
-// distribution, making line equality a strong bit-replay check without
-// shipping thousands of floats.
-type EvalResult struct {
-	Seq       int64   `json:"seq"`
-	Engine    string  `json:"engine"`
-	Eps       float64 `json:"eps"`
-	Bound     float64 `json:"bound"`
-	BoundGP   float64 `json:"bound_gp"`
-	BoundMC   float64 `json:"bound_mc"`
-	MetBudget bool    `json:"met_budget"`
+// EvalResult is the wire form of one evaluated tuple (see wire.EvalResult).
+// Floats are encoded by encoding/json's shortest-round-trip formatting, so
+// equal bits produce equal text: two results are bit-identical iff their
+// JSON lines are equal.
+type EvalResult = wire.EvalResult
 
-	Mean        float64            `json:"mean"`
-	Quantiles   map[string]float64 `json:"quantiles"`
-	SupportHash string             `json:"support_hash"`
-
-	Samples     int  `json:"samples"`
-	UDFCalls    int  `json:"udf_calls"`
-	PointsAdded int  `json:"points_added"`
-	LocalPoints int  `json:"local_points"`
-	Filtered    bool `json:"filtered,omitempty"`
-}
+// Aliases binding the handler vocabulary to the shared wire surface.
+type (
+	udfInfo      = wire.UDFInfo
+	streamLine   = wire.StreamLine
+	streamResult = wire.StreamResult
+	snapshotInfo = wire.SnapshotInfo
+)
 
 // supportHash digests the raw float64 bits of the output support (FNV-64a).
 func supportHash(vals []float64) string {
@@ -291,67 +295,45 @@ func resultOf(seq int64, out *core.Output, eps float64) EvalResult {
 // --- basic endpoints ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"uptime_sec": time.Since(s.start).Seconds(),
-		"udfs":       len(s.reg.List()),
-		"inflight":   len(s.inflight),
-		"capacity":   cap(s.inflight),
+	s.writeJSON(w, http.StatusOK, wire.HealthResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		UDFs:      len(s.reg.List()),
+		InFlight:  len(s.inflight),
+		Capacity:  cap(s.inflight),
 	})
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"udfs": Catalog()})
+	entries := Catalog()
+	resp := wire.CatalogResponse{UDFs: make([]wire.CatalogUDF, len(entries))}
+	for i, c := range entries {
+		resp.UDFs[i] = wire.CatalogUDF{Name: c.Name, Dim: c.Dim, Description: c.Description}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.List()
-	stats := make([]UDFStats, 0, len(entries))
-	var totalSaved, totalMC int64
+	resp := wire.StatsResponse{UDFs: make([]UDFStats, 0, len(entries))}
+	var totalMC int64
 	for _, e := range entries {
 		st, err := e.stats(r.Context())
 		if err != nil {
-			s.error(w, errStatus(err), "stats for %q: %v", e.Spec().Name, err)
+			s.failErr(w, err, "stats for %q: %v", e.Spec().Name, err)
 			return
 		}
-		totalSaved += st.SavedCalls
+		resp.TotalSavedCalls += st.SavedCalls
 		totalMC += st.MCEquivalentCalls
-		stats = append(stats, st)
+		resp.UDFs = append(resp.UDFs, st)
 	}
-	resp := map[string]any{"udfs": stats, "total_saved_calls": totalSaved}
 	if totalMC > 0 {
-		resp["total_savings_ratio"] = float64(totalSaved) / float64(totalMC)
+		resp.TotalSavingsRatio = float64(resp.TotalSavedCalls) / float64(totalMC)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- registration ---
-
-// registerRequest is the POST /udfs body: a RegisterSpec plus optional
-// warm-up inputs evaluated in learn mode before the registration returns,
-// so read traffic can start immediately.
-type registerRequest struct {
-	Name       string           `json:"name,omitempty"`
-	UDF        string           `json:"udf"`
-	Eps        float64          `json:"eps,omitempty"`
-	Delta      float64          `json:"delta,omitempty"`
-	Sparse     *wire.SparseSpec `json:"sparse,omitempty"`
-	Warmup     []wire.InputSpec `json:"warmup,omitempty"`
-	WarmupSeed int64            `json:"warmup_seed,omitempty"`
-}
-
-type udfInfo struct {
-	Name           string  `json:"name"`
-	UDF            string  `json:"udf"`
-	Dim            int     `json:"dim"`
-	Eps            float64 `json:"eps"`
-	Delta          float64 `json:"delta"`
-	TrainingPoints int64   `json:"training_points"`
-	MCSamples      int     `json:"mc_samples_per_input"`
-	// SparseBudget is the inducing-point cap when the instance runs on the
-	// budgeted sparse emulator; 0 means the exact GP.
-	SparseBudget int `json:"sparse_budget,omitempty"`
-}
 
 func infoOf(e *udfEntry) udfInfo {
 	return udfInfo{
@@ -363,36 +345,33 @@ func infoOf(e *udfEntry) udfInfo {
 		TrainingPoints: e.trainPts.Load(),
 		MCSamples:      e.mcSamples,
 		SparseBudget:   e.cfg.SparseBudget,
+		ModelSeq:       e.Seq(),
+		Replica:        e.replica,
 	}
 }
 
 func (s *Server) handleListUDFs(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.List()
-	infos := make([]udfInfo, len(entries))
+	resp := wire.UDFList{UDFs: make([]udfInfo, len(entries))}
 	for i, e := range entries {
-		infos[i] = infoOf(e)
+		resp.UDFs[i] = infoOf(e)
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"udfs": infos})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var req registerRequest
+	var req wire.RegisterRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		s.error(w, http.StatusBadRequest, "bad register request: %v", err)
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad register request: %v", err)
 		return
 	}
-	e, err := s.reg.Register(RegisterSpec{
-		Name: req.Name, UDF: req.UDF, Eps: req.Eps, Delta: req.Delta,
-		Sparse: req.Sparse,
-	}, nil)
+	e, err := s.reg.Register(req.Spec(), nil)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, errAlreadyRegistered) {
-			status = http.StatusConflict
-		} else if errors.Is(err, errDraining) {
-			status = http.StatusServiceUnavailable
+		if errors.Is(err, errAlreadyRegistered) || errors.Is(err, errDraining) {
+			s.failErr(w, err, "%v", err)
+		} else {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 		}
-		s.error(w, status, "%v", err)
 		return
 	}
 	for i, in := range req.Warmup {
@@ -404,7 +383,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			// Roll the registration back: a half-warmed instance the client
 			// thinks failed must not squat on the name.
 			s.reg.remove(e.spec.Name)
-			s.error(w, http.StatusBadRequest, "warmup[%d]: %v", i, verr)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "warmup[%d]: %v", i, verr)
 			return
 		}
 		// Warm-up tuples are in-flight tuples like any other: they take an
@@ -412,14 +391,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// unbounded learning work past MaxInFlight.
 		if err := s.admit(r.Context()); err != nil {
 			s.reg.remove(e.spec.Name)
-			s.error(w, errStatus(err), "warmup[%d]: %v", i, err)
+			s.failErr(w, err, "warmup[%d]: %v", i, err)
 			return
 		}
 		_, err := e.learnEval(r.Context(), vec, exec.TupleSeed(req.WarmupSeed, int64(i)))
 		s.release()
 		if err != nil {
 			s.reg.remove(e.spec.Name)
-			s.error(w, errStatus(err), "warmup[%d]: %v", i, err)
+			s.failErr(w, err, "warmup[%d]: %v", i, err)
 			return
 		}
 	}
@@ -430,22 +409,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 // --- evaluation ---
 
-// evalRequest is the POST /udfs/{name}/eval body. Learn defaults to true
-// (the input contributes to the model); learn=false serves from a frozen
-// clone, making the response a pure, bit-replayable function of
-// (model state, input, seed) — identical to line 0 of a frozen stream with
-// the same seed.
-type evalRequest struct {
-	Input wire.InputSpec `json:"input"`
-	Seed  int64          `json:"seed,omitempty"`
-	Learn *bool          `json:"learn,omitempty"`
-}
-
 func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*udfEntry, bool) {
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
 	if !ok {
-		s.error(w, http.StatusNotFound, "no UDF %q registered", name)
+		s.fail(w, http.StatusNotFound, wire.CodeNotFound, "no UDF %q registered", name)
 		return nil, false
 	}
 	return e, true
@@ -456,23 +424,24 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req evalRequest
+	var req wire.EvalRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		s.error(w, http.StatusBadRequest, "bad eval request: %v", err)
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad eval request: %v", err)
 		return
 	}
 	if len(req.Input) != e.def.entry.Dim {
-		s.error(w, http.StatusBadRequest, "input has %d attributes, UDF %q wants %d",
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "input has %d attributes, UDF %q wants %d",
 			len(req.Input), e.spec.Name, e.def.entry.Dim)
 		return
 	}
 	vec, err := req.Input.Vector()
 	if err != nil {
-		s.error(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
 		return
 	}
 	if !s.tryAdmit() {
-		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		s.fail(w, http.StatusTooManyRequests, wire.CodeOverCapacity,
+			"at capacity (%d tuples in flight)", cap(s.inflight))
 		return
 	}
 	defer s.release()
@@ -484,25 +453,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		out, err = e.frozenEval(r.Context(), vec, seed)
 	}
 	if err != nil {
-		s.error(w, errStatus(err), "%v", err)
+		s.failErr(w, err, "%v", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resultOf(0, out, e.cfg.Eps))
 }
 
 // --- streaming ---
-
-// streamLine is one NDJSON request line of POST /udfs/{name}/stream.
-type streamLine struct {
-	Input wire.InputSpec `json:"input"`
-}
-
-// streamResult is one NDJSON response line: either a result or a terminal
-// error (after which the stream ends).
-type streamResult struct {
-	EvalResult
-	Error string `json:"error,omitempty"`
-}
 
 // handleStream evaluates an NDJSON stream of tuples. ?learn=false serves
 // the whole stream from frozen clones fanned out over the exec executor —
@@ -522,7 +479,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if sv := q.Get("seed"); sv != "" {
 		v, err := strconv.ParseInt(sv, 10, 64)
 		if err != nil {
-			s.error(w, http.StatusBadRequest, "bad seed %q", sv)
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad seed %q", sv)
 			return
 		}
 		seed = v
@@ -534,7 +491,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// tuples' tokens. (With a standing token, -max-inflight 1 would
 	// deadlock every stream against its own first tuple.)
 	if !s.tryAdmit() {
-		s.error(w, http.StatusTooManyRequests, "at capacity (%d tuples in flight)", cap(s.inflight))
+		s.fail(w, http.StatusTooManyRequests, wire.CodeOverCapacity,
+			"at capacity (%d tuples in flight)", cap(s.inflight))
 		return
 	}
 	s.release()
@@ -549,7 +507,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	fail := func(seq int64, err error) {
-		enc.Encode(streamResult{EvalResult: EvalResult{Seq: seq}, Error: err.Error()})
+		_, code := errClass(err)
+		enc.Encode(streamResult{EvalResult: EvalResult{Seq: seq}, Error: err.Error(), ErrorCode: code})
 	}
 	if learn {
 		s.streamLearn(r.Context(), e, r.Body, seed, enc, fail)
@@ -577,7 +536,7 @@ func (s *Server) streamLearn(ctx context.Context, e *udfEntry, body io.Reader,
 		}
 		vec, err := spec.Vector()
 		if err != nil {
-			fail(seq, err)
+			fail(seq, badReqf("%v", err))
 			return
 		}
 		if err := s.admit(ctx); err != nil {
@@ -604,10 +563,10 @@ func (s *Server) streamLearn(ctx context.Context, e *udfEntry, body io.Reader,
 func decodeStreamLine(line []byte, dim int) (wire.InputSpec, error) {
 	var sl streamLine
 	if err := decodeStrict(bytes.NewReader(line), &sl); err != nil {
-		return nil, fmt.Errorf("bad stream line: %w", err)
+		return nil, badReqf("bad stream line: %v", err)
 	}
 	if len(sl.Input) != dim {
-		return nil, fmt.Errorf("input has %d attributes, UDF wants %d", len(sl.Input), dim)
+		return nil, badReqf("input has %d attributes, UDF wants %d", len(sl.Input), dim)
 	}
 	return sl.Input, nil
 }
@@ -706,133 +665,4 @@ func (it *lineIter) Next() (*query.Tuple, error) {
 		it.seq++
 		return t, nil
 	}
-}
-
-// --- snapshots ---
-
-// snapName returns the snapshot and metadata paths for a UDF instance.
-func (s *Server) snapName(name string) (snap, meta string) {
-	return filepath.Join(s.cfg.SnapshotDir, name+".snap"),
-		filepath.Join(s.cfg.SnapshotDir, name+".meta.json")
-}
-
-// persist writes one entry's snapshot and metadata atomically.
-func (s *Server) persist(ctx context.Context, e *udfEntry) (points int, err error) {
-	if s.cfg.SnapshotDir == "" {
-		return 0, errors.New("server: no -snapshot-dir configured")
-	}
-	var buf bytes.Buffer
-	points, err = e.snapshot(ctx, &buf)
-	if err != nil {
-		return 0, err
-	}
-	snap, meta := s.snapName(e.spec.Name)
-	if err := atomicWrite(snap, buf.Bytes()); err != nil {
-		return 0, err
-	}
-	mb, err := json.MarshalIndent(e.spec, "", "  ")
-	if err != nil {
-		return 0, err
-	}
-	if err := atomicWrite(meta, append(mb, '\n')); err != nil {
-		return 0, err
-	}
-	s.cfg.Logf("snapshot %q: %d training points → %s", e.spec.Name, points, snap)
-	return points, nil
-}
-
-// atomicWrite writes via a uniquely-named temp file + rename, so a crash
-// mid-write never leaves a truncated snapshot for the next boot to trip
-// over, and two concurrent snapshot requests for the same UDF cannot
-// interleave bytes in a shared temp file — the loser's rename just
-// replaces the winner's whole file.
-func atomicWrite(path string, data []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
-type snapshotInfo struct {
-	Name           string `json:"name"`
-	TrainingPoints int    `json:"training_points"`
-	Path           string `json:"path"`
-}
-
-func (s *Server) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.entryFor(w, r)
-	if !ok {
-		return
-	}
-	points, err := s.persist(r.Context(), e)
-	if err != nil {
-		s.error(w, errStatus(err), "%v", err)
-		return
-	}
-	snap, _ := s.snapName(e.spec.Name)
-	s.writeJSON(w, http.StatusOK, snapshotInfo{Name: e.spec.Name, TrainingPoints: points, Path: snap})
-}
-
-func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
-	var infos []snapshotInfo
-	for _, e := range s.reg.List() {
-		points, err := s.persist(r.Context(), e)
-		if err != nil {
-			s.error(w, errStatus(err), "snapshot %q: %v", e.Spec().Name, err)
-			return
-		}
-		snap, _ := s.snapName(e.spec.Name)
-		infos = append(infos, snapshotInfo{Name: e.spec.Name, TrainingPoints: points, Path: snap})
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"snapshots": infos})
-}
-
-// restoreAll re-registers every persisted UDF from the snapshot directory.
-func (s *Server) restoreAll() error {
-	metas, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.meta.json"))
-	if err != nil {
-		return err
-	}
-	for _, meta := range metas {
-		mb, err := os.ReadFile(meta)
-		if err != nil {
-			return fmt.Errorf("server: restore %s: %w", meta, err)
-		}
-		var spec RegisterSpec
-		if err := json.Unmarshal(mb, &spec); err != nil {
-			return fmt.Errorf("server: restore %s: %w", meta, err)
-		}
-		snap, _ := s.snapName(spec.Name)
-		f, err := os.Open(snap)
-		if err != nil {
-			return fmt.Errorf("server: restore %q: %w", spec.Name, err)
-		}
-		e, err := s.reg.Register(spec, f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("server: restore %q: %w", spec.Name, err)
-		}
-		s.cfg.Logf("restored UDF %q from snapshot (%d training points)", spec.Name, e.trainPts.Load())
-	}
-	return nil
 }

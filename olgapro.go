@@ -36,6 +36,7 @@ import (
 	"io"
 	"math/rand"
 
+	"olgapro/client"
 	"olgapro/internal/astro"
 	"olgapro/internal/core"
 	"olgapro/internal/dist"
@@ -424,3 +425,30 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // ServerCatalog lists the built-in UDFs the service can register.
 func ServerCatalog() []ServerCatalogEntry { return server.Catalog() }
+
+// Client-side access to a running olgaprod shard, olgarouter fleet, or any
+// embedder of Server.Handler: the olgapro/client package speaks the
+// versioned /v1 wire surface with typed error-envelope decoding, context
+// deadlines, and transparent 429 retry. Aliased here so library consumers
+// can stay on a single import.
+type (
+	// Client talks to one olgaprod shard or olgarouter instance.
+	Client = client.Client
+	// ClientOption configures a Client (token, transport, retries).
+	ClientOption = client.Option
+	// APIError is a decoded /v1 error envelope plus its HTTP status;
+	// dispatch on its stable Code via IsErrorCode.
+	APIError = client.APIError
+)
+
+// NewClient builds a /v1 API client for the service at baseURL; see
+// client.WithToken, client.WithHTTPClient, client.WithRetries for options.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return client.New(baseURL, opts...)
+}
+
+// IsErrorCode reports whether err is an *APIError carrying the given
+// stable wire code (e.g. wire codes re-exported as client.CodeNotFound).
+func IsErrorCode(err error, code client.ErrorCode) bool {
+	return client.IsCode(err, code)
+}
