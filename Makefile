@@ -5,8 +5,8 @@ GO ?= go
 
 # Perf-trajectory knobs: where the fresh bench run lands, which committed
 # entry it is gated against, and how much ns/op drift the gate allows.
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_MAX_REGRESS ?= 0.35
 
 # Coverage gate: these packages carry the statistical-guarantee machinery
@@ -16,7 +16,7 @@ BENCH_MAX_REGRESS ?= 0.35
 COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/gp ./internal/core ./internal/server ./internal/server/wire ./internal/fleet ./client
 COVER_MIN ?= 70
 
-.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e e2e-fleet lint ci
+.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e e2e-fleet e2e-rebalance lint ci
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,15 @@ e2e:
 e2e-fleet:
 	$(GO) test -count=1 -v -run TestE2EFleetFailover ./e2e
 
+# e2e-rebalance is the dynamic-membership gate: olgarouter over three
+# olgaprod shards with ten learned UDFs, then — with a frozen stream in
+# flight — a fourth shard joins via POST /v1/fleet/members and an original
+# shard leaves. Frozen replays must stay byte-identical throughout, the
+# joiner must fetch exactly the UDFs the new ring places on it, and the
+# departed shard must drain cleanly once its ownership has moved.
+e2e-rebalance:
+	$(GO) test -count=1 -v -run TestE2ERebalance ./e2e
+
 # lint runs staticcheck + govulncheck when installed and skips (with a
 # notice) when not, so `make ci` works on boxes without the tools; the CI
 # lint job installs both and is blocking.
@@ -110,4 +119,4 @@ lint:
 		govulncheck ./...; \
 	else echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
-ci: build vet fmt lint test race cover fuzz-smoke e2e e2e-fleet bench bench-diff
+ci: build vet fmt lint test race cover fuzz-smoke e2e e2e-fleet e2e-rebalance bench bench-diff

@@ -374,6 +374,39 @@ func (c *Client) ReplicationList(ctx context.Context, since int64) (ReplicationL
 	return list, err
 }
 
+// Membership returns the shard's current fleet membership view
+// (GET /v1/replication/members); fails with code not_replicated outside
+// fleet mode.
+func (c *Client) Membership(ctx context.Context) (Membership, error) {
+	var m Membership
+	err := c.doJSON(ctx, http.MethodGet, "/v1/replication/members", nil, nil, &m)
+	return m, err
+}
+
+// OfferMembership offers a shard a membership epoch
+// (POST /v1/replication/members); a strictly higher epoch is adopted.
+// Returns the membership the shard holds afterwards.
+func (c *Client) OfferMembership(ctx context.Context, m Membership) (Membership, error) {
+	var out Membership
+	err := c.doJSON(ctx, http.MethodPost, "/v1/replication/members", nil, m, &out)
+	return out, err
+}
+
+// Hint delivers a push-replication seq-bump hint to a replica shard
+// (POST /v1/replication/hint).
+func (c *Client) Hint(ctx context.Context, h ReplicationHint) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/replication/hint", nil, h, nil)
+}
+
+// FleetMembers mutates the fleet's membership through the router's admin
+// endpoint (POST /v1/fleet/members, op "join" or "leave"), returning the
+// newly minted membership.
+func (c *Client) FleetMembers(ctx context.Context, req FleetMembersRequest) (Membership, error) {
+	var m Membership
+	err := c.doJSON(ctx, http.MethodPost, "/v1/fleet/members", nil, req, &m)
+	return m, err
+}
+
 // FetchedSnapshot is one pulled model: the raw versioned snapshot bytes
 // plus the metadata needed to install it (see wire.HeaderModelSeq/Spec).
 type FetchedSnapshot struct {

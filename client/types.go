@@ -51,6 +51,12 @@ type (
 	ReplicaState = wire.ReplicaState
 	// ReplicationList is the GET /v1/replication/udfs response.
 	ReplicationList = wire.ReplicationList
+	// Membership is one fleet configuration: a monotonic epoch + shard list.
+	Membership = wire.Membership
+	// FleetMembersRequest is the POST /v1/fleet/members admin body.
+	FleetMembersRequest = wire.FleetMembersRequest
+	// ReplicationHint is a push-replication seq-bump notification.
+	ReplicationHint = wire.ReplicationHint
 	// ErrorDetail and ErrorEnvelope form the structured error body every
 	// non-2xx /v1 response carries.
 	ErrorDetail   = wire.ErrorDetail

@@ -48,6 +48,7 @@ import (
 	"olgapro/internal/dist"
 	"olgapro/internal/ecdf"
 	"olgapro/internal/exec"
+	"olgapro/internal/fleet"
 	"olgapro/internal/gp"
 	"olgapro/internal/kernel"
 	"olgapro/internal/mc"
@@ -635,6 +636,107 @@ func benchServerStream(workers int) func(b *testing.B) {
 	}
 }
 
+// benchFleetReplicationLag boots a two-shard fleet in-process (owner +
+// replica, each with its replication engine) and measures one op as: learn
+// one tuple on the owner, then wait until the replica's registry has caught
+// up to the owner's model sequence. With hints on, the owner pushes a
+// seq-bump hint to the replica set on every registry advance; with hints
+// off, the replica relies on its pull loop alone. Both must land far below
+// the 500ms poll interval — hints bound the lag by a round trip, and the
+// pull path's long-poll wakes on the owner's version bump. Like the other
+// multi-goroutine families, trajectory-reported but exempt from the
+// regression gate (fleet_* matches the benchdiff exemption).
+func benchFleetReplicationLag(hints bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		boot := func() (*server.Server, *httptest.Server) {
+			s, err := server.New(server.Config{Workers: 1, MaxInFlight: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s, httptest.NewServer(s.Handler())
+		}
+		sA, tsA := boot()
+		defer func() { tsA.Close(); sA.Close() }()
+		sB, tsB := boot()
+		defer func() { tsB.Close(); sB.Close() }()
+		addrs := []string{tsA.URL, tsB.URL}
+		start := func(s *server.Server, self string) *fleet.Replicator {
+			repl, err := fleet.StartReplicator(fleet.ReplicatorConfig{
+				Self: self, Shards: addrs, Registry: s.Registry(),
+				Replicas: 2, Interval: 500 * time.Millisecond, DisableHints: !hints,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetFleetHooks(&server.FleetHooks{
+				Membership:      repl.Membership,
+				AdoptMembership: repl.AdoptMembership,
+				Hint:            repl.Hint,
+			})
+			return repl
+		}
+		replA := start(sA, tsA.URL)
+		defer replA.Close()
+		replB := start(sB, tsB.URL)
+		defer replB.Close()
+
+		// Register on the shard the ring owns "lag" on (httptest ports are
+		// random, so either shard may hash as owner); the other shard is the
+		// replica whose catch-up lag the loop measures. Registering elsewhere
+		// would get the registrant demoted once the ring owner catches up.
+		ring, err := fleet.NewRing(addrs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ownerSrv, replicaSrv := sA, sB
+		ownerURL := tsA.URL
+		if ring.Owner("lag") == tsB.URL {
+			ownerSrv, replicaSrv = sB, sA
+			ownerURL = tsB.URL
+		}
+
+		ctx := context.Background()
+		clOwner := client.New(ownerURL)
+		rng := rand.New(rand.NewSource(5))
+		warmup := make([]client.InputSpec, 8)
+		for i := range warmup {
+			warmup[i] = client.InputSpec{
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+			}
+		}
+		if _, err := clOwner.Register(ctx, client.RegisterRequest{
+			UDF: "poly/smooth2d", Name: "lag", Eps: 0.2, Delta: 0.1,
+			Warmup: warmup, WarmupSeed: 3,
+		}); err != nil {
+			b.Fatalf("register: %v", err)
+		}
+		ownerEntry, _ := ownerSrv.Registry().Get("lag")
+		caughtUp := func(target int64) bool {
+			e, ok := replicaSrv.Registry().Get("lag")
+			return ok && e.Seq() >= target
+		}
+		for !caughtUp(ownerEntry.Seq()) {
+			time.Sleep(time.Millisecond)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := clOwner.Eval(ctx, "lag", client.EvalRequest{
+				Input: client.InputSpec{
+					{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+					{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+				},
+				Seed: int64(i + 1),
+			}); err != nil {
+				b.Fatalf("learn eval: %v", err)
+			}
+			for target := ownerEntry.Seq(); !caughtUp(target); {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write the run (or comparison) JSON to this file; stdout when empty")
 	baseline := flag.String("baseline", "", "earlier run JSON to embed as the before side")
@@ -686,6 +788,14 @@ func main() {
 		run.Results = append(run.Results, measureThroughput(
 			fmt.Sprintf("server_stream_rps_w%d", w), throughputTuples, benchServerStream(w)))
 	}
+	// Fleet replication lag (PR 9): one op = a learn on the owner plus the
+	// wait until the replica catches up. Both variants must land far below
+	// the 500ms poll interval; timing depends on the host scheduler, so
+	// fleet_* is exempt from the regression gate like parallel_*/server_*.
+	run.Results = append(run.Results,
+		measure("fleet_replication_lag_hints", benchFleetReplicationLag(true)),
+		measure("fleet_replication_lag_pull", benchFleetReplicationLag(false)),
+	)
 
 	var payload any = run
 	if *baseline != "" {

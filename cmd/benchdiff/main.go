@@ -19,10 +19,11 @@
 //   - a baseline benchmark missing from the current run fails, so a
 //     benchmark cannot silently vanish from the gate (delete it from the
 //     committed baseline deliberately instead);
-//   - names matching -exempt (default ^(parallel|server)_) are reported but
-//     not gated: throughput benchmarks depend on the host's core count and
-//     network stack, which differ between the machine that committed the
-//     baseline and the CI runner;
+//   - names matching -exempt (default ^(parallel|server|fleet)_) are
+//     reported but not gated: throughput and replication-lag benchmarks
+//     depend on the host's core count, scheduler, and network stack, which
+//     differ between the machine that committed the baseline and the CI
+//     runner;
 //   - benchmarks present in the current run but missing from the baseline
 //     are listed as "new (not gated)" and summarized, so additions (e.g.
 //     the BENCH_PR4 tuning_pick_* pair) are visible in CI output rather
@@ -57,7 +58,7 @@ func main() {
 	current := flag.String("current", "", "fresh bench run to gate (required)")
 	maxRegress := flag.Float64("max-regress", 0.35, "allowed fractional ns/op regression")
 	allocSlack := flag.Float64("alloc-slack", 0.005, "allowed fractional allocs/op increase, floored per benchmark (0 for baselines < 1/slack, keeping low-count gates strict)")
-	exempt := flag.String("exempt", "^(parallel|server)_", "regexp of benchmark names reported but not gated")
+	exempt := flag.String("exempt", "^(parallel|server|fleet)_", "regexp of benchmark names reported but not gated")
 	flag.Parse()
 
 	if *baseline == "" || *current == "" {

@@ -19,15 +19,21 @@
 //	POST /v1/query                    bounded relational query on frozen clones
 //	GET  /v1/replication/udfs         hosted UDFs + model seqs (long-polls)
 //	GET  /v1/udfs/{name}/snapshot     raw snapshot bytes for replication
+//	GET  /v1/replication/members      current membership epoch + shard list
+//	POST /v1/replication/members      adopt a higher membership epoch
+//	POST /v1/replication/hint         push-replication seq-bump hint
 //
 // On boot, snapshots found in -snapshot-dir are restored, so a restarted
 // server skips re-learning. SIGTERM/SIGINT drain gracefully: in-flight
 // requests finish (up to -drain-timeout), new ones are refused with 503.
 //
-// Fleet mode: -fleet lists every shard's base URL and -self names this
-// process's own; the shard then pulls models owned by its peers as
-// versioned snapshot deltas and serves them as frozen read replicas.
-// Front the fleet with cmd/olgarouter.
+// Fleet mode: -fleet lists the boot-time shard base URLs (membership
+// epoch 0) and -self names this process's own; the shard then pulls models
+// owned by its peers as versioned snapshot deltas and serves them as
+// frozen read replicas. A shard joining an already-running fleet boots
+// with -fleet <its own URL> and is announced through the router's
+// POST /v1/fleet/members, which broadcasts the new epoch. Front the fleet
+// with cmd/olgarouter.
 package main
 
 import (
@@ -132,6 +138,14 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		// Wire the replicator into the HTTP surface: replication lists gossip
+		// the membership epoch, POST /v1/replication/members feeds adopted
+		// epochs in, and POST /v1/replication/hint delivers push hints.
+		srv.SetFleetHooks(&server.FleetHooks{
+			Membership:      repl.Membership,
+			AdoptMembership: repl.AdoptMembership,
+			Hint:            repl.Hint,
+		})
 		logger.Printf("fleet replication on: %d shards, self=%s, factor %d", len(shards), o.self, o.replicas)
 	}
 

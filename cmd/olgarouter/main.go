@@ -10,6 +10,14 @@
 //
 //	olgarouter -addr :9090 -shards http://10.0.0.1:8080,http://10.0.0.2:8080
 //
+// The router is also the fleet's membership admin: -shards is only the
+// boot-time list (epoch 0), and POST /v1/fleet/members with
+// {"op":"join"|"leave","shard":"<base URL>"} mints the next membership
+// epoch, re-routes traffic immediately, and broadcasts the epoch to every
+// shard (GET /v1/fleet/members reports the current view). Only names whose
+// ring replica set actually changed move; the departing owner keeps
+// serving frozen reads until its successor has caught up.
+//
 // Optional -auth-token guards the router's listener and is forwarded to
 // the shards as the fleet credential; -tls-cert/-tls-key serve TLS.
 package main
@@ -112,6 +120,7 @@ func run(addr, shards string, replicas int, authToken, tlsCert, tlsKey string, i
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		logger.Printf("drain incomplete: %v", err)
 	}
+	rt.Close()
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

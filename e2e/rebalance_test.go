@@ -1,0 +1,278 @@
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"olgapro/client"
+	"olgapro/internal/fleet"
+)
+
+// TestE2ERebalance is the dynamic-membership gate: an olgarouter over three
+// olgaprod shards, a working set learned through the router, then — with a
+// frozen stream in flight — a fourth shard joins through POST
+// /v1/fleet/members and one original shard leaves. Frozen replays must stay
+// byte-identical with every Bound ≤ ε throughout, and the joining shard
+// must end up hosting exactly the UDFs the new ring places on it: nothing
+// else was re-fetched.
+func TestE2ERebalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and boots real binaries; skipped in -short")
+	}
+	workDir := t.TempDir()
+	prodBin := buildBinary(t, workDir, "olgapro/cmd/olgaprod")
+	routerBin := buildBinary(t, workDir, "olgapro/cmd/olgarouter")
+	inputs := sessionInputs()
+	replayIn := inputs[:16]
+	ctx := context.Background()
+
+	ports := []int{freePort(t), freePort(t), freePort(t), freePort(t)}
+	urls := make([]string, 4)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	boot := urls[:3]
+	bootList := boot[0] + "," + boot[1] + "," + boot[2]
+
+	shardArgs := func(i int, fleetList string) []string {
+		return []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-snapshot-dir", filepath.Join(workDir, fmt.Sprintf("snap%d", i)),
+			"-workers", "2", "-timeout", "10s", "-drain-timeout", "10s",
+			"-fleet", fleetList, "-self", urls[i], "-replicas", "2",
+		}
+	}
+	procs := make([]*proc, 4)
+	for i := 0; i < 3; i++ {
+		procs[i] = startProc(t, prodBin, shardArgs(i, bootList)...)
+	}
+	pR := startProc(t, routerBin, "-addr", "127.0.0.1:0", "-shards", bootList, "-replicas", "2")
+	cl := client.New("http://" + pR.addr)
+	shardCl := make([]*client.Client, 4)
+	for i := 0; i < 3; i++ {
+		shardCl[i] = procs[i].client()
+	}
+
+	// Ten UDFs so the rebalance touches a healthy slice of the ring; the
+	// expected placements below use the same hash the fleet does.
+	names := make([]string, 10)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	for _, name := range names {
+		if _, err := cl.Register(ctx, client.RegisterRequest{
+			Name: name, UDF: "poly/smooth2d", Eps: 0.2, Delta: 0.1,
+			Warmup: inputs[:4], WarmupSeed: 99,
+		}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		learned, _, err := cl.Stream(ctx, name, client.StreamOptions{Seed: 7}, inputs[:24])
+		if err != nil {
+			t.Fatalf("learn %s via router: %v", name, err)
+		}
+		assertContract(t, "learn "+name, learned, 24)
+	}
+
+	// Authoritative model seqs from the router's merged view (owner wins).
+	seqOf := func(c *client.Client, name string) int64 {
+		t.Helper()
+		list, err := c.ListUDFs(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range list.UDFs {
+			if info.Name == name {
+				return info.ModelSeq
+			}
+		}
+		t.Fatalf("%s not listed", name)
+		return 0
+	}
+	seqs := make(map[string]int64, len(names))
+	for _, name := range names {
+		seqs[name] = seqOf(cl, name)
+	}
+
+	// hostedAt reports the (seq, replica) state of name on one shard.
+	hostedAt := func(c *client.Client, name string) (int64, bool, bool) {
+		list, err := c.ListUDFs(ctx)
+		if err != nil {
+			return 0, false, false
+		}
+		for _, info := range list.UDFs {
+			if info.Name == name {
+				return info.ModelSeq, info.Replica, true
+			}
+		}
+		return 0, false, false
+	}
+
+	// waitSettled polls until, under the given membership, every name's
+	// placed shards hold it at the recorded seq with exactly the ring owner
+	// promoted.
+	waitSettled := func(phase string, members []int) {
+		t.Helper()
+		memberURLs := make([]string, len(members))
+		for i, m := range members {
+			memberURLs[i] = urls[m]
+		}
+		ring, err := fleet.NewRing(memberURLs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			settled := true
+			for _, name := range names {
+				owner := ring.Owner(name)
+				for _, u := range ring.Replicas(name, 2) {
+					var c *client.Client
+					for i, m := range members {
+						if memberURLs[i] == u {
+							c = shardCl[m]
+						}
+					}
+					seq, replica, ok := hostedAt(c, name)
+					if !ok || seq < seqs[name] || replica == (u == owner) {
+						settled = false
+					}
+				}
+			}
+			if settled {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: fleet did not settle within 30s", phase)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitSettled("initial replication", []int{0, 1, 2})
+
+	// Canonical frozen bytes per UDF, via the router.
+	replay := func(phase, name string) []byte {
+		t.Helper()
+		results, raw, err := cl.Stream(ctx, name, client.StreamOptions{Frozen: true, Seed: 7}, replayIn)
+		if err != nil {
+			t.Fatalf("%s: frozen stream %s: %v", phase, name, err)
+		}
+		assertContract(t, phase+" frozen "+name, results, len(replayIn))
+		assertNoUDFCalls(t, phase+" frozen "+name, results)
+		return raw
+	}
+	canonical := make(map[string][]byte, len(names))
+	for _, name := range names {
+		canonical[name] = replay("baseline", name)
+	}
+
+	// --- Join shard 3 mid-frozen-stream. ---
+	// The documented join procedure: the joiner boots knowing only itself;
+	// the router's join broadcast delivers the real membership and epoch.
+	procs[3] = startProc(t, prodBin, shardArgs(3, urls[3])...)
+	shardCl[3] = procs[3].client()
+
+	streamed := make(chan []byte, 1)
+	go func() {
+		_, raw, err := cl.Stream(ctx, names[0], client.StreamOptions{Frozen: true, Seed: 7}, replayIn)
+		if err != nil {
+			streamed <- nil
+			return
+		}
+		streamed <- raw
+	}()
+	time.Sleep(20 * time.Millisecond) // let the stream get in flight
+	joined, err := cl.FleetMembers(ctx, client.FleetMembersRequest{Op: "join", Shard: urls[3]})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if joined.Epoch != 1 || len(joined.Shards) != 4 {
+		t.Fatalf("join minted %+v, want epoch 1 with 4 shards", joined)
+	}
+	if raw := <-streamed; raw == nil || !bytes.Equal(raw, canonical[names[0]]) {
+		t.Fatalf("frozen stream across the join diverged:\n%s\nvs\n%s", raw, canonical[names[0]])
+	}
+
+	waitSettled("post-join", []int{0, 1, 2, 3})
+
+	// The joiner hosts exactly the UDFs the 4-shard ring places on it:
+	// anything extra would mean un-moved names were re-fetched.
+	ring4, err := fleet.NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := make(map[string]bool)
+	for _, name := range names {
+		for _, u := range ring4.Replicas(name, 2) {
+			if u == urls[3] {
+				expected[name] = true
+			}
+		}
+	}
+	t.Logf("ring places %d of %d UDFs on the joiner", len(expected), len(names))
+	list, err := shardCl[3].ListUDFs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, info := range list.UDFs {
+		got[info.Name] = true
+	}
+	for name := range expected {
+		if !got[name] {
+			t.Fatalf("joiner is missing re-placed UDF %s: %v", name, got)
+		}
+	}
+	for name := range got {
+		if !expected[name] {
+			t.Fatalf("joiner fetched %s though its placement did not change", name)
+		}
+	}
+
+	for _, name := range names {
+		if raw := replay("post-join", name); !bytes.Equal(raw, canonical[name]) {
+			t.Fatalf("post-join frozen replay of %s diverged", name)
+		}
+	}
+
+	// --- Leave one original shard. ---
+	left, err := cl.FleetMembers(ctx, client.FleetMembersRequest{Op: "leave", Shard: urls[0]})
+	if err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if left.Epoch != 2 || len(left.Shards) != 3 {
+		t.Fatalf("leave minted %+v, want epoch 2 with 3 shards", left)
+	}
+	waitSettled("post-leave", []int{1, 2, 3})
+	for _, name := range names {
+		if raw := replay("post-leave", name); !bytes.Equal(raw, canonical[name]) {
+			t.Fatalf("post-leave frozen replay of %s diverged", name)
+		}
+	}
+
+	// The departed shard drains gracefully: its ownership moved on, so a
+	// clean SIGTERM exit proves the handoff left nothing behind.
+	procs[0].shutdown(t)
+	for _, name := range names {
+		if raw := replay("post-departure", name); !bytes.Equal(raw, canonical[name]) {
+			t.Fatalf("frozen replay of %s diverged after the departed shard exited", name)
+		}
+	}
+
+	// Learning still lands on the rebalanced owners.
+	for _, name := range names[:2] {
+		learned, _, err := cl.Stream(ctx, name, client.StreamOptions{Seed: 8}, inputs[24:28])
+		if err != nil {
+			t.Fatalf("post-rebalance learn %s: %v", name, err)
+		}
+		assertContract(t, "post-rebalance learn "+name, learned, 4)
+	}
+
+	pR.shutdown(t)
+	for _, p := range procs[1:] {
+		p.shutdown(t)
+	}
+}

@@ -75,6 +75,7 @@ func TestFleetRouterAndReplication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	tsR := httptest.NewServer(rt.Handler())
 	defer tsR.Close()
 	ctx := context.Background()
@@ -226,6 +227,7 @@ func TestRouterAuth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	tsR := httptest.NewServer(rt.Handler())
 	defer tsR.Close()
 	ctx := context.Background()

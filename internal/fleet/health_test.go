@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHealthOrderClassStability pins Order's contract under a fake clock:
+// candidates sort live-first, and the relative order WITHIN each class is
+// the caller's — the router depends on this so the ring's owner-first
+// replica order survives health shuffling.
+func TestHealthOrderClassStability(t *testing.T) {
+	h := NewHealth(time.Second)
+	clock := time.Unix(1000, 0)
+	h.now = func() time.Time { return clock }
+
+	addrs := []string{"a", "b", "c", "d", "e"}
+	if got := h.Order(addrs); !reflect.DeepEqual(got, addrs) {
+		t.Fatalf("all-live order changed: %v", got)
+	}
+
+	h.MarkDown("b")
+	h.MarkDown("d")
+	if got := h.Order(addrs); !reflect.DeepEqual(got, []string{"a", "c", "e", "b", "d"}) {
+		t.Fatalf("mixed order: %v, want live {a c e} then dead {b d} in input order", got)
+	}
+
+	// Everything down: all candidates remain (deprioritized, never
+	// excluded) in input order.
+	for _, a := range addrs {
+		h.MarkDown(a)
+	}
+	if got := h.Order(addrs); !reflect.DeepEqual(got, addrs) {
+		t.Fatalf("all-dead order: %v, want input order %v", got, addrs)
+	}
+
+	// Cooldown expiry re-admits without any MarkUp: advance the fake clock
+	// exactly to the boundary (≥ cooldown counts as live again).
+	clock = clock.Add(time.Second)
+	if got := h.Order(addrs); !reflect.DeepEqual(got, addrs) {
+		t.Fatalf("post-cooldown order: %v", got)
+	}
+	for _, a := range addrs {
+		if !h.Up(a) {
+			t.Fatalf("%s still down after cooldown", a)
+		}
+	}
+
+	// A fresh failure restarts the clock for that shard only.
+	h.MarkDown("c")
+	clock = clock.Add(500 * time.Millisecond)
+	if got := h.Order(addrs); !reflect.DeepEqual(got, []string{"a", "b", "d", "e", "c"}) {
+		t.Fatalf("re-failed order: %v", got)
+	}
+	h.MarkUp("c")
+	if !h.Up("c") {
+		t.Fatal("MarkUp did not clear the cooldown")
+	}
+}
+
+// TestHealthConcurrentMarks hammers the ledger from many goroutines so the
+// race detector can vet the locking; the final state must reflect each
+// shard's last writer.
+func TestHealthConcurrentMarks(t *testing.T) {
+	h := NewHealth(time.Hour) // cooldown never expires during the test
+	addrs := []string{"s0", "s1", "s2", "s3"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := addrs[(g+i)%len(addrs)]
+				if i%2 == 0 {
+					h.MarkDown(a)
+				} else {
+					h.MarkUp(a)
+				}
+				h.Up(a)
+				h.Order(addrs)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Deterministic tail: settle every shard into a known state and check
+	// the ledger agrees.
+	h.MarkUp("s0")
+	h.MarkUp("s1")
+	h.MarkDown("s2")
+	h.MarkDown("s3")
+	if got := h.Order(addrs); !reflect.DeepEqual(got, []string{"s0", "s1", "s2", "s3"}) {
+		t.Fatalf("settled order: %v", got)
+	}
+	if !h.Up("s0") || !h.Up("s1") || h.Up("s2") || h.Up("s3") {
+		t.Fatal("settled Up states wrong")
+	}
+}

@@ -5,58 +5,116 @@ import (
 	"context"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"olgapro/client"
 	"olgapro/internal/core"
 	"olgapro/internal/server"
+	"olgapro/internal/server/wire"
 )
 
-// ReplicatorConfig parameterizes a shard's replication puller.
+// ReplicatorConfig parameterizes a shard's replication engine.
 type ReplicatorConfig struct {
 	// Self is this shard's own base URL; it is skipped as a peer and used
 	// for ring-placement decisions.
 	Self string
-	// Shards are all fleet members' base URLs (including Self).
+	// Shards are the boot-time fleet members' base URLs (including Self) —
+	// membership epoch 0. A joining shard boots with just its own URL and
+	// adopts the fleet's real membership from the router's join broadcast.
 	Shards []string
 	// Registry is this process's registry; fetched models are installed
-	// through InstallReplica.
+	// through InstallReplica, and handoff flips run through Promote/Demote.
 	Registry *server.Registry
 	// Replicas is the replication factor: this shard pulls a UDF only when
 	// ring placement makes it one of the UDF's replica set. Default 2.
 	Replicas int
 	// VNodes is the ring's virtual-node count (must match the router's).
 	VNodes int
-	// Interval is the retry backoff after a peer error and the floor
-	// between list cycles; deltas propagate faster than this because the
-	// peer list call long-polls. Default 500ms.
+	// Interval is the retry backoff after a peer error, the failed-ingest
+	// re-queue tick, and the floor between list cycles; deltas propagate
+	// faster than this because the peer list call long-polls and owners
+	// push seq-bump hints. Default 500ms.
 	Interval time.Duration
 	// AuthToken is the fleet bearer credential.
 	AuthToken string
 	// HTTPClient overrides the outbound transport (fleet TLS trust).
 	HTTPClient *http.Client
+	// DisableHints turns off push replication both ways (no hints sent, and
+	// received hints are ignored), leaving the pull loop as the only
+	// propagation path — the degraded mode the pull path must survive.
+	DisableHints bool
 	// Logf, when non-nil, receives one line per replication event.
 	Logf func(format string, args ...any)
+
+	// fetch overrides snapshot fetching (test seam; nil uses the peer
+	// client's FetchSnapshot).
+	fetch func(ctx context.Context, peer *client.Client, name string, minSeq int64) (*client.FetchedSnapshot, error)
+	// dropHint, when non-nil, is consulted before each outbound hint; true
+	// drops it (test seam for lossy-hint chaos schedules).
+	dropHint func(addr string, h wire.ReplicationHint) bool
 }
 
-// Replicator subscribes to every peer's registry and ingests owned models
-// this shard should replicate, as versioned snapshot deltas: a peer's
-// replication list names each hosted UDF with its model sequence; anything
-// owned by the peer, placed here by the ring, and newer than the local
-// replica is fetched (GET /v1/udfs/{name}/snapshot with ?min_seq) and
-// installed through the registry's writer-loop swap. Monotonic sequence
-// numbers make the protocol idempotent and reordering-safe — a stale or
-// duplicate delta is a no-op.
+// retryKey identifies one failed ingest awaiting its tick-time retry.
+type retryKey struct {
+	addr string
+	name string
+}
+
+// Replicator is a shard's fleet engine: it subscribes to every peer's
+// registry and ingests models this shard should replicate, as versioned
+// snapshot deltas ordered by per-UDF model sequence numbers (stale or
+// duplicate deltas are no-ops, making the protocol idempotent and
+// reordering-safe). On top of the PR 8 pull loop it now carries:
+//
+//   - dynamic membership: a MemberView holding the current epoch; epochs
+//     gossip over the replication lists and arrive directly via
+//     POST /v1/replication/members. Adopting a higher epoch rebuilds the
+//     ring and restarts the pullers so re-placed names are re-delivered —
+//     seq gating makes everything else a no-op, so only names whose
+//     replica set actually changed are re-fetched.
+//   - handoff: when the ring moves a UDF's ownership here, this shard keeps
+//     pulling until it has caught up with the last advertised owner, then
+//     confirms with one direct min_seq fetch (a 304 proves the owner's
+//     writer-serialized state is not ahead) and promotes. The old owner
+//     demotes only after seeing the new owner advertise ownership at a
+//     model seq ≥ its own, so no learned point is ever dropped. Frozen
+//     reads are safe throughout because frozen responses are a pure
+//     function of (model seq, request bytes).
+//   - push hints: the owner side watches its own registry version and POSTs
+//     seq-bump hints to each UDF's replica set, so replication lag is
+//     bounded by a round trip instead of the poll interval. Hints are pure
+//     accelerators — the pull loop remains the repair path, and the
+//     tick-time retry queue re-attempts failed ingests without waiting for
+//     the peer's next version bump.
 type Replicator struct {
-	cfg    ReplicatorConfig
-	ring   *Ring
+	cfg  ReplicatorConfig
+	view *MemberView
+
+	root   context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	pullCancel context.CancelFunc // current puller generation
+	clients    map[string]*client.Client
+	retries    map[retryKey]int64 // failed ingests → peer seq to retry
+	lastOwner  map[string]string  // UDF name → last peer that advertised ownership
+	ownerSeq   map[string]int64   // UDF name → that advert's model seq
+	synced     map[string]bool    // peers listed at least once this epoch
+
+	reconcileMu sync.Mutex // serializes promote/demote passes
+
+	hints chan wire.ReplicationHint
+
+	fetches   atomic.Int64 // successful snapshot installs
+	hintsSent atomic.Int64 // hints actually posted (drops excluded)
 }
 
-// StartReplicator builds the ring and starts one puller goroutine per peer.
+// StartReplicator builds the membership view (epoch 0 = the boot shard
+// list) and starts the puller, tick, hint, and push goroutines.
 func StartReplicator(cfg ReplicatorConfig) (*Replicator, error) {
-	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	view, err := NewMemberView(wire.Membership{Epoch: 0, Shards: cfg.Shards}, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -70,35 +128,125 @@ func StartReplicator(cfg ReplicatorConfig) (*Replicator, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	r := &Replicator{cfg: cfg, ring: ring, cancel: cancel}
-	for _, addr := range cfg.Shards {
-		if addr == cfg.Self {
-			continue
-		}
-		opts := []client.Option{client.WithRetries(1)}
-		if cfg.AuthToken != "" {
-			opts = append(opts, client.WithToken(cfg.AuthToken))
-		}
-		if cfg.HTTPClient != nil {
-			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
-		}
-		peer := client.New(addr, opts...)
+	r := &Replicator{
+		cfg:       cfg,
+		view:      view,
+		root:      ctx,
+		cancel:    cancel,
+		clients:   make(map[string]*client.Client),
+		retries:   make(map[retryKey]int64),
+		lastOwner: make(map[string]string),
+		ownerSeq:  make(map[string]int64),
+		synced:    make(map[string]bool),
+		hints:     make(chan wire.ReplicationHint, 256),
+	}
+	r.mu.Lock()
+	r.startPullersLocked()
+	r.mu.Unlock()
+	r.wg.Add(2)
+	go r.tickLoop(ctx)
+	go r.hintLoop(ctx)
+	if !cfg.DisableHints {
 		r.wg.Add(1)
-		go r.pull(ctx, addr, peer)
+		go r.pushLoop(ctx)
 	}
 	return r, nil
 }
 
-// Close stops every puller and waits for them.
+// Close stops every goroutine and waits for them.
 func (r *Replicator) Close() {
 	r.cancel()
 	r.wg.Wait()
 }
 
+// View exposes the replicator's membership view (the server's fleet hooks
+// and tests read it).
+func (r *Replicator) View() *MemberView { return r.view }
+
+// Membership returns the current membership (server hook).
+func (r *Replicator) Membership() wire.Membership { return r.view.Current() }
+
+// Fetches returns how many snapshot deltas have been installed — the
+// counter the rebalance tests use to prove un-moved names are not
+// re-fetched.
+func (r *Replicator) Fetches() int64 { return r.fetches.Load() }
+
+// HintsSent returns how many push hints this shard has posted.
+func (r *Replicator) HintsSent() int64 { return r.hintsSent.Load() }
+
+// AdoptMembership offers a membership (server hook + router broadcast
+// target). A strictly higher epoch rebuilds the ring and restarts the
+// pullers from scratch so every peer's full list is re-delivered; per-UDF
+// seq gating then turns everything whose placement did not change into
+// no-ops.
+func (r *Replicator) AdoptMembership(m wire.Membership) (bool, error) {
+	changed, err := r.view.Adopt(m)
+	if err != nil || !changed {
+		return changed, err
+	}
+	cur := r.view.Current()
+	r.cfg.Logf("membership: adopted epoch %d (%d shards)", cur.Epoch, len(cur.Shards))
+	r.mu.Lock()
+	r.synced = make(map[string]bool)
+	r.startPullersLocked()
+	r.mu.Unlock()
+	return true, nil
+}
+
+// Hint enqueues a received push hint (server hook). Never blocks: a full
+// queue drops the hint, which only costs latency — the pull loop repairs.
+func (r *Replicator) Hint(h wire.ReplicationHint) {
+	if r.cfg.DisableHints {
+		return
+	}
+	select {
+	case r.hints <- h:
+	default:
+	}
+}
+
+// clientFor returns (building on first use) the cached client for a peer.
+func (r *Replicator) clientFor(addr string) *client.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.clients[addr]; ok {
+		return c
+	}
+	opts := []client.Option{client.WithRetries(1)}
+	if r.cfg.AuthToken != "" {
+		opts = append(opts, client.WithToken(r.cfg.AuthToken))
+	}
+	if r.cfg.HTTPClient != nil {
+		opts = append(opts, client.WithHTTPClient(r.cfg.HTTPClient))
+	}
+	c := client.New(addr, opts...)
+	r.clients[addr] = c
+	return c
+}
+
+// startPullersLocked (r.mu held) cancels the current puller generation and
+// starts a fresh one per current member. Fresh pullers list from
+// since_version=-1, so the full peer state is re-delivered after a
+// membership change.
+func (r *Replicator) startPullersLocked() {
+	if r.pullCancel != nil {
+		r.pullCancel()
+	}
+	ctx, cancel := context.WithCancel(r.root)
+	r.pullCancel = cancel
+	for _, addr := range r.view.Current().Shards {
+		if addr == r.cfg.Self {
+			continue
+		}
+		r.wg.Add(1)
+		go r.pull(ctx, addr)
+	}
+}
+
 // shouldReplicate reports whether ring placement puts the named UDF's
 // replica set on this shard.
 func (r *Replicator) shouldReplicate(name string) bool {
-	for _, addr := range r.ring.Replicas(name, r.cfg.Replicas) {
+	for _, addr := range r.view.Ring().Replicas(name, r.cfg.Replicas) {
 		if addr == r.cfg.Self {
 			return true
 		}
@@ -106,10 +254,22 @@ func (r *Replicator) shouldReplicate(name string) bool {
 	return false
 }
 
-// pull is one peer's subscription loop: long-poll the peer's replication
-// list, ingest newer owned models, repeat.
-func (r *Replicator) pull(ctx context.Context, addr string, peer *client.Client) {
+// memberOf reports whether addr is in the current membership.
+func (r *Replicator) memberOf(addr string) bool {
+	for _, s := range r.view.Current().Shards {
+		if s == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// pull is one peer's subscription loop for one puller generation:
+// long-poll the peer's replication list, adopt gossiped epochs, ingest
+// newer models placed here, repeat.
+func (r *Replicator) pull(ctx context.Context, addr string) {
 	defer r.wg.Done()
+	peer := r.clientFor(addr)
 	since := int64(-1)
 	for ctx.Err() == nil {
 		list, err := peer.ReplicationList(ctx, since)
@@ -124,15 +284,61 @@ func (r *Replicator) pull(ctx context.Context, addr string, peer *client.Client)
 			continue
 		}
 		since = list.Version
-		for _, st := range list.UDFs {
-			if !st.Owned || !r.shouldReplicate(st.Name) {
-				continue
-			}
-			if err := r.ingest(ctx, addr, peer, st.Name, st.Seq); err != nil && ctx.Err() == nil {
-				r.cfg.Logf("replicate %q from %s: %v", st.Name, addr, err)
+		if list.Epoch > r.view.Epoch() {
+			if changed, err := r.AdoptMembership(wire.Membership{Epoch: list.Epoch, Shards: list.Shards}); err != nil {
+				r.cfg.Logf("membership: adopt epoch %d from %s: %v", list.Epoch, addr, err)
+			} else if changed {
+				return // a fresh puller generation (including this peer) took over
 			}
 		}
+		for _, st := range list.UDFs {
+			r.observe(ctx, addr, peer, st)
+		}
+		r.mu.Lock()
+		r.synced[addr] = true
+		r.mu.Unlock()
+		r.reconcile(ctx)
 	}
+}
+
+// observe processes one advertised replica state from a peer: records
+// ownership adverts, demotes a local stale owner once its successor has
+// caught up, and ingests newer state placed here.
+func (r *Replicator) observe(ctx context.Context, addr string, peer *client.Client, st wire.ReplicaState) {
+	if st.Owned {
+		r.mu.Lock()
+		r.lastOwner[st.Name] = addr
+		r.ownerSeq[st.Name] = st.Seq
+		r.mu.Unlock()
+	}
+	if e, ok := r.cfg.Registry.Get(st.Name); ok && !e.Replica() {
+		// Owned here. Demote when the ring moved ownership to this peer and
+		// it has provably caught up: it advertises ownership at a model seq
+		// ≥ ours, so every point we learned is in its model.
+		if st.Owned && st.Seq >= e.Seq() && r.view.Ring().Owner(st.Name) == addr {
+			if err := r.cfg.Registry.Demote(ctx, st.Name); err == nil {
+				r.cfg.Logf("handoff: demoted %q (new owner %s @ seq %d)", st.Name, addr, st.Seq)
+			}
+		}
+		return
+	}
+	if !r.shouldReplicate(st.Name) {
+		return
+	}
+	if err := r.ingest(ctx, addr, peer, st.Name, st.Seq); err != nil && ctx.Err() == nil {
+		r.cfg.Logf("replicate %q from %s: %v", st.Name, addr, err)
+		r.mu.Lock()
+		r.retries[retryKey{addr: addr, name: st.Name}] = st.Seq
+		r.mu.Unlock()
+	}
+}
+
+// fetchSnapshot applies the test seam.
+func (r *Replicator) fetchSnapshot(ctx context.Context, peer *client.Client, name string, minSeq int64) (*client.FetchedSnapshot, error) {
+	if r.cfg.fetch != nil {
+		return r.cfg.fetch(ctx, peer, name, minSeq)
+	}
+	return peer.FetchSnapshot(ctx, name, minSeq)
 }
 
 // ingest fetches and installs one UDF's model when the peer is ahead.
@@ -147,7 +353,7 @@ func (r *Replicator) ingest(ctx context.Context, addr string, peer *client.Clien
 	if peerSeq <= localSeq {
 		return nil // already current
 	}
-	fs, err := peer.FetchSnapshot(ctx, name, localSeq+1)
+	fs, err := r.fetchSnapshot(ctx, peer, name, localSeq+1)
 	if err != nil {
 		return err
 	}
@@ -161,6 +367,177 @@ func (r *Replicator) ingest(ctx context.Context, addr string, peer *client.Clien
 	if err := r.cfg.Registry.InstallReplica(fs.Spec, snap); err != nil {
 		return err
 	}
+	r.fetches.Add(1)
 	r.cfg.Logf("replica %q ← %s @ seq %d (%d training points)", name, addr, snap.ModelSeq, len(snap.X))
 	return nil
+}
+
+// tickLoop fires every Interval: failed ingests are re-attempted without
+// waiting for the peer's next version bump (the long-poll would otherwise
+// park until then), and the promote pass runs even when no list arrives.
+func (r *Replicator) tickLoop(ctx context.Context) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		r.retryFailed(ctx)
+		r.reconcile(ctx)
+	}
+}
+
+// retryFailed re-attempts every queued failed ingest.
+func (r *Replicator) retryFailed(ctx context.Context) {
+	r.mu.Lock()
+	pending := make(map[retryKey]int64, len(r.retries))
+	for k, seq := range r.retries {
+		pending[k] = seq
+	}
+	r.mu.Unlock()
+	for k, seq := range pending {
+		if !r.shouldReplicate(k.name) || !r.memberOf(k.addr) {
+			r.mu.Lock()
+			delete(r.retries, k)
+			r.mu.Unlock()
+			continue
+		}
+		if err := r.ingest(ctx, k.addr, r.clientFor(k.addr), k.name, seq); err != nil {
+			if ctx.Err() == nil {
+				r.cfg.Logf("retry %q from %s: %v", k.name, k.addr, err)
+			}
+			continue
+		}
+		r.mu.Lock()
+		delete(r.retries, k)
+		r.mu.Unlock()
+	}
+}
+
+// reconcile is the promote half of handoff: for every local replica whose
+// ring owner is now this shard, promote once caught up with the departing
+// owner (confirmed by a direct min_seq fetch answering 304 — the peer's
+// writer-serialized state is not ahead), or immediately when no current
+// member owns it (the owner left). Demotes happen in observe, where the
+// successor's advert is in hand.
+func (r *Replicator) reconcile(ctx context.Context) {
+	r.reconcileMu.Lock()
+	defer r.reconcileMu.Unlock()
+	ring := r.view.Ring()
+	for _, st := range r.cfg.Registry.ReplicationStates() {
+		if st.Owned || ring.Owner(st.Name) != r.cfg.Self {
+			continue
+		}
+		r.mu.Lock()
+		owner, sawOwner := r.lastOwner[st.Name]
+		oseq := r.ownerSeq[st.Name]
+		allSynced := true
+		for _, s := range r.view.Current().Shards {
+			if s != r.cfg.Self && !r.synced[s] {
+				allSynced = false
+			}
+		}
+		r.mu.Unlock()
+		if sawOwner && r.memberOf(owner) {
+			if st.Seq < oseq {
+				continue // still catching up; the pull/hint paths close the gap
+			}
+			fs, err := r.fetchSnapshot(ctx, r.clientFor(owner), st.Name, st.Seq+1)
+			if err != nil {
+				continue // owner unreachable; retry next tick
+			}
+			if fs != nil {
+				// The owner moved ahead of its last advert; install and
+				// re-check next pass.
+				if snap, err := core.ReadSnapshot(bytes.NewReader(fs.Data)); err == nil {
+					if r.cfg.Registry.InstallReplica(fs.Spec, snap) == nil {
+						r.fetches.Add(1)
+					}
+				}
+				continue
+			}
+		} else if !allSynced {
+			// No owner in the current membership, but we have not heard from
+			// every member this epoch yet — one of them may still own it.
+			continue
+		}
+		if err := r.cfg.Registry.Promote(ctx, st.Name); err != nil {
+			r.cfg.Logf("handoff: promote %q: %v", st.Name, err)
+			continue
+		}
+		r.cfg.Logf("handoff: promoted %q @ seq %d (prior owner %q)", st.Name, st.Seq, owner)
+	}
+}
+
+// hintLoop drains received push hints: each names a UDF whose owner just
+// bumped its model seq, so pull it from the sender immediately instead of
+// waiting out the poll interval.
+func (r *Replicator) hintLoop(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case h := <-r.hints:
+			if !r.shouldReplicate(h.Name) {
+				continue
+			}
+			if err := r.ingest(ctx, h.From, r.clientFor(h.From), h.Name, h.Seq); err != nil && ctx.Err() == nil {
+				r.cfg.Logf("hint %q from %s: %v", h.Name, h.From, err)
+				r.mu.Lock()
+				r.retries[retryKey{addr: h.From, name: h.Name}] = h.Seq
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// pushLoop is the owner half of push replication: watch this process's own
+// registry version (in-process, no HTTP) and, on every advance, post a
+// seq-bump hint for each owned UDF that moved to every member of its
+// replica set.
+func (r *Replicator) pushLoop(ctx context.Context) {
+	defer r.wg.Done()
+	lastSent := make(map[string]int64)
+	since := int64(-1)
+	for ctx.Err() == nil {
+		ver := r.cfg.Registry.WaitReplication(ctx, since)
+		if ctx.Err() != nil {
+			return
+		}
+		since = ver
+		for _, st := range r.cfg.Registry.ReplicationStates() {
+			if !st.Owned || st.Seq <= lastSent[st.Name] {
+				continue
+			}
+			lastSent[st.Name] = st.Seq
+			h := wire.ReplicationHint{Name: st.Name, Seq: st.Seq, From: r.cfg.Self}
+			for _, addr := range r.view.Ring().Replicas(st.Name, r.cfg.Replicas) {
+				if addr == r.cfg.Self {
+					continue
+				}
+				r.sendHint(ctx, addr, h)
+			}
+		}
+	}
+}
+
+// sendHint posts one hint with a bounded deadline. Failures are dropped:
+// hints are accelerators, and the receiver's pull loop repairs.
+func (r *Replicator) sendHint(ctx context.Context, addr string, h wire.ReplicationHint) {
+	if r.cfg.dropHint != nil && r.cfg.dropHint(addr, h) {
+		return
+	}
+	hctx, cancel := context.WithTimeout(ctx, r.cfg.Interval)
+	defer cancel()
+	if err := r.clientFor(addr).Hint(hctx, h); err != nil {
+		if ctx.Err() == nil {
+			r.cfg.Logf("hint %q → %s: %v", h.Name, addr, err)
+		}
+		return
+	}
+	r.hintsSent.Add(1)
 }

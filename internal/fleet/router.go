@@ -22,12 +22,15 @@ import (
 
 // Config parameterizes a Router.
 type Config struct {
-	// Shards are the fleet members' base URLs; the consistent-hash ring is
-	// built over them, so every router and shard must be configured with the
-	// same list in any order-insensitive sense (placement hashes addresses).
+	// Shards are the boot-time fleet members' base URLs — membership epoch
+	// 0. Every router and shard must boot with the same list in any
+	// order-insensitive sense (placement hashes addresses); afterwards the
+	// fleet's membership evolves through POST /v1/fleet/members and the
+	// router converges on the highest epoch it sees.
 	Shards []string
 	// Replicas is the replication factor: each UDF lives on its owner plus
-	// Replicas-1 ring successors. Default 2, capped at the fleet size.
+	// Replicas-1 ring successors. Default 2, capped at the fleet size by
+	// ring placement itself.
 	Replicas int
 	// VNodes is the ring's virtual-node count per shard (≤ 0 = default).
 	VNodes int
@@ -39,6 +42,10 @@ type Config struct {
 	HTTPClient *http.Client
 	// Cooldown is how long a failed shard is deprioritized.
 	Cooldown time.Duration
+	// GossipInterval is how often the router anti-entropies membership with
+	// every shard (adopting higher epochs, re-offering its own to laggards).
+	// Default 1s.
+	GossipInterval time.Duration
 	// Logf, when non-nil, receives one line per notable router event.
 	Logf func(format string, args ...any)
 }
@@ -49,49 +56,126 @@ type Config struct {
 // whole-request retry on shard failure — safe precisely because frozen
 // responses are a pure function of (model state, request), so a retried
 // request on a peer at the same model sequence returns the same bytes.
+// During a membership handoff the fan-out also covers the previous epoch's
+// replica set, so the old owner keeps serving frozen reads until the new
+// placement has caught up.
+//
+// The router is also the fleet's membership admin: POST /v1/fleet/members
+// mints the next epoch (join or leave one shard), adopts it locally — so
+// learning traffic re-routes immediately — and broadcasts it to the union
+// of the old and new shard sets; a background gossip loop repairs any
+// member the broadcast missed.
 type Router struct {
-	cfg     Config
-	ring    *Ring
-	health  *Health
-	clients map[string]*client.Client
-	mux     *http.ServeMux
-	start   time.Time
+	cfg    Config
+	view   *MemberView
+	health *Health
+	mux    *http.ServeMux
+	start  time.Time
+
+	clientMu sync.Mutex
+	clients  map[string]*client.Client
+
+	adminMu sync.Mutex // serializes epoch minting
+
+	gossipCancel context.CancelFunc
+	wg           sync.WaitGroup
 }
 
-// NewRouter builds a router over the fleet.
+// NewRouter builds a router over the fleet and starts its gossip loop;
+// callers must Close it.
 func NewRouter(cfg Config) (*Router, error) {
-	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	view, err := NewMemberView(wire.Membership{Epoch: 0, Shards: cfg.Shards}, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 2
 	}
-	if cfg.Replicas > len(cfg.Shards) {
-		cfg.Replicas = len(cfg.Shards)
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	rt := &Router{
 		cfg:     cfg,
-		ring:    ring,
+		view:    view,
 		health:  NewHealth(cfg.Cooldown),
 		clients: make(map[string]*client.Client, len(cfg.Shards)),
 		start:   time.Now(),
 	}
-	for _, addr := range cfg.Shards {
-		opts := []client.Option{client.WithRetries(0)} // the router is the retry layer
-		if cfg.AuthToken != "" {
-			opts = append(opts, client.WithToken(cfg.AuthToken))
-		}
-		if cfg.HTTPClient != nil {
-			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
-		}
-		rt.clients[addr] = client.New(addr, opts...)
-	}
 	rt.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.gossipCancel = cancel
+	rt.wg.Add(1)
+	go rt.gossip(ctx)
 	return rt, nil
+}
+
+// Close stops the gossip loop.
+func (rt *Router) Close() {
+	rt.gossipCancel()
+	rt.wg.Wait()
+}
+
+// Membership returns the router's current membership view.
+func (rt *Router) Membership() wire.Membership { return rt.view.Current() }
+
+// clientFor returns (building on first use) the cached client for a shard.
+func (rt *Router) clientFor(addr string) *client.Client {
+	rt.clientMu.Lock()
+	defer rt.clientMu.Unlock()
+	if c, ok := rt.clients[addr]; ok {
+		return c
+	}
+	opts := []client.Option{client.WithRetries(0)} // the router is the retry layer
+	if rt.cfg.AuthToken != "" {
+		opts = append(opts, client.WithToken(rt.cfg.AuthToken))
+	}
+	if rt.cfg.HTTPClient != nil {
+		opts = append(opts, client.WithHTTPClient(rt.cfg.HTTPClient))
+	}
+	c := client.New(addr, opts...)
+	rt.clients[addr] = c
+	return c
+}
+
+// gossip is the router's membership anti-entropy loop: every interval it
+// asks each member for its membership view, adopts any higher epoch (a
+// restarted router reverts to its boot list and must catch up) and
+// re-offers its own to any shard running behind (a member the admin
+// broadcast missed).
+func (rt *Router) gossip(ctx context.Context) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		cur := rt.view.Current()
+		for _, addr := range cur.Shards {
+			cctx, cancel := context.WithTimeout(ctx, rt.cfg.GossipInterval)
+			m, err := rt.clientFor(addr).Membership(cctx)
+			cancel()
+			if err != nil {
+				continue
+			}
+			switch {
+			case m.Epoch > cur.Epoch:
+				if changed, err := rt.view.Adopt(m); err == nil && changed {
+					rt.cfg.Logf("membership: adopted epoch %d from %s (%d shards)", m.Epoch, addr, len(m.Shards))
+				}
+				cur = rt.view.Current()
+			case m.Epoch < cur.Epoch:
+				cctx, cancel := context.WithTimeout(ctx, rt.cfg.GossipInterval)
+				rt.clientFor(addr).OfferMembership(cctx, cur)
+				cancel()
+			}
+		}
+	}
 }
 
 // route registers a handler under /v1 and the unversioned legacy alias.
@@ -112,6 +196,95 @@ func (rt *Router) routes() {
 	rt.route("POST", "/udfs/{name}/snapshot", rt.handleSnapshotOne)
 	rt.route("POST", "/snapshot", rt.handleSnapshotAll)
 	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("GET /v1/fleet/members", rt.handleFleetMembersGet)
+	rt.mux.HandleFunc("POST /v1/fleet/members", rt.handleFleetMembersPost)
+}
+
+// --- membership admin ---
+
+func (rt *Router) handleFleetMembersGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(rt.view.Current())
+}
+
+// handleFleetMembersPost mints the next membership epoch: op "join" adds a
+// shard, op "leave" removes one. The router adopts the new epoch first —
+// learning traffic re-routes to the new placement immediately, which is
+// what keeps the handoff race-free (the departing owner stops receiving
+// learns before its successor measures catch-up) — then broadcasts it to
+// the union of the old and new shard sets, departing shard included, so it
+// demotes gracefully.
+func (rt *Router) handleFleetMembersPost(w http.ResponseWriter, r *http.Request) {
+	var req wire.FleetMembersRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad members request: %v", err)
+		return
+	}
+	if req.Shard == "" {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "members request needs a shard address")
+		return
+	}
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	cur := rt.view.Current()
+	member := false
+	for _, s := range cur.Shards {
+		if s == req.Shard {
+			member = true
+		}
+	}
+	var next []string
+	switch req.Op {
+	case "join":
+		if member {
+			rt.fail(w, http.StatusConflict, wire.CodeAlreadyExists, "shard %q is already a member", req.Shard)
+			return
+		}
+		next = append(append([]string(nil), cur.Shards...), req.Shard)
+	case "leave":
+		if !member {
+			rt.fail(w, http.StatusNotFound, wire.CodeNotFound, "shard %q is not a member", req.Shard)
+			return
+		}
+		if len(cur.Shards) == 1 {
+			rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "cannot remove the last shard")
+			return
+		}
+		for _, s := range cur.Shards {
+			if s != req.Shard {
+				next = append(next, s)
+			}
+		}
+	default:
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "op must be \"join\" or \"leave\", got %q", req.Op)
+		return
+	}
+	m := wire.Membership{Epoch: cur.Epoch + 1, Shards: next}
+	if _, err := rt.view.Adopt(m); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "adopt: %v", err)
+		return
+	}
+	m = rt.view.Current() // canonical (sorted) shard list
+	rt.cfg.Logf("membership: minted epoch %d (%s %s, %d shards)", m.Epoch, req.Op, req.Shard, len(m.Shards))
+	// Broadcast to the union of old and new members. Failures are logged,
+	// not fatal: the gossip loop and the epoch piggyback on replication
+	// lists repair any miss.
+	targets := append([]string(nil), m.Shards...)
+	if req.Op == "leave" {
+		targets = append(targets, req.Shard)
+	}
+	for _, addr := range targets {
+		bctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		_, err := rt.clientFor(addr).OfferMembership(bctx, m)
+		cancel()
+		if err != nil {
+			rt.cfg.Logf("membership: offer epoch %d to %s: %v", m.Epoch, addr, err)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(m)
 }
 
 // Handler returns the router's HTTP handler (bearer auth applied, health
@@ -173,7 +346,7 @@ type shardResp struct {
 // forward sends one request to a shard through its client, buffers the
 // response, and feeds the health ledger.
 func (rt *Router) forward(ctx context.Context, addr, method, path string, q url.Values, body []byte, ct string) (*shardResp, error) {
-	resp, err := rt.clients[addr].Do(ctx, method, path, q, body, ct)
+	resp, err := rt.clientFor(addr).Do(ctx, method, path, q, body, ct)
 	if err != nil {
 		rt.health.MarkDown(addr)
 		return nil, err
@@ -242,9 +415,26 @@ func retryableStream(body []byte) bool {
 	return false
 }
 
-// replicasFor returns the retry-ordered candidate shards for a frozen read.
+// replicasFor returns the retry-ordered candidate shards for a frozen read:
+// the current epoch's replica set plus, during a handoff window, the
+// previous epoch's — the old placement keeps serving frozen reads until the
+// new one has caught up, and a replica at the same model sequence returns
+// the same bytes regardless of which epoch placed it there.
 func (rt *Router) replicasFor(name string) []string {
-	return rt.health.Order(rt.ring.Replicas(name, rt.cfg.Replicas))
+	cur, prev := rt.view.Rings()
+	cand := cur.Replicas(name, rt.cfg.Replicas)
+	if prev != nil {
+		seen := make(map[string]bool, len(cand))
+		for _, a := range cand {
+			seen[a] = true
+		}
+		for _, a := range prev.Replicas(name, rt.cfg.Replicas) {
+			if !seen[a] {
+				cand = append(cand, a)
+			}
+		}
+	}
+	return rt.health.Order(cand)
 }
 
 // fanFrozen tries fn against each replica candidate until one returns a
@@ -279,20 +469,21 @@ func (rt *Router) fanFrozen(name string, fn func(addr string) (*shardResp, bool,
 // --- read endpoints ---
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards := rt.view.Current().Shards
 	resp := wire.HealthResponse{
 		Status:    "degraded",
 		UptimeSec: time.Since(rt.start).Seconds(),
-		Shards:    make([]wire.ShardHealth, len(rt.cfg.Shards)),
+		Shards:    make([]wire.ShardHealth, len(shards)),
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, addr := range rt.cfg.Shards {
+	for i, addr := range shards {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), time.Second)
 			defer cancel()
-			h, err := rt.clients[addr].Healthz(ctx)
+			h, err := rt.clientFor(addr).Healthz(ctx)
 			up := err == nil && h.Status == "ok"
 			mu.Lock()
 			resp.Shards[i] = wire.ShardHealth{Addr: addr, Up: up}
@@ -314,7 +505,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	for _, addr := range rt.health.Order(rt.ring.Addrs()) {
+	for _, addr := range rt.health.Order(rt.view.Ring().Addrs()) {
 		sr, err := rt.forward(r.Context(), addr, http.MethodGet, "/v1/catalog", nil, nil, "")
 		if err == nil {
 			relay(w, sr)
@@ -327,8 +518,8 @@ func (rt *Router) handleCatalog(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleListUDFs(w http.ResponseWriter, r *http.Request) {
 	merged := make(map[string]wire.UDFInfo)
 	reached := false
-	for _, addr := range rt.ring.Addrs() {
-		list, err := rt.clients[addr].ListUDFs(r.Context())
+	for _, addr := range rt.view.Ring().Addrs() {
+		list, err := rt.clientFor(addr).ListUDFs(r.Context())
 		if err != nil {
 			rt.health.MarkDown(addr)
 			continue
@@ -376,8 +567,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	merged := make(map[string]*acc)
 	var order []string
 	reached := false
-	for _, addr := range rt.ring.Addrs() {
-		st, err := rt.clients[addr].Stats(r.Context())
+	ring := rt.view.Ring()
+	for _, addr := range ring.Addrs() {
+		st, err := rt.clientFor(addr).Stats(r.Context())
 		if err != nil {
 			rt.health.MarkDown(addr)
 			continue
@@ -385,7 +577,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		rt.health.MarkUp(addr)
 		reached = true
 		for _, s := range st.UDFs {
-			isOwner := rt.ring.Owner(s.Name) == addr
+			isOwner := ring.Owner(s.Name) == addr
 			a, ok := merged[s.Name]
 			if !ok {
 				merged[s.Name] = &acc{st: s, owner: isOwner}
@@ -448,7 +640,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = server.DefaultInstanceName(req.UDF)
 	}
-	owner := rt.ring.Owner(name)
+	owner := rt.view.Ring().Owner(name)
 	sr, err := rt.forward(r.Context(), owner, http.MethodPost, "/v1/udfs", nil, body, "application/json")
 	if err != nil {
 		rt.failFrom(w, err)
@@ -460,7 +652,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	owner := rt.ring.Owner(name)
+	owner := rt.view.Ring().Owner(name)
 	sr, err := rt.forward(r.Context(), owner, http.MethodPost, "/v1/udfs/"+url.PathEscape(name)+"/snapshot", nil, nil, "")
 	if err != nil {
 		rt.failFrom(w, err)
@@ -472,8 +664,8 @@ func (rt *Router) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
 	var resp wire.SnapshotResponse
 	reached := false
-	for _, addr := range rt.ring.Addrs() {
-		snaps, err := rt.clients[addr].SnapshotAll(r.Context())
+	for _, addr := range rt.view.Ring().Addrs() {
+		snaps, err := rt.clientFor(addr).SnapshotAll(r.Context())
 		if err != nil {
 			rt.health.MarkDown(addr)
 			continue
@@ -508,7 +700,7 @@ func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
 	path := "/v1/udfs/" + url.PathEscape(name) + "/eval"
 	q := forwardableQuery(r)
 	if req.Learn == nil || *req.Learn {
-		owner := rt.ring.Owner(name)
+		owner := rt.view.Ring().Owner(name)
 		sr, err := rt.forward(r.Context(), owner, http.MethodPost, path, q, body, "application/json")
 		if err != nil {
 			rt.failFrom(w, err)
@@ -555,8 +747,8 @@ func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("learn") != "false" {
 		// Learning stream: single writer, no retry (a replay would re-learn
 		// the prefix), response streamed through incrementally.
-		owner := rt.ring.Owner(name)
-		rc, err := rt.clients[owner].OpenStream(r.Context(), name, q, body)
+		owner := rt.view.Ring().Owner(name)
+		rc, err := rt.clientFor(owner).OpenStream(r.Context(), name, q, body)
 		if err != nil {
 			rt.health.MarkDown(owner)
 			rt.failFrom(w, err)

@@ -136,7 +136,9 @@ type udfEntry struct {
 
 	// replica marks a frozen read replica: learning traffic is refused
 	// with errNotOwner, and InstallReplica may swap in newer snapshots.
-	replica bool
+	// Atomic because fleet handoff flips it at runtime (Promote/Demote)
+	// while read/stat paths observe it concurrently.
+	replica atomic.Bool
 
 	// ev is the evaluator owned by the single-writer loop. Only closures
 	// executed by that loop may touch it; the field itself is mutated only
@@ -175,7 +177,7 @@ func (e *udfEntry) Spec() RegisterSpec { return e.spec }
 func (e *udfEntry) Seq() int64 { return e.modelSeq.Load() }
 
 // Replica reports whether the entry is a frozen read replica.
-func (e *udfEntry) Replica() bool { return e.replica }
+func (e *udfEntry) Replica() bool { return e.replica.Load() }
 
 // startWriter runs the single-writer loop that owns e.ev. seq seeds the
 // model sequence counter (restored from snapshot metadata on boot so the
@@ -283,11 +285,14 @@ func (e *udfEntry) swapModel(ctx context.Context, ev *core.Evaluator, seq int64)
 // learnEval evaluates one input on the learning evaluator (online tuning
 // and retraining enabled) with the given deterministic seed.
 func (e *udfEntry) learnEval(ctx context.Context, input dist.Vector, seed int64) (*core.Output, error) {
-	if e.replica {
-		return nil, errNotOwner
-	}
 	var out *core.Output
 	err := e.withWriter(ctx, func(ev *core.Evaluator) error {
+		// Checked inside the writer loop so a concurrent Demote is
+		// linearized: once the demote closure has run, no learning tuple
+		// can land on the (now replica) entry.
+		if e.replica.Load() {
+			return errNotOwner
+		}
 		rng := rand.New(rand.NewSource(seed))
 		o, err := ev.Eval(input, rng)
 		if err != nil {
@@ -547,7 +552,6 @@ func (r *Registry) newEntry(spec RegisterSpec, snap *core.Snapshot, replica bool
 		spec:      spec,
 		def:       def,
 		cfg:       ncfg,
-		replica:   replica,
 		mcSamples: mc.SampleSize(ncfg.Eps, ncfg.Delta, mc.MetricDiscrepancy),
 		reqs:      make(chan writerReq),
 		quit:      make(chan struct{}),
@@ -555,6 +559,7 @@ func (r *Registry) newEntry(spec RegisterSpec, snap *core.Snapshot, replica bool
 		bump:      r.bumpVersion,
 		slots:     make(chan *cloneSlot, r.workers),
 	}
+	e.replica.Store(replica)
 	for i := 0; i < r.workers; i++ {
 		e.slots <- &cloneSlot{seq: -1}
 	}
@@ -610,7 +615,7 @@ func (r *Registry) InstallReplica(spec RegisterSpec, snap *core.Snapshot) error 
 		return errDraining
 	}
 	if ok {
-		if !existing.replica {
+		if !existing.Replica() {
 			return fmt.Errorf("server: UDF %q is owned here; refusing replica install", spec.Name)
 		}
 		if snap.ModelSeq <= existing.Seq() {
@@ -647,6 +652,55 @@ func (r *Registry) InstallReplica(spec RegisterSpec, snap *core.Snapshot) error 
 	}
 	r.bumpVersion()
 	return nil
+}
+
+// Promote flips a replica entry to owner (writer). Used by the fleet
+// handoff path once this shard's replica has caught up to the departing
+// owner's model sequence: the model bytes are already identical, so
+// promotion only changes who accepts learning traffic. The flip runs on
+// the writer loop, linearizing it against in-flight learn closures, and
+// bumps the replication version (not the model sequence — the model did
+// not change) so peers see the new Owned advertisement.
+func (r *Registry) Promote(ctx context.Context, name string) error {
+	e, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("server: promote: UDF %q not hosted here", name)
+	}
+	if !e.Replica() {
+		return nil // already the owner
+	}
+	err := e.withWriter(ctx, func(*core.Evaluator) error {
+		e.replica.Store(false)
+		return nil
+	})
+	if err == nil {
+		r.bumpVersion()
+	}
+	return err
+}
+
+// Demote flips an owned entry to replica — the other half of handoff,
+// taken by the old owner once the new owner advertises ownership at a
+// model sequence ≥ its own. Running on the writer loop guarantees no
+// learning tuple is accepted after the flip (learnEval re-checks inside
+// its closure), so the final owned sequence the new owner caught up to is
+// genuinely final.
+func (r *Registry) Demote(ctx context.Context, name string) error {
+	e, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("server: demote: UDF %q not hosted here", name)
+	}
+	if e.Replica() {
+		return nil // already a replica
+	}
+	err := e.withWriter(ctx, func(*core.Evaluator) error {
+		e.replica.Store(true)
+		return nil
+	})
+	if err == nil {
+		r.bumpVersion()
+	}
+	return err
 }
 
 // remove deregisters and stops an entry — the rollback path when a
@@ -693,7 +747,7 @@ func (r *Registry) ReplicationStates() []wire.ReplicaState {
 		out[i] = wire.ReplicaState{
 			Name:  e.spec.Name,
 			Seq:   e.Seq(),
-			Owned: !e.replica,
+			Owned: !e.Replica(),
 			Spec:  e.spec,
 		}
 	}

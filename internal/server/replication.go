@@ -33,10 +33,75 @@ func (s *Server) handleReplicationList(w http.ResponseWriter, r *http.Request) {
 		since = n
 	}
 	ver := s.reg.WaitReplication(r.Context(), since)
-	s.writeJSON(w, http.StatusOK, wire.ReplicationList{
+	list := wire.ReplicationList{
 		Version: ver,
 		UDFs:    s.reg.ReplicationStates(),
-	})
+	}
+	// In fleet mode the list doubles as membership gossip: the shard's
+	// current epoch rides along, so any member a membership broadcast
+	// missed converges on its next pull.
+	if h := s.fleet.Load(); h != nil && h.Membership != nil {
+		m := h.Membership()
+		list.Epoch = m.Epoch
+		list.Shards = m.Shards
+	}
+	s.writeJSON(w, http.StatusOK, list)
+}
+
+// handleMembershipGet reports the shard's current membership view.
+func (s *Server) handleMembershipGet(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Load()
+	if h == nil || h.Membership == nil {
+		s.fail(w, http.StatusServiceUnavailable, wire.CodeNotReplicated, "not running in fleet mode")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, h.Membership())
+}
+
+// handleMembershipPost offers the shard a membership; a strictly higher
+// epoch is adopted (ring rebuild + re-pull of re-placed names), anything
+// else is ignored. Responds with the membership the shard holds afterwards,
+// so the caller learns the winning epoch either way.
+func (s *Server) handleMembershipPost(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Load()
+	if h == nil || h.AdoptMembership == nil || h.Membership == nil {
+		s.fail(w, http.StatusServiceUnavailable, wire.CodeNotReplicated, "not running in fleet mode")
+		return
+	}
+	var m wire.Membership
+	if err := decodeStrict(r.Body, &m); err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad membership: %v", err)
+		return
+	}
+	if _, err := h.AdoptMembership(m); err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "adopt membership: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, h.Membership())
+}
+
+// handleReplicationHint accepts a push-replication hint: the owner of a UDF
+// bumped its model sequence and tells this replica to pull now instead of
+// waiting out the poll interval. Hints are pure accelerators — dropping
+// one only costs latency, never correctness — so the handler acknowledges
+// before the pull happens.
+func (s *Server) handleReplicationHint(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Load()
+	if h == nil || h.Hint == nil {
+		s.fail(w, http.StatusServiceUnavailable, wire.CodeNotReplicated, "not running in fleet mode")
+		return
+	}
+	var hint wire.ReplicationHint
+	if err := decodeStrict(r.Body, &hint); err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad hint: %v", err)
+		return
+	}
+	if hint.Name == "" || hint.From == "" {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "hint needs name and from")
+		return
+	}
+	h.Hint(hint)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleSnapshotFetch serves the named UDF's current model as raw versioned

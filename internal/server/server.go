@@ -79,7 +79,31 @@ type Server struct {
 	inflight chan struct{}
 	start    time.Time
 	draining atomic.Bool
+
+	// fleet holds the hooks installed by SetFleetHooks when this process
+	// runs as a fleet shard; nil outside fleet mode.
+	fleet atomic.Pointer[FleetHooks]
 }
+
+// FleetHooks connects the server's replication surface to the fleet
+// replicator running in the same process: the replication list carries the
+// shard's membership epoch, POST /v1/replication/members feeds adopted
+// epochs in, and POST /v1/replication/hint delivers push-replication
+// seq-bump hints. All three are optional — a nil hook disables the
+// corresponding behavior.
+type FleetHooks struct {
+	// Membership returns the shard's current membership view.
+	Membership func() wire.Membership
+	// AdoptMembership offers a (possibly newer) membership; reports whether
+	// the shard's view changed.
+	AdoptMembership func(wire.Membership) (bool, error)
+	// Hint delivers a push-replication hint (owner bumped a model seq).
+	// Must not block: the HTTP handler calls it inline.
+	Hint func(wire.ReplicationHint)
+}
+
+// SetFleetHooks installs (or, with nil, removes) the fleet hooks.
+func (s *Server) SetFleetHooks(h *FleetHooks) { s.fleet.Store(h) }
 
 // New builds a server and, when cfg.SnapshotDir holds snapshot metadata
 // from a previous run, restores every persisted UDF so the new process
@@ -180,6 +204,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/replication/udfs", s.handleReplicationList)
 	s.mux.HandleFunc("GET /v1/udfs/{name}/snapshot", s.handleSnapshotFetch)
+	s.mux.HandleFunc("GET /v1/replication/members", s.handleMembershipGet)
+	s.mux.HandleFunc("POST /v1/replication/members", s.handleMembershipPost)
+	s.mux.HandleFunc("POST /v1/replication/hint", s.handleReplicationHint)
 }
 
 // --- admission control ---
@@ -346,7 +373,7 @@ func infoOf(e *udfEntry) udfInfo {
 		MCSamples:      e.mcSamples,
 		SparseBudget:   e.cfg.SparseBudget,
 		ModelSeq:       e.Seq(),
-		Replica:        e.replica,
+		Replica:        e.Replica(),
 	}
 }
 

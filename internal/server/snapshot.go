@@ -146,7 +146,7 @@ func (s *Server) persist(ctx context.Context, e *udfEntry) (snapshotInfo, error)
 		return snapshotInfo{}, err
 	}
 	spec := e.spec
-	mb, err := json.MarshalIndent(snapMeta{Spec: &spec, ModelSeq: seq, Snapshot: snapFile, Replica: e.replica}, "", "  ")
+	mb, err := json.MarshalIndent(snapMeta{Spec: &spec, ModelSeq: seq, Snapshot: snapFile, Replica: e.Replica()}, "", "  ")
 	if err != nil {
 		return snapshotInfo{}, err
 	}

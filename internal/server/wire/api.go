@@ -268,10 +268,54 @@ type ReplicaState struct {
 
 // ReplicationList is the GET /v1/replication/udfs response. Version is a
 // process-local monotonic counter bumped on every model mutation; pass it
-// back as ?since_version= to long-poll for deltas (subscribe).
+// back as ?since_version= to long-poll for deltas (subscribe). Epoch and
+// Shards carry the shard's current fleet membership view, so membership
+// changes gossip over the same long-poll surface the model deltas use:
+// any shard (or router) that sees a higher epoch than its own adopts it.
 type ReplicationList struct {
 	Version int64          `json:"version"`
 	UDFs    []ReplicaState `json:"udfs"`
+	// Epoch is the membership epoch this shard currently holds; 0 for the
+	// boot-time membership, omitted entirely outside fleet mode.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Shards is the shard list of that epoch (sorted, including self).
+	Shards []string `json:"shards,omitempty"`
+}
+
+// --- fleet membership ---
+
+// Membership is one versioned fleet configuration: a monotonic epoch number
+// plus the full shard list it describes. The epoch totally orders
+// configurations — every fleet member adopts the highest epoch it sees and
+// rebuilds its placement ring from that epoch's shard list, so placement
+// stays a pure function of (membership, name) even while members disagree
+// transiently during a change.
+type Membership struct {
+	Epoch  int64    `json:"epoch"`
+	Shards []string `json:"shards"`
+}
+
+// FleetMembersRequest is the POST /v1/fleet/members admin body on the
+// router: op "join" adds Shard to the membership, op "leave" removes it.
+// The router mints the next epoch and broadcasts it to every shard (old and
+// new); gossip over the replication lists repairs any member it missed.
+type FleetMembersRequest struct {
+	Op    string `json:"op"`
+	Shard string `json:"shard"`
+}
+
+// ReplicationHint is the POST /v1/replication/hint body: a push
+// notification from a UDF's owning writer shard that its model sequence
+// reached Seq, sent to the replica set right after the bump so replication
+// lag is not bounded below by the pull interval. Hints are pure
+// accelerators — dropped or reordered hints cost nothing because the pull
+// loop remains the catch-up/repair path.
+type ReplicationHint struct {
+	Name string `json:"name"`
+	Seq  int64  `json:"seq"`
+	// From is the sender's base URL: the peer the receiver should pull the
+	// snapshot delta from.
+	From string `json:"from"`
 }
 
 // Replication fetch headers: GET /v1/udfs/{name}/snapshot serves the raw
