@@ -5,7 +5,7 @@ GO ?= go
 
 # Perf-trajectory knobs: where the fresh bench run lands, which committed
 # entry it is gated against, and how much ns/op drift the gate allows.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_MAX_REGRESS ?= 0.35
 
@@ -16,7 +16,7 @@ BENCH_MAX_REGRESS ?= 0.35
 COVER_PKGS = ./internal/mat ./internal/ecdf ./internal/gp ./internal/core ./internal/server ./internal/server/wire ./internal/fleet ./client
 COVER_MIN ?= 70
 
-.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e e2e-fleet e2e-rebalance lint ci
+.PHONY: build test vet fmt fmt-fix race bench bench-json bench-diff cover fuzz-smoke e2e e2e-fleet e2e-rebalance e2e-query-fleet docs lint ci
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,21 @@ e2e-fleet:
 e2e-rebalance:
 	$(GO) test -count=1 -v -run TestE2ERebalance ./e2e
 
+# e2e-query-fleet is the distributed-query gate: a three-shard fleet where
+# three UDF instances are each owned by a different shard must answer a
+# group-by + top-k query spanning all three with bytes identical to a
+# single-shard fleet holding every instance, a single-instance plan must
+# answer identically forwarded or scattered, and a kill -9 of an owning
+# shard mid-scatter must leave every retried answer byte-identical.
+e2e-query-fleet:
+	$(GO) test -count=1 -v -run TestE2EQueryFleet ./e2e
+
+# docs checks the markdown link graph (relative paths + heading anchors)
+# of the README and the docs/ tree; docs/api.md is additionally pinned to
+# the code by TestAPIDocConformance in internal/server/wire.
+docs:
+	$(GO) run ./cmd/linkcheck README.md PAPER.md ROADMAP.md docs
+
 # lint runs staticcheck + govulncheck when installed and skips (with a
 # notice) when not, so `make ci` works on boxes without the tools; the CI
 # lint job installs both and is blocking.
@@ -119,4 +134,4 @@ lint:
 		govulncheck ./...; \
 	else echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
-ci: build vet fmt lint test race cover fuzz-smoke e2e e2e-fleet e2e-rebalance bench bench-diff
+ci: build vet fmt docs lint test race cover fuzz-smoke e2e e2e-fleet e2e-rebalance e2e-query-fleet bench bench-diff

@@ -252,6 +252,18 @@ func (c *Client) Query(ctx context.Context, req any) (json.RawMessage, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// RunQuery runs one bounded relational query with a typed request and
+// response (POST /v1/query). Against a fleet router, rows naming their own
+// UDF instance are scattered to the owning shards and the partial bounded
+// states merged back into one answer, bit-identical to a single shard
+// holding every instance. Use Query when the raw response bytes matter
+// (replay comparison).
+func (c *Client) RunQuery(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/query", nil, req, &resp)
+	return resp, err
+}
+
 // StreamOptions parameterize one NDJSON stream session.
 type StreamOptions struct {
 	// Frozen serves the stream from frozen clones (?learn=false): responses

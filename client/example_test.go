@@ -1,0 +1,39 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"olgapro/client"
+)
+
+// ExampleIsCode shows the error contract: every non-2xx response decodes
+// into a typed *APIError carrying the envelope's stable machine-readable
+// code, and dispatch goes through IsCode (or errors.As) — never through
+// the message text.
+func ExampleIsCode() {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":{"code":"not_found","message":"no UDF instance \"galage\""}}`)
+	}))
+	defer srv.Close()
+
+	cl := client.New(srv.URL)
+	_, err := cl.RunQuery(context.Background(), client.QueryRequest{
+		UDF:  "galage",
+		Rows: []client.QueryRow{{Input: client.InputSpec{{Type: "constant", Value: 0.5}}}},
+	})
+
+	fmt.Println(client.IsCode(err, client.CodeNotFound))
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		fmt.Println(apiErr.Status, apiErr.Code)
+	}
+	// Output:
+	// true
+	// 404 not_found
+}

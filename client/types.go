@@ -61,7 +61,34 @@ type (
 	// non-2xx /v1 response carries.
 	ErrorDetail   = wire.ErrorDetail
 	ErrorEnvelope = wire.ErrorEnvelope
+	// PredicateSpec is a §5.5 TEP filter: P(a < y < b) with threshold theta.
+	PredicateSpec = wire.PredicateSpec
+	// StatSpec picks the scalar statistic an aggregate or ranking reads from
+	// an uncertain attribute.
+	StatSpec = wire.StatSpec
+	// AggSpec is one aggregate column of a window or group-by stage.
+	AggSpec = wire.AggSpec
+	// TopKSpec is the possible/certain top-k stage of a query plan.
+	TopKSpec = wire.TopKSpec
+	// WindowSpec is the positional sliding-window stage of a query plan.
+	WindowSpec = wire.WindowSpec
+	// GroupBySpec is the grouped-aggregation stage of a query plan.
+	GroupBySpec = wire.GroupBySpec
+	// BoundedJSON is a [certain, possible] interval on the wire.
+	BoundedJSON = wire.BoundedJSON
+	// QueryRow is one input tuple of a bounded query's request relation.
+	QueryRow = wire.QueryRow
+	// QueryRequest is the POST /v1/query body.
+	QueryRequest = wire.QueryRequest
+	// QueryValue is one output attribute of an answer tuple.
+	QueryValue = wire.QueryValue
+	// QueryResponse is the POST /v1/query answer relation.
+	QueryResponse = wire.QueryResponse
 )
+
+// MaxQueryRows caps the request relation of one /v1/query (and the merged
+// answer of one cross-shard query) — larger workloads should stream.
+const MaxQueryRows = wire.MaxQueryRows
 
 // Stable error codes (see wire for the full documentation of each).
 const (

@@ -737,6 +737,98 @@ func benchFleetReplicationLag(hints bool) func(b *testing.B) {
 	}
 }
 
+// fleetQueryRows is the request-relation size of one scattered-query op.
+const fleetQueryRows = 16
+
+// benchQueryFleet boots nShards in-process shards behind a fleet router,
+// registers one UDF instance owned by each shard, and measures one op as a
+// distributed bounded query (group-by + top-k over rows spanning every
+// instance) through the router's scatter-gather path. The 1-shard variant
+// isolates the decompose/merge overhead; the 3-shard variant adds the
+// cross-shard fan-out. Timing depends on the host scheduler and loopback
+// stack, so fleet_* stays exempt from the regression gate.
+func benchQueryFleet(nShards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		addrs := make([]string, nShards)
+		for i := 0; i < nShards; i++ {
+			s, err := server.New(server.Config{Workers: 1, MaxInFlight: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			addrs[i] = ts.URL
+			defer func() { ts.Close(); s.Close() }()
+		}
+		ring, err := fleet.NewRing(addrs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := make([]string, 0, nShards)
+		for _, addr := range addrs {
+			for i := 0; i < 64; i++ {
+				if cand := fmt.Sprintf("u%d", i); ring.Owner(cand) == addr {
+					names = append(names, cand)
+					break
+				}
+			}
+		}
+		if len(names) != nShards {
+			b.Fatalf("found %d owned instance names for %d shards", len(names), nShards)
+		}
+		rt, err := fleet.NewRouter(fleet.Config{Shards: addrs, Replicas: 1, Cooldown: 100 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		tsR := httptest.NewServer(rt.Handler())
+		defer tsR.Close()
+		cl := client.New(tsR.URL)
+		ctx := context.Background()
+
+		rng := rand.New(rand.NewSource(5))
+		warmup := make([]client.InputSpec, 8)
+		for i := range warmup {
+			warmup[i] = client.InputSpec{
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+				{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+			}
+		}
+		for _, name := range names {
+			if _, err := cl.Register(ctx, client.RegisterRequest{
+				UDF: "poly/smooth2d", Name: name, Eps: 0.2, Delta: 0.1,
+				Warmup: warmup, WarmupSeed: 3,
+			}); err != nil {
+				b.Fatalf("register %s: %v", name, err)
+			}
+		}
+		rows := make([]client.QueryRow, fleetQueryRows)
+		for i := range rows {
+			rows[i] = client.QueryRow{
+				Input: client.InputSpec{
+					{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+					{Type: "normal", Mu: 0.3 + 0.4*rng.Float64(), Sigma: 0.15},
+				},
+				Group: string(rune('a' + i%3)),
+				UDF:   names[i%len(names)],
+			}
+		}
+		req := client.QueryRequest{
+			Rows: rows, Seed: 11,
+			GroupBy: &client.GroupBySpec{
+				Keys: []string{"g"},
+				Aggs: []client.AggSpec{{Kind: "count"}, {Kind: "avg", Attr: "y"}},
+			},
+			TopK: &client.TopKSpec{K: 2, By: "avg_y", Desc: true},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.RunQuery(ctx, req); err != nil {
+				b.Fatalf("scattered query: %v", err)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write the run (or comparison) JSON to this file; stdout when empty")
 	baseline := flag.String("baseline", "", "earlier run JSON to embed as the before side")
@@ -795,6 +887,13 @@ func main() {
 	run.Results = append(run.Results,
 		measure("fleet_replication_lag_hints", benchFleetReplicationLag(true)),
 		measure("fleet_replication_lag_pull", benchFleetReplicationLag(false)),
+	)
+	// Distributed bounded queries (PR 10): one op = one group-by + top-k
+	// plan scattered across the fleet and merged at the router. fleet_*
+	// keeps these exempt from the regression gate (scheduler-dependent).
+	run.Results = append(run.Results,
+		measureThroughput("fleet_query_scatter_1shard", fleetQueryRows, benchQueryFleet(1)),
+		measureThroughput("fleet_query_scatter_3shard", fleetQueryRows, benchQueryFleet(3)),
 	)
 
 	var payload any = run

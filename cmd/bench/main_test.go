@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestFleetQueryBenchRuns smokes the scattered-query harness entries: a
+// broken fleet boot or a scatter failure must fail `go test` rather than
+// surfacing for the first time in a full bench-json run.
+func TestFleetQueryBenchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots in-process shards; skipped in -short")
+	}
+	for _, shards := range []int{1, 3} {
+		res := testing.Benchmark(benchQueryFleet(shards))
+		if res.N <= 0 {
+			t.Fatalf("%d-shard scatter benchmark did not run", shards)
+		}
+	}
+}

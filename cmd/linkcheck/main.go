@@ -1,0 +1,181 @@
+// Command linkcheck validates the markdown link graph of the repository
+// docs: every relative link must point at a file that exists, and every
+// fragment (in-page or cross-page) must match a heading anchor under
+// GitHub's slug rules. External http(s) and mailto links are skipped —
+// the tool is a CI gate and must not depend on the network.
+//
+//	go run ./cmd/linkcheck README.md docs
+//
+// Arguments are markdown files or directories (walked for *.md). Exits
+// non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	broken := 0
+	for _, file := range files {
+		for _, msg := range checkFile(file) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", file, msg)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) ok\n", len(files))
+}
+
+// checkFile returns one message per broken link in the file.
+func checkFile(file string) []string {
+	body, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var msgs []string
+	for _, target := range linksOf(string(body)) {
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		path, frag, _ := strings.Cut(target, "#")
+		dest := file
+		if path != "" {
+			dest = filepath.Join(filepath.Dir(file), path)
+			if _, err := os.Stat(dest); err != nil {
+				msgs = append(msgs, fmt.Sprintf("broken link %q: no such file", target))
+				continue
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		if !strings.HasSuffix(dest, ".md") {
+			// A fragment into a non-markdown file (e.g. a source line
+			// anchor) is beyond what we can validate offline.
+			continue
+		}
+		if !anchorsOf(dest)[frag] {
+			msgs = append(msgs, fmt.Sprintf("broken link %q: no heading anchor #%s in %s", target, frag, dest))
+		}
+	}
+	return msgs
+}
+
+// linksOf extracts inline-link targets, ignoring fenced code blocks (a
+// `](` inside an example would otherwise read as a link).
+func linksOf(body string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}
+
+// anchorsOf returns the set of GitHub-style heading slugs of a markdown
+// file: lowercase, punctuation stripped, spaces to hyphens.
+func anchorsOf(file string) map[string]bool {
+	anchors := map[string]bool{}
+	body, err := os.ReadFile(file)
+	if err != nil {
+		return anchors
+	}
+	inFence := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if heading == line || !strings.HasPrefix(heading, " ") {
+			continue
+		}
+		slug := slugOf(strings.TrimSpace(heading))
+		// GitHub de-duplicates repeated headings as slug-1, slug-2, ...
+		for i := 0; ; i++ {
+			candidate := slug
+			if i > 0 {
+				candidate = fmt.Sprintf("%s-%d", slug, i)
+			}
+			if !anchors[candidate] {
+				anchors[candidate] = true
+				break
+			}
+		}
+	}
+	return anchors
+}
+
+// slugOf lowercases, keeps letters/digits/hyphens/spaces (markdown
+// emphasis and code backticks are stripped), and turns spaces to hyphens.
+func slugOf(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r > 127: // non-ASCII letters survive slugging
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSlugOf(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":                     "quick-start",
+		"The /v1 API":                     "the-v1-api",
+		"Bounded queries: POST /v1/query": "bounded-queries-post-v1query",
+		"How (ε, δ) maps onto HTTP":       "how-ε-δ-maps-onto-http",
+		"Snapshot / restore":              "snapshot--restore",
+		"`make ci` and friends":           "make-ci-and-friends",
+		"Cross-shard queries":             "cross-shard-queries",
+	}
+	for heading, want := range cases {
+		if got := slugOf(heading); got != want {
+			t.Errorf("slugOf(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestCheckFileFindsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other.md", "# Other\n\n## Real Section\n")
+	main := write(t, dir, "main.md",
+		"# Main\n\n"+
+			"[ok file](other.md)\n"+
+			"[ok anchor](other.md#real-section)\n"+
+			"[ok self](#main)\n"+
+			"[external](https://example.com/nope)\n"+
+			"```\n[not a link](missing-in-fence.md)\n```\n"+
+			"[gone](missing.md)\n"+
+			"[bad anchor](other.md#no-such)\n"+
+			"[bad self](#nope)\n")
+	msgs := checkFile(main)
+	if len(msgs) != 3 {
+		t.Fatalf("want exactly 3 broken links, got %d: %v", len(msgs), msgs)
+	}
+	for i, wantSub := range []string{"missing.md", "no-such", "#nope"} {
+		if !strings.Contains(msgs[i], wantSub) {
+			t.Errorf("message %d = %q, want mention of %q", i, msgs[i], wantSub)
+		}
+	}
+}
+
+func TestAnchorsDeduplicateLikeGitHub(t *testing.T) {
+	dir := t.TempDir()
+	f := write(t, dir, "dup.md", "# Setup\n\n## Setup\n\n### Setup\n")
+	a := anchorsOf(f)
+	for _, want := range []string{"setup", "setup-1", "setup-2"} {
+		if !a[want] {
+			t.Errorf("missing anchor %q in %v", want, a)
+		}
+	}
+}

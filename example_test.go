@@ -1,0 +1,33 @@
+package olgapro_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"olgapro"
+)
+
+// Example evaluates a black-box UDF on one uncertain input under an
+// (ε, δ) contract: the returned distribution of f(X) is within Bound of
+// the truth with probability ≥ 1 − δ. The printed values are coarse on
+// purpose — the full distribution is float-exact only for a fixed
+// platform and seed.
+func Example() {
+	f := olgapro.Func(1, func(x []float64) float64 { return x[0] * x[0] })
+	ev, err := olgapro.NewEvaluator(f, olgapro.Config{Eps: 0.2, Delta: 0.1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rng := rand.New(rand.NewSource(7))
+	out, err := ev.Eval(olgapro.NormalInput([]float64{3}, 0.01), rng)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("median of f(X) = %.0f\n", out.Dist.Quantile(0.5))
+	fmt.Println("bound within eps:", out.Bound <= 0.2)
+	// Output:
+	// median of f(X) = 9
+	// bound within eps: true
+}

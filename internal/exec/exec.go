@@ -119,6 +119,14 @@ type Options struct {
 	// token per unemitted tuple, so one slow tuple stalls the upstream
 	// pull instead of letting the reorder buffer grow with the stream.
 	Queue int
+	// Ords, when non-empty, maps each tuple's local stream position to its
+	// global ordinal in a larger relation: tuple j seeds from
+	// TupleSeed(Seed, Ords[j]) instead of TupleSeed(Seed, j). A shard of a
+	// scattered query uses this to evaluate its subset of the union relation
+	// with exactly the per-tuple RNG streams the whole relation would get,
+	// keeping the distributed answer bit-identical. Positions past the end
+	// of Ords fall back to the local ordinal.
+	Ords []int64
 	// Predicate, when non-nil, truncates surviving result distributions to
 	// [A, B] with the realized mass as TEP, exactly as query.ApplyUDF does.
 	Predicate *mc.Predicate
@@ -272,7 +280,11 @@ func (p *ParallelEval) run() {
 
 // evalOne evaluates one tuple with its own deterministically seeded RNG.
 func evalOne(eng query.Engine, j job, inputs []string, out string, opt Options) result {
-	rng := rand.New(rand.NewSource(TupleSeed(opt.Seed, j.seq)))
+	ord := j.seq
+	if j.seq < int64(len(opt.Ords)) {
+		ord = opt.Ords[j.seq]
+	}
+	rng := rand.New(rand.NewSource(TupleSeed(opt.Seed, ord)))
 	input, err := query.InputVectorFor(j.tuple, inputs)
 	if err != nil {
 		return result{seq: j.seq, err: err}

@@ -1,0 +1,361 @@
+package fleet
+
+// Distributed bounded queries: the router decomposes one /v1/query plan
+// into per-shard sub-plans over the rows each shard's UDFs own, scatters
+// them to frozen replicas (POST /v1/query/partials), and merges the partial
+// bounded states back into one answer relation. Every tuple keeps its
+// global ordinal in the union relation, so per-tuple RNG seeding, group
+// first-seen order, window positions, and rank tie-breaks all come out
+// exactly as a single shard holding the whole relation would compute them —
+// the merged answer is bit-identical to the single-shard plan (see
+// internal/query/partial.go for the merge algebra and its property tests).
+//
+// Only the first stage of the plan (window, then group-by, then top-k, in
+// plan order) is distributed; later stages run at the router as ordinary
+// query operators over the merged tuples, which by then carry only
+// self-contained values (ints, strings, bounds).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"olgapro/internal/query"
+	"olgapro/internal/server/wire"
+)
+
+// scatterJob is one shard-bound sub-plan and its gathered result.
+type scatterJob struct {
+	name string
+	req  *wire.QueryPartialsRequest
+	res  *wire.QueryPartials
+	sr   *shardResp
+	err  error
+}
+
+// handleQueryScatter serves a /v1/query whose rows name their UDF
+// instances: decompose, scatter, merge.
+func (rt *Router) handleQueryScatter(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req wire.QueryRequest
+	if err := decodeStrictBytes(body, &req); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "query needs at least one row")
+		return
+	}
+	if len(req.Rows) > wire.MaxQueryRows {
+		// 413, not 429: clients auto-retry over_capacity served with 429 and
+		// a Retry-After, but an oversized relation never shrinks on retry.
+		rt.fail(w, http.StatusRequestEntityTooLarge, wire.CodeOverCapacity,
+			"query has %d rows, cap is %d", len(req.Rows), wire.MaxQueryRows)
+		return
+	}
+
+	// Validate stage specs before spending shard work; the merge needs the
+	// converted specs anyway.
+	var (
+		wspec  *query.WindowSpec
+		gbspec *query.GroupBySpec
+		tkspec *query.RankSpec
+	)
+	if req.Window != nil {
+		s, err := req.Window.Spec()
+		if err != nil {
+			rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		wspec = &s
+	}
+	if req.GroupBy != nil {
+		s, err := req.GroupBy.Spec()
+		if err != nil {
+			rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		gbspec = &s
+	}
+	if req.TopK != nil {
+		s, err := req.TopK.Spec()
+		if err != nil {
+			rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		tkspec = &s
+	}
+
+	// Group rows by UDF instance, preserving each row's global ordinal. Only
+	// the first stage travels with the sub-plan.
+	jobs := make([]*scatterJob, 0, 4)
+	byName := make(map[string]*scatterJob)
+	for i, row := range req.Rows {
+		name := row.UDF
+		if name == "" {
+			name = req.UDF
+		}
+		if name == "" {
+			rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d names no udf and the request has no default", i)
+			return
+		}
+		j, ok := byName[name]
+		if !ok {
+			j = &scatterJob{name: name, req: &wire.QueryPartialsRequest{
+				UDF:       name,
+				Seed:      req.Seed,
+				Predicate: req.Predicate,
+				MinSeq:    req.RequireSeq[name],
+			}}
+			switch {
+			case req.Window != nil:
+				j.req.Window = req.Window
+			case req.GroupBy != nil:
+				j.req.GroupBy = req.GroupBy
+			case req.TopK != nil:
+				j.req.TopK = req.TopK
+			}
+			byName[name] = j
+			jobs = append(jobs, j)
+		}
+		j.req.Rows = append(j.req.Rows, wire.PartialRowSpec{Ord: int64(i), Input: row.Input, Group: row.Group})
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *scatterJob) {
+			defer wg.Done()
+			b, err := json.Marshal(j.req)
+			if err != nil {
+				j.err = err
+				return
+			}
+			sr, err := rt.fanFrozen(j.name, func(addr string) (*shardResp, bool, error) {
+				sr, err := rt.forward(r.Context(), addr, http.MethodPost, "/v1/query/partials", nil, b, "application/json")
+				if err != nil {
+					return nil, false, err
+				}
+				return sr, retryableEnvelope(sr.status, sr.body), nil
+			})
+			if err != nil {
+				j.err = err
+				return
+			}
+			j.sr = sr
+			if sr.status != http.StatusOK {
+				return
+			}
+			var qp wire.QueryPartials
+			if err := json.Unmarshal(sr.body, &qp); err != nil {
+				j.err = fmt.Errorf("shard partials for %q: %v", j.name, err)
+				return
+			}
+			j.res = &qp
+		}(j)
+	}
+	wg.Wait()
+
+	seqs := make(map[string]int64, len(jobs))
+	dropped := 0
+	for _, j := range jobs {
+		if j.err != nil {
+			rt.failFrom(w, j.err)
+			return
+		}
+		if j.res == nil {
+			relay(w, j.sr)
+			return
+		}
+		seqs[j.name] = j.res.ModelSeq
+		dropped += j.res.Dropped
+	}
+
+	rows, err := rt.mergePartials(jobs, wspec, gbspec, tkspec)
+	if err != nil {
+		rt.fail(w, http.StatusInternalServerError, wire.CodeInternal, "merge shard partials: %v", err)
+		return
+	}
+	if len(rows) > wire.MaxQueryRows {
+		rt.fail(w, http.StatusRequestEntityTooLarge, wire.CodeOverCapacity,
+			"merged cross-shard result has %d rows, cap is %d", len(rows), wire.MaxQueryRows)
+		return
+	}
+
+	names := make([]string, 0, len(seqs))
+	for name := range seqs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pairs := make([]string, len(names))
+	for i, name := range names {
+		pairs[i] = name + ":" + strconv.FormatInt(seqs[name], 10)
+	}
+	w.Header().Set(wire.HeaderQuerySeqs, strings.Join(pairs, ","))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Encode (not Marshal+Write) so the body ends in the same trailing
+	// newline a shard's own /v1/query response carries.
+	json.NewEncoder(w).Encode(wire.QueryResponse{UDF: req.UDF, Rows: rows, Dropped: dropped})
+}
+
+// mergePartials folds the gathered shard states into the final answer rows
+// for whichever first stage the plan has, then runs any later stages at the
+// router.
+func (rt *Router) mergePartials(jobs []*scatterJob, wspec *query.WindowSpec, gbspec *query.GroupBySpec, tkspec *query.RankSpec) ([][]wire.QueryValue, error) {
+	switch {
+	case wspec != nil:
+		entries := gatherRows(jobs)
+		items := make([][]query.PartialItem, len(wspec.Aggs))
+		for a := range wspec.Aggs {
+			items[a] = make([]query.PartialItem, len(entries))
+		}
+		for i, pr := range entries {
+			if len(pr.Items) != len(wspec.Aggs) {
+				return nil, fmt.Errorf("tuple %d carries %d aggregate items, want %d", pr.Ord, len(pr.Items), len(wspec.Aggs))
+			}
+			for a, it := range pr.Items {
+				items[a][i] = it.Item()
+			}
+		}
+		tuples, err := query.WindowPartials(*wspec, items)
+		if err != nil {
+			return nil, err
+		}
+		return runMergedPlan(tuples, gbspec, tkspec)
+
+	case gbspec != nil:
+		lists := make([][]*query.GroupPartial, 0, len(jobs))
+		for _, j := range jobs {
+			list := make([]*query.GroupPartial, len(j.res.Groups))
+			for i, g := range j.res.Groups {
+				gp, err := g.GroupPartial()
+				if err != nil {
+					return nil, fmt.Errorf("shard %q group %d: %v", j.name, i, err)
+				}
+				list[i] = gp
+			}
+			lists = append(lists, list)
+		}
+		merged, err := query.MergeGroupPartials(lists...)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err := query.FinishGroupPartials(*gbspec, merged)
+		if err != nil {
+			return nil, err
+		}
+		return runMergedPlan(tuples, nil, tkspec)
+
+	case tkspec != nil:
+		entries := gatherRows(jobs)
+		keys := make([]query.RankKey, len(entries))
+		for i, pr := range entries {
+			if pr.Rank == nil {
+				return nil, fmt.Errorf("tuple %d carries no rank key", pr.Ord)
+			}
+			keys[i] = pr.Rank.Key(pr.Ord)
+		}
+		rankAttr := tkspec.RankAttr()
+		members := query.MergeRankKeys(keys, tkspec.K)
+		rows := make([][]wire.QueryValue, 0, len(members))
+		for _, m := range members {
+			row := entries[m.Idx].Row
+			if row == nil {
+				// The shard prunes a row only when it is certainly outside
+				// the global top k (see handleQueryPartials); a pruned
+				// possible member means the invariant broke.
+				return nil, fmt.Errorf("tuple %d is a possible top-%d member but its shard pruned the row", entries[m.Idx].Ord, tkspec.K)
+			}
+			rows = append(rows, withRank(row, rankAttr, m.Rank))
+		}
+		return rows, nil
+
+	default:
+		entries := gatherRows(jobs)
+		rows := make([][]wire.QueryValue, 0, len(entries))
+		for _, pr := range entries {
+			if pr.Row == nil {
+				return nil, fmt.Errorf("tuple %d carries no row payload", pr.Ord)
+			}
+			rows = append(rows, pr.Row)
+		}
+		return rows, nil
+	}
+}
+
+// gatherRows pools every shard's surviving rows back into global ordinal
+// order — the post-drop order of the union relation's stream.
+func gatherRows(jobs []*scatterJob) []wire.PartialRow {
+	var entries []wire.PartialRow
+	for _, j := range jobs {
+		entries = append(entries, j.res.Rows...)
+	}
+	sort.Slice(entries, func(i, k int) bool { return entries[i].Ord < entries[k].Ord })
+	return entries
+}
+
+// runMergedPlan applies the plan's remaining stages to the merged
+// first-stage output and encodes the answer tuples. Stage outputs carry
+// only self-contained values, so wire.EncodeValue covers every attribute.
+func runMergedPlan(tuples []*query.Tuple, gbspec *query.GroupBySpec, tkspec *query.RankSpec) ([][]wire.QueryValue, error) {
+	var it query.Iterator = query.NewScan(tuples)
+	if gbspec != nil {
+		it = query.NewGroupBy(it, *gbspec)
+	}
+	if tkspec != nil {
+		it = query.NewTopK(it, *tkspec)
+	}
+	out, err := query.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]wire.QueryValue, len(out))
+	for i, t := range out {
+		row := make([]wire.QueryValue, 0, t.Len())
+		for _, name := range t.Names() {
+			qv, err := wire.EncodeValue(name, t.MustGet(name))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, qv)
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// withRank appends the merged global rank to a shard-encoded row with the
+// same replace-or-append semantics as Tuple.With on the serial path.
+func withRank(row []wire.QueryValue, rankAttr string, rank query.Bounded) []wire.QueryValue {
+	b := wire.BoundedOf(rank)
+	qv := wire.QueryValue{Name: rankAttr, Kind: query.KindBounded.String(), Bounded: &b}
+	for i := range row {
+		if row[i].Name == rankAttr {
+			row[i] = qv
+			return row
+		}
+	}
+	return append(row, qv)
+}
+
+// decodeStrictBytes mirrors the shards' strict request decoding: unknown
+// fields and trailing garbage are rejected at the router, before any shard
+// spends work on the request.
+func decodeStrictBytes(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if dec.Decode(&extra) != io.EOF {
+		return fmt.Errorf("trailing data after request body")
+	}
+	return nil
+}

@@ -801,10 +801,28 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var probe struct {
-		UDF string `json:"udf"`
+		UDF  string `json:"udf"`
+		Rows []struct {
+			UDF string `json:"udf"`
+		} `json:"rows"`
 	}
-	if err := json.Unmarshal(body, &probe); err != nil || probe.UDF == "" {
-		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: missing udf")
+	if err := json.Unmarshal(body, &probe); err != nil {
+		rt.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: %v", err)
+		return
+	}
+	// A row naming its own UDF instance opts the request into the
+	// scatter-gather path — the relation may span instances owned by
+	// different shards. Single-instance requests forward whole: one shard
+	// holds everything the plan needs, and its response relays verbatim.
+	scatter := false
+	for _, row := range probe.Rows {
+		if row.UDF != "" {
+			scatter = true
+			break
+		}
+	}
+	if scatter || probe.UDF == "" {
+		rt.handleQueryScatter(w, r, body)
 		return
 	}
 	q := forwardableQuery(r)

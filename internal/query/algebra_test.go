@@ -291,7 +291,7 @@ func refTopK(vals []float64, ords []int64, k int) map[int64]int {
 
 // topKWorlds enumerates endpoint worlds of the rank keys: per tuple, an
 // endpoint value plus (for maybe-tuples) absence.
-func topKWorlds(keys []rankKey, f func(vals []float64, ords []int64)) {
+func topKWorlds(keys []RankKey, f func(vals []float64, ords []int64)) {
 	var vals []float64
 	var ords []int64
 	var rec func(i int)
@@ -300,17 +300,17 @@ func topKWorlds(keys []rankKey, f func(vals []float64, ords []int64)) {
 			f(vals, ords)
 			return
 		}
-		choices := []float64{keys[i].lo, keys[i].hi}
-		if keys[i].lo == keys[i].hi {
+		choices := []float64{keys[i].Lo, keys[i].Hi}
+		if keys[i].Lo == keys[i].Hi {
 			choices = choices[:1]
 		}
 		for _, v := range choices {
 			vals = append(vals, v)
-			ords = append(ords, keys[i].ord)
+			ords = append(ords, keys[i].Ord)
 			rec(i + 1)
 			vals, ords = vals[:len(vals)-1], ords[:len(ords)-1]
 		}
-		if !keys[i].sure {
+		if !keys[i].Sure {
 			rec(i + 1)
 		}
 	}
@@ -328,7 +328,7 @@ func TestTopKContainmentBruteForce(t *testing.T) {
 		k := 1 + rng.Intn(n)
 		desc := rng.Intn(2) == 0
 		tuples := make([]*Tuple, n)
-		keys := make([]rankKey, n)
+		keys := make([]RankKey, n)
 		for i := range tuples {
 			a := float64(rng.Intn(7) - 3)
 			b := a + float64(rng.Intn(3))
@@ -338,9 +338,9 @@ func TestTopKContainmentBruteForce(t *testing.T) {
 				v = maybeResult(a, b)
 			}
 			tuples[i] = MustTuple([]string{"id", "y"}, []Value{Int(int64(i)), v})
-			keys[i] = rankKey{lo: a, hi: b, ord: int64(i), sure: sure}
+			keys[i] = RankKey{Lo: a, Hi: b, Ord: int64(i), Sure: sure}
 			if !desc {
-				keys[i].lo, keys[i].hi = -b, -a
+				keys[i].Lo, keys[i].Hi = -b, -a
 			}
 		}
 

@@ -1,0 +1,40 @@
+package query_test
+
+import (
+	"fmt"
+
+	"olgapro/internal/query"
+)
+
+// ExamplePlan runs a bounded group-by + top-k over a relation whose "y"
+// attribute is already a [lo, hi] interval — the shape every aggregate
+// consumes, whether the interval came from a UDF's confidence envelope
+// (via an Apply stage with KeepEnvelope) or, as here, directly from the
+// caller. Group "b" wins certainly: even its lowest possible average
+// beats group "a"'s highest.
+func ExamplePlan() {
+	y := func(lo, hi float64) query.Value {
+		return query.BoundedVal(query.Bounded{Lo: lo, Hi: hi})
+	}
+	rel := []*query.Tuple{
+		query.MustTuple([]string{"g", "y"}, []query.Value{query.Str("a"), y(1, 2)}),
+		query.MustTuple([]string{"g", "y"}, []query.Value{query.Str("b"), y(5, 6)}),
+		query.MustTuple([]string{"g", "y"}, []query.Value{query.Str("a"), y(2, 3)}),
+		query.MustTuple([]string{"g", "y"}, []query.Value{query.Str("b"), y(7, 9)}),
+	}
+	out, err := query.From(rel).
+		GroupBy(query.GroupBySpec{
+			Keys: []string{"g"},
+			Aggs: []query.Agg{query.Count(), query.Avg("y")},
+		}).
+		TopK(query.RankSpec{By: "avg_y", K: 1, Desc: true}).
+		Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, t := range out {
+		fmt.Println(t)
+	}
+	// Output: {g=b, count==2, avg_y=[6, 7.5], rank==1}
+}

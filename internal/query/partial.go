@@ -1,0 +1,340 @@
+package query
+
+// This file is the distributed half of the bounded-aggregate algebra: a
+// mergeable partial-state representation for every aggregate kind, plus the
+// group-level wrapper the fleet router uses to scatter a plan across shards
+// and gather one answer.
+//
+// # Bit-identity contract
+//
+// The merged bound must equal — bit for bit — the bound the single-shard
+// operators (aggBounds over the union relation) would produce. Two
+// mechanisms deliver that:
+//
+//   - Order-free kinds (count, min, max) keep only scalar state folded with
+//     integer addition and math.Min/math.Max, which are associative and
+//     exact in floating point, so any merge order yields the same bits.
+//   - Order-sensitive kinds (sum, avg) keep the full item list tagged with
+//     each tuple's global ordinal in the union relation; Bound re-folds the
+//     items in ascending ordinal through the very same sumBounds/avgBounds
+//     code the serial operators run, reproducing the serial fold exactly.
+//
+// Ordinals are the stream positions the union relation would assign, so a
+// shard holding an arbitrary subset of the relation still contributes items
+// that interleave correctly with every other shard's.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PartialItem is one tuple's contribution to a distributed aggregate: the
+// [lo, hi] interval of its statistic, whether the tuple certainly exists,
+// and the tuple's global ordinal in the union relation. It is the
+// wire-portable form of the package-private aggItem.
+type PartialItem struct {
+	Ord    int64
+	Lo, Hi float64
+	Sure   bool
+}
+
+// PartialItemOf extracts one tuple's contribution to agg, stamped with the
+// tuple's global ordinal.
+func PartialItemOf(t *Tuple, agg Agg, ord int64) (PartialItem, error) {
+	it, err := itemOf(t, agg)
+	if err != nil {
+		return PartialItem{}, err
+	}
+	return PartialItem{Ord: ord, Lo: it.val.Lo, Hi: it.val.Hi, Sure: it.sure}, nil
+}
+
+// Partial is the mergeable state of one bounded aggregate over a subset of
+// a relation. Observe items in ascending ordinal order, Merge partials from
+// disjoint subsets in any order, then Bound — the result is bit-identical
+// to aggBounds over the union. The zero value is not usable; build with
+// NewPartial.
+type Partial struct {
+	Kind AggKind
+	// N and Sure count observed items and certainly-existing items; they
+	// fully determine the count aggregate and select the min/max cap.
+	N, Sure int
+	// Scalar envelope state for min/max, oriented so smaller is the
+	// reachable extreme (AggMax observes negated intervals): Lo is the
+	// smallest reachable value, SureCap the tightest cap from a certainly
+	// existing member, AllCap the largest single-member world.
+	Lo, SureCap, AllCap float64
+	// Items is the full item list for the order-sensitive kinds (sum, avg),
+	// ascending by Ord; empty for count/min/max.
+	Items []PartialItem
+}
+
+// NewPartial returns an empty partial for the kind. The scalar fields start
+// at the fold identities (+Inf/+Inf/−Inf), which are neutral under Merge.
+func NewPartial(kind AggKind) *Partial {
+	return &Partial{Kind: kind, Lo: math.Inf(1), SureCap: math.Inf(1), AllCap: math.Inf(-1)}
+}
+
+// Observe folds one item into the partial. Items must arrive in ascending
+// Ord order (the natural stream order on a shard).
+func (p *Partial) Observe(it PartialItem) {
+	p.N++
+	if it.Sure {
+		p.Sure++
+	}
+	switch p.Kind {
+	case AggCount:
+		// Existence counters only.
+	case AggMin, AggMax:
+		lo, hi := it.Lo, it.Hi
+		if p.Kind == AggMax {
+			lo, hi = -it.Hi, -it.Lo
+		}
+		p.Lo = math.Min(p.Lo, lo)
+		p.AllCap = math.Max(p.AllCap, hi)
+		if it.Sure {
+			p.SureCap = math.Min(p.SureCap, hi)
+		}
+	default: // AggSum, AggAvg: order-sensitive, keep the items.
+		p.Items = append(p.Items, it)
+	}
+}
+
+// Merge folds q (a partial over a disjoint subset) into p. Merge order does
+// not matter; the ordinal tags restore the serial fold order at Bound time.
+func (p *Partial) Merge(q *Partial) error {
+	if p.Kind != q.Kind {
+		return fmt.Errorf("query: cannot merge %s partial into %s partial", q.Kind, p.Kind)
+	}
+	p.N += q.N
+	p.Sure += q.Sure
+	p.Lo = math.Min(p.Lo, q.Lo)
+	p.SureCap = math.Min(p.SureCap, q.SureCap)
+	p.AllCap = math.Max(p.AllCap, q.AllCap)
+	p.Items = mergeItems(p.Items, q.Items)
+	return nil
+}
+
+// mergeItems merges two ordinal-ascending item lists.
+func mergeItems(a, b []PartialItem) []PartialItem {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]PartialItem(nil), b...)
+	}
+	out := make([]PartialItem, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Ord <= b[j].Ord {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Bound finishes the partial into the [certain, possible] interval of the
+// aggregate over every possible world of the observed tuples — bit-identical
+// to aggBounds over the same items in ordinal order. Like aggBounds,
+// min/max/avg over zero items return NaN bounds.
+func (p *Partial) Bound() Bounded {
+	switch p.Kind {
+	case AggCount:
+		return finish(float64(p.Sure), float64(p.N))
+	case AggMin, AggMax:
+		lo, hi := p.Lo, p.AllCap
+		if p.Sure > 0 {
+			hi = p.SureCap
+		}
+		if p.N == 0 {
+			lo, hi = math.NaN(), math.NaN()
+		}
+		if p.Kind == AggMax {
+			return finish(-hi, -lo)
+		}
+		return finish(lo, hi)
+	case AggSum:
+		return sumBounds(p.aggItems())
+	case AggAvg:
+		return avgBounds(p.aggItems())
+	default:
+		return Bounded{Lo: math.NaN(), Hi: math.NaN()}
+	}
+}
+
+// aggItems converts the stored items into the serial fold's form, in the
+// stored (ordinal-ascending) order.
+func (p *Partial) aggItems() []aggItem {
+	items := make([]aggItem, len(p.Items))
+	for i, it := range p.Items {
+		items[i] = aggItem{val: Bounded{Lo: it.Lo, Hi: it.Hi}, sure: it.Sure}
+	}
+	return items
+}
+
+// GroupPartial is the mergeable state of one group of a distributed
+// group-by: the group's collision-free key encoding, its key attribute
+// values, the smallest global ordinal among its tuples (which orders groups
+// exactly as the serial operator's first-seen order does), and one Partial
+// per aggregate column, in spec order.
+type GroupPartial struct {
+	Key  string
+	Vals []Value
+	Ord  int64
+	Aggs []*Partial
+}
+
+// GroupPartialsOf partitions a shard's surviving tuples into per-group
+// partial aggregates. tuples must be in stream order and ords must carry
+// their ascending global ordinals (len(ords) == len(tuples)). Groups are
+// returned in first-seen order.
+func GroupPartialsOf(tuples []*Tuple, ords []int64, spec GroupBySpec) ([]*GroupPartial, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("query: group-by: %w", err)
+	}
+	if len(ords) != len(tuples) {
+		return nil, fmt.Errorf("query: group-by: %d ordinals for %d tuples", len(ords), len(tuples))
+	}
+	groups := map[string]*GroupPartial{}
+	var out []*GroupPartial
+	for i, t := range tuples {
+		key, keyVals, err := groupKey(t, spec.Keys)
+		if err != nil {
+			return nil, fmt.Errorf("query: group-by: %w", err)
+		}
+		gp, ok := groups[key]
+		if !ok {
+			gp = &GroupPartial{Key: key, Vals: keyVals, Ord: ords[i]}
+			for _, a := range spec.Aggs {
+				gp.Aggs = append(gp.Aggs, NewPartial(a.Kind))
+			}
+			groups[key] = gp
+			out = append(out, gp)
+		}
+		for j, a := range spec.Aggs {
+			it, err := PartialItemOf(t, a, ords[i])
+			if err != nil {
+				return nil, fmt.Errorf("query: group-by: group %s: %w", key, err)
+			}
+			gp.Aggs[j].Observe(it)
+		}
+	}
+	return out, nil
+}
+
+// MergeGroupPartials merges per-shard group lists into one list ordered by
+// first-seen global ordinal — the order the serial GroupBy over the union
+// relation emits. The inputs are not mutated.
+func MergeGroupPartials(lists ...[]*GroupPartial) ([]*GroupPartial, error) {
+	groups := map[string]*GroupPartial{}
+	var out []*GroupPartial
+	for _, list := range lists {
+		for _, gp := range list {
+			have, ok := groups[gp.Key]
+			if !ok {
+				cp := &GroupPartial{Key: gp.Key, Vals: gp.Vals, Ord: gp.Ord}
+				for _, a := range gp.Aggs {
+					na := NewPartial(a.Kind)
+					if err := na.Merge(a); err != nil {
+						return nil, err
+					}
+					cp.Aggs = append(cp.Aggs, na)
+				}
+				groups[gp.Key] = cp
+				out = append(out, cp)
+				continue
+			}
+			if len(gp.Aggs) != len(have.Aggs) {
+				return nil, fmt.Errorf("query: group %s: %d aggregates vs %d", gp.Key, len(gp.Aggs), len(have.Aggs))
+			}
+			if gp.Ord < have.Ord {
+				have.Ord = gp.Ord
+				have.Vals = gp.Vals
+			}
+			for j, a := range gp.Aggs {
+				if err := have.Aggs[j].Merge(a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	return out, nil
+}
+
+// FinishGroupPartials materializes merged groups into the same answer
+// tuples the serial GroupBy emits: key attributes first, then one Bounded
+// attribute per aggregate.
+func FinishGroupPartials(spec GroupBySpec, groups []*GroupPartial) ([]*Tuple, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("query: group-by: %w", err)
+	}
+	out := make([]*Tuple, 0, len(groups))
+	for _, gp := range groups {
+		if len(gp.Aggs) != len(spec.Aggs) {
+			return nil, fmt.Errorf("query: group %s: %d aggregates, spec wants %d", gp.Key, len(gp.Aggs), len(spec.Aggs))
+		}
+		names := make([]string, 0, len(spec.Keys)+len(spec.Aggs))
+		vals := make([]Value, 0, len(spec.Keys)+len(spec.Aggs))
+		names = append(names, spec.Keys...)
+		vals = append(vals, gp.Vals...)
+		for j, a := range spec.Aggs {
+			names = append(names, a.name())
+			vals = append(vals, BoundedVal(gp.Aggs[j].Bound()))
+		}
+		t, err := NewTuple(names, vals)
+		if err != nil {
+			return nil, fmt.Errorf("query: group %s: %w", gp.Key, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// WindowPartials materializes the sliding-window answer tuples from
+// per-tuple items. items[a] holds every surviving tuple's contribution to
+// spec.Aggs[a], each list in ascending global-ordinal order and all lists
+// the same length n; windows are positional over those n survivors exactly
+// as the serial Window operator slides over its post-filter stream.
+func WindowPartials(spec WindowSpec, items [][]PartialItem) ([]*Tuple, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("query: window: %w", err)
+	}
+	if len(items) != len(spec.Aggs) {
+		return nil, fmt.Errorf("query: window: %d item lists for %d aggregates", len(items), len(spec.Aggs))
+	}
+	n := -1
+	for a := range items {
+		if n >= 0 && len(items[a]) != n {
+			return nil, fmt.Errorf("query: window: item lists disagree on length (%d vs %d)", len(items[a]), n)
+		}
+		n = len(items[a])
+	}
+	step := spec.step()
+	var out []*Tuple
+	for start := 0; start+spec.Size <= n; start += step {
+		names := make([]string, 0, len(spec.Aggs)+2)
+		vals := make([]Value, 0, len(spec.Aggs)+2)
+		names = append(names, "win_start", "win_end")
+		vals = append(vals, Int(int64(start)), Int(int64(start+spec.Size)))
+		for a, agg := range spec.Aggs {
+			p := NewPartial(agg.Kind)
+			for _, it := range items[a][start : start+spec.Size] {
+				p.Observe(it)
+			}
+			names = append(names, agg.name())
+			vals = append(vals, BoundedVal(p.Bound()))
+		}
+		t, err := NewTuple(names, vals)
+		if err != nil {
+			return nil, fmt.Errorf("query: window [%d, %d): %w", start, start+spec.Size, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,316 @@
+package query
+
+// Property tests for the distributed merge algebra: random relations are
+// split into random shard partitions, merged back through the Partial /
+// GroupPartial / RankKey machinery, and the result must be bit-identical
+// (math.Float64bits on every bound) to the serial operators over the union
+// relation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randItems builds a random item list with ordinals 0..n-1: small-integer
+// interval endpoints (so collisions and ties are common) and a mix of sure
+// and maybe tuples.
+func randPartialItems(rng *rand.Rand, n int) []PartialItem {
+	items := make([]PartialItem, n)
+	for i := range items {
+		lo := float64(rng.Intn(9) - 4)
+		hi := lo + float64(rng.Intn(3))
+		items[i] = PartialItem{Ord: int64(i), Lo: lo, Hi: hi, Sure: rng.Intn(3) > 0}
+	}
+	return items
+}
+
+// partition deals the items into m shards at random, preserving relative
+// (ordinal) order within each shard.
+func partition(rng *rand.Rand, items []PartialItem, m int) [][]PartialItem {
+	shards := make([][]PartialItem, m)
+	for _, it := range items {
+		s := rng.Intn(m)
+		shards[s] = append(shards[s], it)
+	}
+	return shards
+}
+
+// serialBound folds the items through the serial operators' aggBounds.
+func serialBound(kind AggKind, items []PartialItem) Bounded {
+	ais := make([]aggItem, len(items))
+	for i, it := range items {
+		ais[i] = aggItem{val: Bounded{Lo: it.Lo, Hi: it.Hi}, sure: it.Sure}
+	}
+	return aggBounds(kind, ais)
+}
+
+// sameBits compares bounds bit-for-bit (NaN == NaN, -0 ≠ +0).
+func sameBits(a, b Bounded) bool {
+	return math.Float64bits(a.Lo) == math.Float64bits(b.Lo) &&
+		math.Float64bits(a.Hi) == math.Float64bits(b.Hi) &&
+		a.Certain == b.Certain
+}
+
+// TestPartialMergeBitIdentity: for every aggregate kind, merging per-shard
+// partials (in a random merge order) yields bounds bit-identical to the
+// serial fold over the union relation.
+func TestPartialMergeBitIdentity(t *testing.T) {
+	kinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		items := randPartialItems(rng, n)
+		shards := partition(rng, items, m)
+		for _, kind := range kinds {
+			want := serialBound(kind, items)
+
+			parts := make([]*Partial, m)
+			for s, shard := range shards {
+				parts[s] = NewPartial(kind)
+				for _, it := range shard {
+					parts[s].Observe(it)
+				}
+			}
+			rng.Shuffle(m, func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+			merged := NewPartial(kind)
+			for _, p := range parts {
+				if err := merged.Merge(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := merged.Bound(); !sameBits(got, want) {
+				t.Fatalf("trial %d kind %s: merged %+v, serial %+v (items %+v)", trial, kind, got, want, items)
+			}
+		}
+	}
+}
+
+func TestPartialMergeKindMismatch(t *testing.T) {
+	if err := NewPartial(AggSum).Merge(NewPartial(AggMin)); err == nil {
+		t.Fatal("merging mismatched kinds should fail")
+	}
+}
+
+// TestMergeRankKeysMatchesOperator: the exported keys-only core must agree
+// with the TopK operator, member for member and rank for rank.
+func TestMergeRankKeysMatchesOperator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(n)
+		desc := rng.Intn(2) == 0
+		spec := RankSpec{By: "y", K: k, Desc: desc}
+		tuples := make([]*Tuple, n)
+		keys := make([]RankKey, n)
+		for i := range tuples {
+			a := float64(rng.Intn(7) - 3)
+			b := a + float64(rng.Intn(3))
+			v := envResult(a, b)
+			if rng.Intn(3) == 0 {
+				v = maybeResult(a, b)
+			}
+			tuples[i] = MustTuple([]string{"id", "y"}, []Value{Int(int64(i)), v})
+			var err error
+			keys[i], err = RankKeyOf(tuples[i], spec, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := Drain(NewTopK(NewScan(tuples), spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := MergeRankKeys(keys, k)
+		if len(members) != len(out) {
+			t.Fatalf("trial %d: %d members vs %d operator tuples", trial, len(members), len(out))
+		}
+		for i, m := range members {
+			if got, want := out[i].MustGet("id").I, tuples[m.Idx].MustGet("id").I; got != want {
+				t.Fatalf("trial %d member %d: tuple %d vs %d", trial, i, got, want)
+			}
+			if got := out[i].MustGet("rank").B; !sameBits(got, m.Rank) {
+				t.Fatalf("trial %d member %d: rank %+v vs %+v", trial, i, got, m.Rank)
+			}
+		}
+	}
+}
+
+// TestCertAbovePruningSound: a tuple whose shard-local certAbove count
+// already reaches k is never a possible member of the global top k — the
+// soundness condition that lets shards prune result payloads before the
+// scatter-gather merge.
+func TestCertAbovePruningSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(n)
+		keys := make([]RankKey, n)
+		for i := range keys {
+			lo := float64(rng.Intn(7) - 3)
+			keys[i] = RankKey{Ord: int64(i), Lo: lo, Hi: lo + float64(rng.Intn(3)), Sure: rng.Intn(3) > 0}
+		}
+		shards := make([][]RankKey, m)
+		for _, key := range keys {
+			s := rng.Intn(m)
+			shards[s] = append(shards[s], key)
+		}
+		pruned := map[int64]bool{}
+		for _, shard := range shards {
+			for i, c := range CertAbove(shard) {
+				if c >= k {
+					pruned[shard[i].Ord] = true
+				}
+			}
+		}
+		for _, mem := range MergeRankKeys(keys, k) {
+			if pruned[keys[mem.Idx].Ord] {
+				t.Fatalf("trial %d: locally pruned tuple %d is a global possible member (k=%d, keys %+v)",
+					trial, keys[mem.Idx].Ord, k, keys)
+			}
+		}
+	}
+}
+
+// randRelation builds a random relation of group-labelled tuples with
+// envelope-bounded result values, plus the matching ordinals 0..n-1.
+func randRelation(rng *rand.Rand, n int) ([]*Tuple, []int64) {
+	tuples := make([]*Tuple, n)
+	ords := make([]int64, n)
+	for i := range tuples {
+		lo := float64(rng.Intn(9) - 4)
+		hi := lo + float64(rng.Intn(3))
+		v := envResult(lo, hi)
+		if rng.Intn(3) == 0 {
+			v = maybeResult(lo, hi)
+		}
+		g := "g" + string(rune('0'+rng.Intn(3)))
+		tuples[i] = MustTuple([]string{"id", "g", "y"}, []Value{Int(int64(i)), Str(g), v})
+		ords[i] = int64(i)
+	}
+	return tuples, ords
+}
+
+// TestGroupPartialMergeBitIdentity: random shard partitions of a grouped
+// relation merge to exactly the serial GroupBy answer — same group order,
+// same key values, bit-identical bounds.
+func TestGroupPartialMergeBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	spec := GroupBySpec{Keys: []string{"g"}, Aggs: []Agg{
+		Count(), Sum("y"), Avg("y"), Min("y"), Max("y"),
+	}}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(14)
+		m := 1 + rng.Intn(4)
+		tuples, ords := randRelation(rng, n)
+
+		want, err := Drain(NewGroupBy(NewScan(tuples), spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		lists := make([][]*GroupPartial, m)
+		for s := 0; s < m; s++ {
+			var st []*Tuple
+			var so []int64
+			for i := range tuples {
+				if i%m == s {
+					st = append(st, tuples[i])
+					so = append(so, ords[i])
+				}
+			}
+			lists[s], err = GroupPartialsOf(st, so, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged, err := MergeGroupPartials(lists...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FinishGroupPartials(spec, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameTuples(t, trial, got, want)
+	}
+}
+
+// TestWindowPartialsBitIdentity: window answers rebuilt from per-tuple
+// items match the serial Window operator for random sizes and steps,
+// including step > size gaps and incomplete trailing windows.
+func TestWindowPartialsBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(16)
+		size := 1 + rng.Intn(5)
+		step := rng.Intn(7) // 0 → tumbling
+		spec := WindowSpec{Size: size, Step: step, Aggs: []Agg{
+			Count(), Sum("y"), Avg("y"), Min("y"), Max("y"),
+		}}
+		tuples, ords := randRelation(rng, n)
+
+		want, err := Drain(NewWindow(NewScan(tuples), spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		items := make([][]PartialItem, len(spec.Aggs))
+		for a, agg := range spec.Aggs {
+			items[a] = make([]PartialItem, n)
+			for i, tp := range tuples {
+				items[a][i], err = PartialItemOf(tp, agg, ords[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := WindowPartials(spec, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameTuples(t, trial, got, want)
+	}
+}
+
+// assertSameTuples compares two answer relations attribute by attribute,
+// bit-for-bit on float payloads.
+func assertSameTuples(t *testing.T, trial int, got, want []*Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d: %d tuples vs %d", trial, len(got), len(want))
+	}
+	for i := range got {
+		gn, wn := got[i].Names(), want[i].Names()
+		if len(gn) != len(wn) {
+			t.Fatalf("trial %d tuple %d: names %v vs %v", trial, i, gn, wn)
+		}
+		for j := range gn {
+			if gn[j] != wn[j] {
+				t.Fatalf("trial %d tuple %d: names %v vs %v", trial, i, gn, wn)
+			}
+			g, w := got[i].MustGet(gn[j]), want[i].MustGet(wn[j])
+			if g.Kind != w.Kind {
+				t.Fatalf("trial %d tuple %d %q: kind %s vs %s", trial, i, gn[j], g.Kind, w.Kind)
+			}
+			switch g.Kind {
+			case KindInt:
+				if g.I != w.I {
+					t.Fatalf("trial %d tuple %d %q: %d vs %d", trial, i, gn[j], g.I, w.I)
+				}
+			case KindString:
+				if g.S != w.S {
+					t.Fatalf("trial %d tuple %d %q: %q vs %q", trial, i, gn[j], g.S, w.S)
+				}
+			case KindBounded:
+				if !sameBits(g.B, w.B) {
+					t.Fatalf("trial %d tuple %d %q: %+v vs %+v", trial, i, gn[j], g.B, w.B)
+				}
+			default:
+				t.Fatalf("trial %d tuple %d %q: unexpected kind %s", trial, i, gn[j], g.Kind)
+			}
+		}
+	}
+}

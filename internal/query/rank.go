@@ -21,7 +21,8 @@ type RankSpec struct {
 	As string
 }
 
-func (s RankSpec) rankAttr() string {
+// RankAttr resolves the name of the appended bounded-rank attribute.
+func (s RankSpec) RankAttr() string {
 	if s.As == "" {
 		return "rank"
 	}
@@ -63,15 +64,39 @@ func NewTopK(in Iterator, spec RankSpec) *TopK {
 	return &TopK{In: in, Spec: spec}
 }
 
-// rankKey is one tuple's interval rank key, oriented so that LARGER is
-// better (ascending specs are negated on entry). Rival j beats tuple i in
-// every world iff lo_j > hi_i (or lo_j == hi_i with the smaller ordinal),
-// and in some world iff hi_j > lo_i (or hi_j == lo_i with the smaller
-// ordinal); rankedMembers counts both via sorted projections.
-type rankKey struct {
-	lo, hi float64
-	ord    int64
-	sure   bool
+// RankKey is one tuple's interval rank key, oriented so that LARGER is
+// better (RankKeyOf negates ascending specs on entry). Rival j beats tuple
+// i in every world iff Lo_j > Hi_i (or Lo_j == Hi_i with the smaller
+// ordinal), and in some world iff Hi_j > Lo_i (or Hi_j == Lo_i with the
+// smaller ordinal); MergeRankKeys counts both via sorted projections. Ord
+// is the tuple's global stream ordinal, which breaks every tie — keys from
+// different shards of one relation merge exactly because their ordinals
+// interleave as the union stream would.
+type RankKey struct {
+	Ord    int64
+	Lo, Hi float64
+	Sure   bool
+}
+
+// RankKeyOf extracts one tuple's oriented rank key under spec, stamped with
+// the tuple's global ordinal. NaN rank keys are rejected.
+func RankKeyOf(t *Tuple, spec RankSpec, ord int64) (RankKey, error) {
+	v, err := t.Get(spec.By)
+	if err != nil {
+		return RankKey{}, err
+	}
+	b, err := IntervalOf(v, spec.Stat)
+	if err != nil {
+		return RankKey{}, fmt.Errorf("attribute %q: %w", spec.By, err)
+	}
+	k := RankKey{Ord: ord, Lo: b.Lo, Hi: b.Hi, Sure: existenceCertain(v)}
+	if !spec.Desc {
+		k.Lo, k.Hi = -b.Hi, -b.Lo
+	}
+	if math.IsNaN(k.Lo) || math.IsNaN(k.Hi) {
+		return RankKey{}, fmt.Errorf("attribute %q: NaN rank key", spec.By)
+	}
+	return k, nil
 }
 
 // Next returns the next possible member.
@@ -96,7 +121,7 @@ func (t *TopK) Next() (*Tuple, error) {
 // build drains the input and materializes the possible answer set.
 func (t *TopK) build() error {
 	var tuples []*Tuple
-	var keys []rankKey
+	var keys []RankKey
 	for {
 		tp, err := t.In.Next()
 		if err == io.EOF {
@@ -105,93 +130,115 @@ func (t *TopK) build() error {
 		if err != nil {
 			return t.state.upstream(err)
 		}
-		v, err := tp.Get(t.Spec.By)
+		k, err := RankKeyOf(tp, t.Spec, t.state.seq)
 		if err != nil {
 			return t.state.fail("top-k", err)
-		}
-		b, err := IntervalOf(v, t.Spec.Stat)
-		if err != nil {
-			return t.state.fail("top-k", fmt.Errorf("attribute %q: %w", t.Spec.By, err))
-		}
-		k := rankKey{lo: b.Lo, hi: b.Hi, ord: t.state.seq, sure: existenceCertain(v)}
-		if !t.Spec.Desc {
-			k.lo, k.hi = -b.Hi, -b.Lo
-		}
-		if math.IsNaN(k.lo) || math.IsNaN(k.hi) {
-			return t.state.fail("top-k", fmt.Errorf("attribute %q: NaN rank key", t.Spec.By))
 		}
 		tuples = append(tuples, tp)
 		keys = append(keys, k)
 		t.state.seq++
 	}
-	t.out = rankedMembers(tuples, keys, t.Spec.K, t.Spec.rankAttr())
+	t.out = rankedMembers(tuples, keys, t.Spec.K, t.Spec.RankAttr())
 	return nil
 }
 
-// rankedMembers computes per-tuple rank bounds by counting dominating
-// rivals against two sorted key projections (O(n log n)), then keeps and
-// orders the possible members.
-func rankedMembers(tuples []*Tuple, keys []rankKey, k int, rankAttr string) []*Tuple {
-	n := len(tuples)
+// RankedMember is one possible member of the merged answer set: Idx indexes
+// the key (and its tuple) in the caller's slice, Rank is the bounded rank
+// attribute — [certAbove+1, possAbove+1] with Certain recording certain
+// membership.
+type RankedMember struct {
+	Idx  int
+	Rank Bounded
+}
+
+// MergeRankKeys computes the possible top-k answer set over the keys — the
+// keys-only core of the TopK operator, shared with the fleet router's
+// cross-shard merge. A tuple possibly belongs iff fewer than k rivals beat
+// it in every world, and certainly belongs iff it certainly exists and
+// fewer than k rivals can possibly beat it. k ≤ 0 (or k > n) ranks
+// everything. Members are returned in output order: ascending best rank,
+// then ordinal.
+func MergeRankKeys(keys []RankKey, k int) []RankedMember {
+	sureLos, allHis := lexProjections(keys)
+	n := len(keys)
 	if k <= 0 || k > n {
 		k = n
 	}
-	// Lexicographic projections (value, then smaller ordinal wins ties):
-	// sureLos for certAbove — only certainly existing rivals beat a tuple
-	// in EVERY world; allHis for possAbove — any rival may beat it in SOME
-	// world where it exists.
-	var sureLos, allHis []lexKey
-	for _, key := range keys {
-		if key.sure {
-			sureLos = append(sureLos, lexKey{v: key.lo, ord: key.ord})
-		}
-		allHis = append(allHis, lexKey{v: key.hi, ord: key.ord})
-	}
-	sort.Sort(lexKeys(sureLos))
-	sort.Sort(lexKeys(allHis))
-
-	type member struct {
-		tuple   *Tuple
-		best    int // certAbove + 1
-		worst   int // possAbove + 1
-		ord     int64
-		certMem bool
-	}
-	var members []member
+	var members []RankedMember
 	for i, key := range keys {
-		// certAbove: sure rivals j with (lo_j, ord_j) lexicographically
-		// beating (hi_i, ord_i). Self never qualifies (lo ≤ hi, same ord).
-		certAbove := countBeating(sureLos, lexKey{v: key.hi, ord: key.ord})
-		// possAbove: rivals j with (hi_j, ord_j) beating (lo_i, ord_i);
-		// a nondegenerate self-interval counts itself — remove it.
-		possAbove := countBeating(allHis, lexKey{v: key.lo, ord: key.ord})
-		if key.hi > key.lo {
-			possAbove--
-		}
+		certAbove, possAbove := rivalCounts(sureLos, allHis, key)
 		if certAbove >= k {
 			continue // certainly outside the top k in every world
 		}
-		members = append(members, member{
-			tuple:   tuples[i],
-			best:    certAbove + 1,
-			worst:   possAbove + 1,
-			ord:     key.ord,
-			certMem: key.sure && possAbove < k,
+		members = append(members, RankedMember{
+			Idx: i,
+			Rank: Bounded{
+				Lo:      float64(certAbove + 1),
+				Hi:      float64(possAbove + 1),
+				Certain: key.Sure && possAbove < k,
+			},
 		})
 	}
 	sort.Slice(members, func(a, b int) bool {
-		if members[a].best != members[b].best {
-			return members[a].best < members[b].best
+		ra, rb := members[a].Rank.Lo, members[b].Rank.Lo
+		if ra != rb {
+			return ra < rb
 		}
-		return members[a].ord < members[b].ord
+		return keys[members[a].Idx].Ord < keys[members[b].Idx].Ord
 	})
+	return members
+}
+
+// CertAbove returns, per key, how many rivals beat it in every possible
+// world. Shards use it to prune: a tuple whose local count already reaches
+// k is certainly outside the global top k, because rivals only accumulate
+// across shards.
+func CertAbove(keys []RankKey) []int {
+	sureLos, _ := lexProjections(keys)
+	out := make([]int, len(keys))
+	for i, key := range keys {
+		out[i] = countBeating(sureLos, lexKey{v: key.Hi, ord: key.Ord})
+	}
+	return out
+}
+
+// lexProjections builds the two sorted key projections rival counting works
+// against. Lexicographic order (value, then smaller ordinal wins ties):
+// sureLos for certAbove — only certainly existing rivals beat a tuple in
+// EVERY world; allHis for possAbove — any rival may beat it in SOME world
+// where it exists.
+func lexProjections(keys []RankKey) (sureLos, allHis []lexKey) {
+	for _, key := range keys {
+		if key.Sure {
+			sureLos = append(sureLos, lexKey{v: key.Lo, ord: key.Ord})
+		}
+		allHis = append(allHis, lexKey{v: key.Hi, ord: key.Ord})
+	}
+	sort.Sort(lexKeys(sureLos))
+	sort.Sort(lexKeys(allHis))
+	return sureLos, allHis
+}
+
+// rivalCounts computes one key's dominating-rival counts (O(log n)).
+func rivalCounts(sureLos, allHis []lexKey, key RankKey) (certAbove, possAbove int) {
+	// certAbove: sure rivals j with (Lo_j, Ord_j) lexicographically beating
+	// (Hi_i, Ord_i). Self never qualifies (Lo ≤ Hi, same ord).
+	certAbove = countBeating(sureLos, lexKey{v: key.Hi, ord: key.Ord})
+	// possAbove: rivals j with (Hi_j, Ord_j) beating (Lo_i, Ord_i); a
+	// nondegenerate self-interval counts itself — remove it.
+	possAbove = countBeating(allHis, lexKey{v: key.Lo, ord: key.Ord})
+	if key.Hi > key.Lo {
+		possAbove--
+	}
+	return certAbove, possAbove
+}
+
+// rankedMembers keeps and orders the possible members as answer tuples.
+func rankedMembers(tuples []*Tuple, keys []RankKey, k int, rankAttr string) []*Tuple {
+	members := MergeRankKeys(keys, k)
 	out := make([]*Tuple, len(members))
 	for i, m := range members {
-		out[i] = m.tuple.With(rankAttr, BoundedVal(Bounded{
-			Lo:      float64(m.best),
-			Hi:      float64(m.worst),
-			Certain: m.certMem,
-		}))
+		out[i] = tuples[m.Idx].With(rankAttr, BoundedVal(m.Rank))
 	}
 	return out
 }

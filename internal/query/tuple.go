@@ -2,6 +2,14 @@
 // attributes may be probability distributions, and Volcano-style operators
 // (scan, select, project, cross join, UDF application with TEP filtering)
 // sufficient to express the paper's motivating queries Q1 and Q2 (§1).
+//
+// On top of the Volcano set sit the bounded operators — TopK/OrderBy,
+// Window, GroupBy — whose answers are [certain, possible] intervals
+// (Bounded) derived from each tuple's confidence envelope, and the fluent
+// Plan builder that chains all of them. Every bounded operator also has a
+// mergeable half (Partial, GroupPartial, WindowPartials, MergeRankKeys)
+// used by the fleet router to scatter a plan across shards and merge the
+// per-shard states bit-identically to serial execution; see partial.go.
 package query
 
 import (

@@ -1,16 +1,21 @@
 package server
 
-// This file is the bounded-query endpoint: POST /v1/query runs a whole
+// This file is the bounded-query endpoint pair. POST /v1/query runs a whole
 // uncertain-algebra plan — UDF application with optional §5.5 TEP filter,
 // then optional window / group-by / top-k stages with [certain, possible]
-// answers — against one registered UDF's frozen clones. Responses are a
+// answers — against one registered UDF's frozen clones. POST
+// /v1/query/partials runs the per-shard sub-plan of a distributed query:
+// the same evaluation, but seeded by each tuple's global ordinal in the
+// union relation and returning mergeable partial bounded state instead of
+// finished answers, so a fleet router can gather shards into one answer
+// bit-identical to the single-shard plan over the union. Responses are a
 // deterministic function of (model state, request): per-tuple seeding plus
 // the deterministic bounded operators make the bytes replayable across
 // snapshot→restart, exactly like ?learn=false streams.
 
 import (
-	"fmt"
 	"net/http"
+	"strconv"
 
 	"olgapro/internal/core"
 	"olgapro/internal/exec"
@@ -20,51 +25,11 @@ import (
 )
 
 // maxQueryRows caps one /v1/query relation; larger queries should stream.
-const maxQueryRows = 4096
-
-// queryRow is one input tuple of the request relation: the UDF input spec
-// plus an optional group label (exposed as certain attribute "g").
-type queryRow struct {
-	Input wire.InputSpec `json:"input"`
-	Group string         `json:"group,omitempty"`
-}
-
-// queryRequest is the wire form of one bounded query.
-type queryRequest struct {
-	UDF       string              `json:"udf"`
-	Rows      []queryRow          `json:"rows"`
-	Seed      int64               `json:"seed"`
-	Predicate *wire.PredicateSpec `json:"predicate,omitempty"`
-	Window    *wire.WindowSpec    `json:"window,omitempty"`
-	GroupBy   *wire.GroupBySpec   `json:"group_by,omitempty"`
-	TopK      *wire.TopKSpec      `json:"topk,omitempty"`
-}
-
-// queryValue is the deterministic wire form of one output attribute.
-// Exactly one payload field is set, matching Kind.
-type queryValue struct {
-	Name    string            `json:"name"`
-	Kind    string            `json:"kind"`
-	Int     *int64            `json:"int,omitempty"`
-	Float   *float64          `json:"float,omitempty"`
-	Str     *string           `json:"str,omitempty"`
-	Dist    *wire.DistSpec    `json:"dist,omitempty"`
-	Bounded *wire.BoundedJSON `json:"bounded,omitempty"`
-	Result  *EvalResult       `json:"result,omitempty"`
-	TEP     *float64          `json:"tep,omitempty"`
-}
-
-// queryResponse is the wire form of the answer relation. Field order is
-// fixed by the struct, so equal results marshal to equal bytes.
-type queryResponse struct {
-	UDF     string         `json:"udf"`
-	Rows    [][]queryValue `json:"rows"`
-	Dropped int            `json:"dropped"`
-}
+const maxQueryRows = wire.MaxQueryRows
 
 // handleQuery runs one bounded query on frozen clones.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
+	var req wire.QueryRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad query request: %v", err)
 		return
@@ -83,9 +48,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			len(req.Rows), maxQueryRows)
 		return
 	}
+	if min, ok := req.RequireSeq[req.UDF]; ok && e.Seq() < min {
+		s.fail(w, http.StatusConflict, wire.CodeModelCold, "UDF %q at model seq %d, request requires %d (replica catching up)",
+			req.UDF, e.Seq(), min)
+		return
+	}
 	dim := e.def.entry.Dim
 	tuples := make([]*query.Tuple, len(req.Rows))
 	for i, row := range req.Rows {
+		if row.UDF != "" && row.UDF != req.UDF {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d targets UDF %q but this shard query serves %q (send multi-UDF relations to a fleet router)",
+				i, row.UDF, req.UDF)
+			return
+		}
 		if len(row.Input) != dim {
 			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d has %d attributes, UDF %q wants %d",
 				i, len(row.Input), e.spec.Name, dim)
@@ -161,7 +136,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	e.served.Add(int64(len(req.Rows)))
 
-	resp := queryResponse{UDF: req.UDF, Dropped: pe.Dropped, Rows: make([][]queryValue, len(out))}
+	resp := wire.QueryResponse{UDF: req.UDF, Dropped: pe.Dropped, Rows: make([][]wire.QueryValue, len(out))}
 	for i, t := range out {
 		row, err := encodeQueryTuple(t, e.cfg.Eps)
 		if err != nil {
@@ -173,38 +148,208 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleQueryPartials runs the per-shard half of a distributed query and
+// returns mergeable partial bounded state (see wire.QueryPartials). The
+// response is stamped with the model sequence it was computed at, in the
+// body and the Olgapro-Model-Seq header.
+func (s *Server) handleQueryPartials(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryPartialsRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "bad partials request: %v", err)
+		return
+	}
+	e, ok := s.reg.Get(req.UDF)
+	if !ok {
+		s.fail(w, http.StatusNotFound, wire.CodeNotFound, "no UDF %q registered", req.UDF)
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "partials request needs at least one row")
+		return
+	}
+	if len(req.Rows) > maxQueryRows {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "partials request has %d rows, cap is %d", len(req.Rows), maxQueryRows)
+		return
+	}
+	stages := 0
+	for _, set := range []bool{req.Window != nil, req.GroupBy != nil, req.TopK != nil} {
+		if set {
+			stages++
+		}
+	}
+	if stages > 1 {
+		s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "partials request carries %d stages, want at most one (the router runs later stages on the merged state)", stages)
+		return
+	}
+	seq := e.Seq()
+	if seq < req.MinSeq {
+		s.fail(w, http.StatusConflict, wire.CodeModelCold, "UDF %q at model seq %d, request requires %d (replica catching up)",
+			req.UDF, seq, req.MinSeq)
+		return
+	}
+	dim := e.def.entry.Dim
+	tuples := make([]*query.Tuple, len(req.Rows))
+	for i, row := range req.Rows {
+		if i > 0 && row.Ord <= req.Rows[i-1].Ord {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d: ordinal %d not above predecessor %d", i, row.Ord, req.Rows[i-1].Ord)
+			return
+		}
+		if len(row.Input) != dim {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d has %d attributes, UDF %q wants %d",
+				i, len(row.Input), e.spec.Name, dim)
+			return
+		}
+		t, err := row.Input.Tuple(row.Ord)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "row %d: %v", i, err)
+			return
+		}
+		tuples[i] = t.With("g", query.Str(row.Group))
+	}
+
+	if !s.tryAdmit() {
+		s.fail(w, http.StatusTooManyRequests, wire.CodeOverCapacity, "at capacity (%d tuples in flight)", cap(s.inflight))
+		return
+	}
+	defer s.release()
+
+	var pred *mc.Predicate
+	if req.Predicate != nil {
+		p, err := req.Predicate.Predicate()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		pred = p
+	}
+
+	pool, release, err := e.frozenPool(r.Context(), s.cfg.Workers)
+	if err != nil {
+		s.failErr(w, err, "%v", err)
+		return
+	}
+	defer release()
+
+	// Each tuple's RNG stream comes from its global ordinal, so this shard
+	// evaluates its subset exactly as a single shard holding the whole union
+	// relation would.
+	ords := make([]int64, len(req.Rows))
+	for i, row := range req.Rows {
+		ords[i] = row.Ord
+	}
+	opts := exec.Options{Ctx: r.Context(), Seed: req.Seed, Ords: ords, Predicate: pred, KeepEnvelope: true}
+	pe := pool.Apply(query.NewScan(tuples), wire.AttrNames(dim), "y", opts)
+	defer pe.Close()
+	survivors, err := query.Drain(pe)
+	if err != nil {
+		s.failErr(w, err, "%v", err)
+		return
+	}
+	e.served.Add(int64(len(req.Rows)))
+
+	resp := wire.QueryPartials{UDF: req.UDF, ModelSeq: seq, Dropped: pe.Dropped}
+	survOrds := make([]int64, len(survivors))
+	for i, t := range survivors {
+		survOrds[i] = t.MustGet("id").I
+	}
+	switch {
+	case req.Window != nil:
+		spec, err := req.Window.Spec()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		for i, t := range survivors {
+			pr := wire.PartialRow{Ord: survOrds[i]}
+			for _, agg := range spec.Aggs {
+				it, err := query.PartialItemOf(t, agg, survOrds[i])
+				if err != nil {
+					s.failErr(w, err, "window item for tuple %d: %v", survOrds[i], err)
+					return
+				}
+				pr.Items = append(pr.Items, wire.ItemOf(it))
+			}
+			resp.Rows = append(resp.Rows, pr)
+		}
+	case req.GroupBy != nil:
+		spec, err := req.GroupBy.Spec()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		groups, err := query.GroupPartialsOf(survivors, survOrds, spec)
+		if err != nil {
+			s.failErr(w, err, "%v", err)
+			return
+		}
+		for _, gp := range groups {
+			g, err := wire.GroupPartialOf(gp)
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, wire.CodeInternal, "%v", err)
+				return
+			}
+			resp.Groups = append(resp.Groups, g)
+		}
+	case req.TopK != nil:
+		spec, err := req.TopK.Spec()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, wire.CodeBadSpec, "%v", err)
+			return
+		}
+		keys := make([]query.RankKey, len(survivors))
+		for i, t := range survivors {
+			keys[i], err = query.RankKeyOf(t, spec, survOrds[i])
+			if err != nil {
+				s.failErr(w, err, "rank key for tuple %d: %v", survOrds[i], err)
+				return
+			}
+		}
+		// Prune answer payloads the merge cannot use: a tuple already beaten
+		// by k certainly-existing local rivals is certainly outside the
+		// global top k too (rivals only accumulate across shards), so only
+		// its rank key travels.
+		certAbove := query.CertAbove(keys)
+		for i, t := range survivors {
+			rk := wire.RankKeyOf(keys[i])
+			pr := wire.PartialRow{Ord: survOrds[i], Rank: &rk}
+			if spec.K <= 0 || certAbove[i] < spec.K {
+				row, err := encodeQueryTuple(t, e.cfg.Eps)
+				if err != nil {
+					s.fail(w, http.StatusInternalServerError, wire.CodeInternal, "encode tuple %d: %v", survOrds[i], err)
+					return
+				}
+				pr.Row = row
+			}
+			resp.Rows = append(resp.Rows, pr)
+		}
+	default:
+		for i, t := range survivors {
+			row, err := encodeQueryTuple(t, e.cfg.Eps)
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, wire.CodeInternal, "encode tuple %d: %v", survOrds[i], err)
+				return
+			}
+			resp.Rows = append(resp.Rows, wire.PartialRow{Ord: survOrds[i], Row: row})
+		}
+	}
+	w.Header().Set(wire.HeaderModelSeq, strconv.FormatInt(seq, 10))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // encodeQueryTuple flattens one answer tuple into ordered wire values.
-func encodeQueryTuple(t *query.Tuple, eps float64) ([]queryValue, error) {
-	row := make([]queryValue, 0, t.Len())
+func encodeQueryTuple(t *query.Tuple, eps float64) ([]wire.QueryValue, error) {
+	row := make([]wire.QueryValue, 0, t.Len())
 	for _, name := range t.Names() {
 		v := t.MustGet(name)
-		qv := queryValue{Name: name, Kind: v.Kind.String()}
-		switch v.Kind {
-		case query.KindInt:
-			i := v.I
-			qv.Int = &i
-		case query.KindFloat:
-			f := v.F
-			qv.Float = &f
-		case query.KindString:
-			s := v.S
-			qv.Str = &s
-		case query.KindUncertain:
-			spec, err := wire.SpecOf(v.D)
-			if err != nil {
-				return nil, fmt.Errorf("attribute %q: %w", name, err)
-			}
-			qv.Dist = &spec
-		case query.KindBounded:
-			b := wire.BoundedOf(v.B)
-			qv.Bounded = &b
-		case query.KindResult:
+		if v.Kind == query.KindResult {
 			res := resultForValue(v, eps)
-			qv.Result = &res
 			tep := v.TEP
-			qv.TEP = &tep
-		default:
-			return nil, fmt.Errorf("attribute %q: cannot encode kind %s", name, v.Kind)
+			row = append(row, wire.QueryValue{Name: name, Kind: v.Kind.String(), Result: &res, TEP: &tep})
+			continue
+		}
+		qv, err := wire.EncodeValue(name, v)
+		if err != nil {
+			return nil, err
 		}
 		row = append(row, qv)
 	}

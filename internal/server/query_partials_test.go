@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"olgapro/internal/server/wire"
+)
+
+// partialRows builds n deterministic sub-plan rows with the given global
+// ordinals (sparse, as a router scattering a union relation would send).
+func partialRows(ords []int64) []map[string]any {
+	rows := make([]map[string]any, len(ords))
+	for i, ord := range ords {
+		rows[i] = map[string]any{
+			"ord": ord,
+			"input": wire.InputSpec{
+				{Type: "normal", Mu: 0.3 + 0.05*float64(ord%8), Sigma: 0.1},
+				{Type: "normal", Mu: 0.7 - 0.05*float64(ord%8), Sigma: 0.1},
+			},
+			"group": string(rune('a' + ord%2)),
+		}
+	}
+	return rows
+}
+
+func TestQueryPartialsStagelessReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	ords := []int64{0, 2, 5, 11}
+	req := map[string]any{"udf": name, "rows": partialRows(ords), "seed": 21}
+
+	resp, body := postJSON(t, ts.URL+"/v1/query/partials", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partials: %d %s", resp.StatusCode, body)
+	}
+	var qp wire.QueryPartials
+	if err := json.Unmarshal(body, &qp); err != nil {
+		t.Fatal(err)
+	}
+	if qp.UDF != name || qp.ModelSeq <= 0 {
+		t.Fatalf("header fields: %+v", qp)
+	}
+	if got := resp.Header.Get(wire.HeaderModelSeq); got == "" {
+		t.Fatalf("missing %s header", wire.HeaderModelSeq)
+	}
+	if len(qp.Rows) != len(ords) {
+		t.Fatalf("%d surviving rows, want %d", len(qp.Rows), len(ords))
+	}
+	for i, pr := range qp.Rows {
+		if pr.Ord != ords[i] {
+			t.Fatalf("row %d carries ordinal %d, want %d", i, pr.Ord, ords[i])
+		}
+		if len(pr.Row) == 0 || pr.Rank != nil || pr.Items != nil {
+			t.Fatalf("stageless row %d payload: %+v", i, pr)
+		}
+	}
+
+	// Frozen clones + global-ordinal seeding: the replay is byte-identical.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/query/partials", req)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", body, body2)
+	}
+}
+
+func TestQueryPartialsStagePayloads(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	rows := partialRows([]int64{1, 4, 6, 9, 10})
+
+	// Group-by stage: mergeable per-group aggregate state, no rows.
+	resp, body := postJSON(t, ts.URL+"/v1/query/partials", map[string]any{
+		"udf": name, "rows": rows, "seed": 3,
+		"group_by": map[string]any{
+			"keys": []string{"g"},
+			"aggs": []map[string]any{{"kind": "count"}, {"kind": "avg", "attr": "y"}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("group_by partials: %d %s", resp.StatusCode, body)
+	}
+	var qp wire.QueryPartials
+	if err := json.Unmarshal(body, &qp); err != nil {
+		t.Fatal(err)
+	}
+	if len(qp.Groups) != 2 || len(qp.Rows) != 0 {
+		t.Fatalf("group_by payload: %d groups, %d rows", len(qp.Groups), len(qp.Rows))
+	}
+	for _, g := range qp.Groups {
+		if len(g.Aggs) != 2 || g.Aggs[0].N != g.Aggs[1].N || g.Aggs[0].N == 0 {
+			t.Fatalf("group %q aggregate state: %+v", g.Key, g.Aggs)
+		}
+	}
+
+	// Window stage: one item per aggregate per surviving tuple.
+	resp, body = postJSON(t, ts.URL+"/v1/query/partials", map[string]any{
+		"udf": name, "rows": rows, "seed": 3,
+		"window": map[string]any{"size": 3, "aggs": []map[string]any{{"kind": "max", "attr": "y"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window partials: %d %s", resp.StatusCode, body)
+	}
+	qp = wire.QueryPartials{}
+	if err := json.Unmarshal(body, &qp); err != nil {
+		t.Fatal(err)
+	}
+	if len(qp.Rows) != len(rows) {
+		t.Fatalf("window payload: %d rows, want %d", len(qp.Rows), len(rows))
+	}
+	for _, pr := range qp.Rows {
+		if len(pr.Items) != 1 || pr.Row != nil {
+			t.Fatalf("window row payload: %+v", pr)
+		}
+	}
+
+	// Top-k stage: every survivor ships a rank key; row payloads only where
+	// the tuple can still reach the global top k.
+	resp, body = postJSON(t, ts.URL+"/v1/query/partials", map[string]any{
+		"udf": name, "rows": rows, "seed": 3,
+		"topk": map[string]any{"k": 2, "by": "y", "desc": true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk partials: %d %s", resp.StatusCode, body)
+	}
+	qp = wire.QueryPartials{}
+	if err := json.Unmarshal(body, &qp); err != nil {
+		t.Fatal(err)
+	}
+	if len(qp.Rows) != len(rows) {
+		t.Fatalf("topk payload: %d rows, want %d", len(qp.Rows), len(rows))
+	}
+	withRow := 0
+	for _, pr := range qp.Rows {
+		if pr.Rank == nil {
+			t.Fatalf("topk row %d missing rank key", pr.Ord)
+		}
+		if pr.Row != nil {
+			withRow++
+		}
+	}
+	if withRow == 0 {
+		t.Fatal("no topk row shipped an answer payload")
+	}
+}
+
+func TestQueryPartialsRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	name := registerSmooth(t, ts.URL)
+	ok := partialRows([]int64{0, 3})
+
+	cases := []struct {
+		name   string
+		req    map[string]any
+		status int
+		code   string
+	}{
+		{"unknown udf", map[string]any{"udf": "nope", "rows": ok, "seed": 1},
+			http.StatusNotFound, "not_found"},
+		{"no rows", map[string]any{"udf": name, "seed": 1},
+			http.StatusBadRequest, "bad_spec"},
+		{"two stages", map[string]any{"udf": name, "rows": ok, "seed": 1,
+			"window":   map[string]any{"size": 2, "aggs": []map[string]any{{"kind": "count"}}},
+			"group_by": map[string]any{"keys": []string{"g"}, "aggs": []map[string]any{{"kind": "count"}}}},
+			http.StatusBadRequest, "bad_spec"},
+		{"ordinals not ascending", map[string]any{"udf": name, "rows": partialRows([]int64{5, 5}), "seed": 1},
+			http.StatusBadRequest, "bad_spec"},
+		{"wrong arity", map[string]any{"udf": name, "seed": 1,
+			"rows": []map[string]any{{"ord": 0, "input": wire.InputSpec{{Type: "constant", Value: 0.5}}}}},
+			http.StatusBadRequest, "bad_spec"},
+		{"replica behind min_seq", map[string]any{"udf": name, "rows": ok, "seed": 1, "min_seq": 1 << 40},
+			http.StatusConflict, "model_cold"},
+		{"bad stage spec", map[string]any{"udf": name, "rows": ok, "seed": 1,
+			"topk": map[string]any{"k": 2}},
+			http.StatusBadRequest, "bad_spec"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/query/partials", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != tc.code {
+			t.Errorf("%s: error code %q, want %q (%s)", tc.name, env.Error.Code, tc.code, body)
+		}
+	}
+}

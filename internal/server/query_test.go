@@ -40,7 +40,7 @@ func TestQueryTopKDeterministicReplay(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
 	}
-	var qr queryResponse
+	var qr wire.QueryResponse
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestQueryTopKDeterministicReplay(t *testing.T) {
 		t.Fatalf("top-3 possible answer set has %d rows", len(qr.Rows))
 	}
 	for _, row := range qr.Rows {
-		var rank *queryValue
+		var rank *wire.QueryValue
 		for i := range row {
 			if row[i].Name == "rank" {
 				rank = &row[i]
@@ -87,7 +87,7 @@ func TestQueryWindowThenTopK(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
 	}
-	var qr queryResponse
+	var qr wire.QueryResponse
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestQueryGroupByWithPredicate(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
 	}
-	var qr queryResponse
+	var qr wire.QueryResponse
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestQueryGroupByWithPredicate(t *testing.T) {
 		t.Fatalf("groups: %d rows, %d dropped", len(qr.Rows), qr.Dropped)
 	}
 	for _, row := range qr.Rows {
-		byName := map[string]queryValue{}
+		byName := map[string]wire.QueryValue{}
 		for _, v := range row {
 			byName[v.Name] = v
 		}

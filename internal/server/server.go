@@ -202,6 +202,7 @@ func (s *Server) routes() {
 	// /v1-only surface: the bounded-query endpoint was born versioned, and
 	// the replication endpoints are new in the fleet release.
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/partials", s.handleQueryPartials)
 	s.mux.HandleFunc("GET /v1/replication/udfs", s.handleReplicationList)
 	s.mux.HandleFunc("GET /v1/udfs/{name}/snapshot", s.handleSnapshotFetch)
 	s.mux.HandleFunc("GET /v1/replication/members", s.handleMembershipGet)
